@@ -1,0 +1,145 @@
+"""Figures 2, 3, and 5: the paper's worked compiler examples.
+
+These micro-benchmarks regenerate the instruction mixes of the three worked
+examples — x^2*y^3 (Figure 2), x^2+x (Figure 3), and x^2+x+x (Figure 5) —
+after each relevant pass combination, and check the structural facts the paper
+derives from them (rescale counts, the shared eager MOD_SWITCH, the
+MATCH-SCALE constant, and the resulting modulus-chain length).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CompilerOptions, compile_program
+from repro.core.ir import Program
+from repro.core.rewrite import (
+    EagerModSwitchPass,
+    LazyModSwitchPass,
+    MatchScalePass,
+    RelinearizePass,
+    WaterlineRescalePass,
+)
+from repro.core.rewrite.framework import PassContext, waterline_of
+from repro.core.types import Op, ValueType
+
+from conftest import print_table
+
+
+def x2y3() -> Program:
+    program = Program("x2y3", vec_size=8)
+    x = program.input("x", ValueType.CIPHER, scale=60)
+    y = program.input("y", ValueType.CIPHER, scale=30)
+    x2 = program.make_term(Op.MULTIPLY, [x, x])
+    y3 = program.make_term(Op.MULTIPLY, [program.make_term(Op.MULTIPLY, [y, y]), y])
+    program.set_output("out", program.make_term(Op.MULTIPLY, [x2, y3]), scale=30)
+    return program
+
+
+def x2_plus_x() -> Program:
+    program = Program("x2_plus_x", vec_size=8)
+    x = program.input("x", ValueType.CIPHER, scale=30)
+    program.set_output(
+        "out", program.make_term(Op.ADD, [program.make_term(Op.MULTIPLY, [x, x]), x]), scale=30
+    )
+    return program
+
+
+def x2_plus_x_plus_x() -> Program:
+    program = Program("x2xx", vec_size=8)
+    x = program.input("x", ValueType.CIPHER, scale=40)
+    x2 = program.make_term(Op.MULTIPLY, [x, x])
+    add1 = program.make_term(Op.ADD, [x2, x])
+    program.set_output("out", program.make_term(Op.ADD, [add1, x]), scale=30)
+    return program
+
+
+def op_count(program: Program, op: Op) -> int:
+    return sum(1 for t in program.terms() if t.op is op)
+
+
+def test_figure2_and_3_and_5_examples(benchmark):
+    rows = []
+
+    # Figure 2(d)/(e): waterline rescale + relinearize on x^2*y^3.
+    fig2 = x2y3()
+    result2 = compile_program(fig2, output_scales={"out": 30})
+    rows.append(
+        [
+            "Fig 2 x^2*y^3 (EVA)",
+            op_count(result2.program, Op.RESCALE),
+            op_count(result2.program, Op.MOD_SWITCH),
+            op_count(result2.program, Op.RELINEARIZE),
+            result2.parameters.modulus_count,
+            result2.parameters.total_coeff_modulus_bits,
+        ]
+    )
+    assert op_count(result2.program, Op.RESCALE) == 2
+    assert op_count(result2.program, Op.RELINEARIZE) == 4
+    assert result2.parameters.modulus_count == 5
+
+    # Figure 3(c): MATCH-SCALE on x^2 + x instead of rescale + modswitch.
+    fig3 = x2_plus_x()
+    result3 = compile_program(fig3, output_scales={"out": 30})
+    boost_constants = [
+        t for t in result3.program.terms() if t.is_constant and t.scale == 30.0
+    ]
+    rows.append(
+        [
+            "Fig 3 x^2+x (EVA)",
+            op_count(result3.program, Op.RESCALE),
+            op_count(result3.program, Op.MOD_SWITCH),
+            op_count(result3.program, Op.RELINEARIZE),
+            result3.parameters.modulus_count,
+            result3.parameters.total_coeff_modulus_bits,
+        ]
+    )
+    assert op_count(result3.program, Op.RESCALE) == 0
+    assert op_count(result3.program, Op.MOD_SWITCH) == 0
+    assert boost_constants, "MATCH-SCALE should introduce a constant-1 multiplication"
+
+    # Figure 5: eager vs lazy MOD_SWITCH placement on x^2 + x + x.
+    def run_passes(program, eager: bool):
+        context = PassContext(
+            max_rescale_bits=40.0, waterline_bits=20.0, rescale_bits=40.0
+        )
+        WaterlineRescalePass().run(program, context)
+        if eager:
+            EagerModSwitchPass().run(program, context)
+        else:
+            LazyModSwitchPass().run(program, context)
+        MatchScalePass().run(program, context)
+        RelinearizePass().run(program, context)
+        return program
+
+    eager_program = run_passes(x2_plus_x_plus_x(), eager=True)
+    lazy_program = run_passes(x2_plus_x_plus_x(), eager=False)
+    rows.append(
+        [
+            "Fig 5 x^2+x+x (eager)",
+            op_count(eager_program, Op.RESCALE),
+            op_count(eager_program, Op.MOD_SWITCH),
+            op_count(eager_program, Op.RELINEARIZE),
+            "-",
+            "-",
+        ]
+    )
+    rows.append(
+        [
+            "Fig 5 x^2+x+x (lazy)",
+            op_count(lazy_program, Op.RESCALE),
+            op_count(lazy_program, Op.MOD_SWITCH),
+            op_count(lazy_program, Op.RELINEARIZE),
+            "-",
+            "-",
+        ]
+    )
+    assert op_count(eager_program, Op.MOD_SWITCH) <= op_count(lazy_program, Op.MOD_SWITCH)
+
+    print_table(
+        "Figures 2/3/5: worked compiler examples",
+        ["Example", "RESCALE", "MOD_SWITCH", "RELINEARIZE", "r", "logQ"],
+        rows,
+    )
+
+    benchmark(lambda: compile_program(x2y3(), output_scales={"out": 30}))

@@ -1,0 +1,62 @@
+"""Figure 7: strong scaling of CHET and EVA from 1 to 56 threads.
+
+For each network and thread count, the schedule simulator reports the makespan
+of the compiled program under the appropriate scheduling discipline (CHET:
+bulk-synchronous per kernel; EVA: whole-program DAG).  The figure's shape —
+EVA scales substantially better because it exploits parallelism across tensor
+kernels — is asserted by comparing the self-relative speedups at 56 threads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import simulate_schedule
+
+from conftest import print_table
+
+THREAD_COUNTS = [1, 7, 14, 28, 56]
+#: Networks plotted in Figure 7 (LeNet-5-small is omitted there as too small).
+FIGURE7_NETWORKS = ["LeNet-5-medium", "LeNet-5-large", "Industrial", "SqueezeNet-CIFAR"]
+
+
+def scaling_curve(workspace, name: str, policy: str):
+    compiled = workspace.compiled(name, policy).compilation
+    discipline = "dag" if policy == "eva" else "kernel"
+    return {
+        threads: simulate_schedule(compiled, threads=threads, discipline=discipline).makespan_seconds
+        for threads in THREAD_COUNTS
+    }
+
+
+def test_figure7_strong_scaling(benchmark, workspace):
+    rows = []
+    for name in FIGURE7_NETWORKS:
+        chet = scaling_curve(workspace, name, "chet")
+        eva = scaling_curve(workspace, name, "eva")
+        for policy, curve in (("CHET", chet), ("EVA", eva)):
+            rows.append(
+                [name, policy]
+                + [f"{curve[t]:.3f}" for t in THREAD_COUNTS]
+                + [f"{curve[1] / curve[56]:.1f}x"]
+            )
+        eva_speedup = eva[1] / eva[56]
+        chet_speedup = chet[1] / chet[56]
+        # Figure 7 shape: EVA's DAG schedule scales better than CHET's
+        # bulk-synchronous schedule, and EVA is faster at every thread count.
+        assert eva_speedup >= chet_speedup * 0.9
+        for threads in THREAD_COUNTS:
+            assert eva[threads] <= chet[threads]
+    print_table(
+        "Figure 7: modeled strong scaling (seconds per inference)",
+        ["Model", "Compiler"] + [f"{t} thr" for t in THREAD_COUNTS] + ["Speedup 1->56"],
+        rows,
+    )
+
+    # Benchmark target: one 56-thread schedule simulation.
+    compiled = workspace.compiled("LeNet-5-medium", "eva").compilation
+    benchmark.pedantic(
+        lambda: simulate_schedule(compiled, threads=56, discipline="dag"),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,68 @@
+"""Table 3: the evaluated networks and their unencrypted accuracy.
+
+Paper columns: layer counts (Conv / FC / Act), number of floating-point
+operations, and unencrypted test accuracy.  This reproduction prints the same
+columns for the scaled-down networks (FP operation counts are estimated from
+the layer shapes); the Industrial network has no accuracy, exactly as in the
+paper (random weights).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Conv2D, Dense, build_model
+from repro.nn.training import accuracy
+
+from conftest import NETWORK_NAMES, TRAINABLE, print_table
+
+
+def estimate_fp_operations(network) -> int:
+    """Rough multiply-accumulate count of one unencrypted inference."""
+    total = 0
+    shape = network.input_shape
+    x = np.zeros(shape)
+    for layer in network.layers:
+        before = x.size
+        x = layer.forward(x)
+        if isinstance(layer, Conv2D):
+            total += 2 * x.size * layer.in_channels * layer.kernel * layer.kernel
+        elif isinstance(layer, Dense):
+            total += 2 * layer.out_features * layer.in_features
+        else:
+            total += before
+    return int(total)
+
+
+def test_table3_network_summary(benchmark, workspace):
+    rows = []
+    for name in NETWORK_NAMES:
+        network = workspace.network(name)
+        counts = network.count_layers()
+        if name in TRAINABLE:
+            dataset = workspace.dataset(name)
+            acc = 100.0 * accuracy(network, dataset.test_images, dataset.test_labels)
+            acc_text = f"{acc:.2f}"
+        else:
+            acc_text = "-"
+        rows.append(
+            [
+                name,
+                counts["conv"],
+                counts["fc"],
+                counts["act"],
+                estimate_fp_operations(network),
+                acc_text,
+            ]
+        )
+    print_table(
+        "Table 3: networks used in the evaluation",
+        ["Network", "Conv", "FC", "Act", "# FP ops", "Accuracy (%)"],
+        rows,
+    )
+
+    # Benchmark target: one unencrypted inference of the smallest network.
+    network = workspace.network("LeNet-5-small")
+    image = workspace.dataset("LeNet-5-small").test_images[0]
+    benchmark(network.forward, image)

@@ -1,0 +1,72 @@
+"""Table 5: average inference latency of CHET vs EVA on 56 threads.
+
+The paper's testbed (SEAL on a 56-core Xeon) is replaced by the calibrated
+cost model plus the schedule simulator: CHET-compiled programs run under the
+bulk-synchronous per-kernel schedule and EVA-compiled programs under the
+whole-program DAG schedule, both with 56 workers.  The reported speedups are
+expected to preserve the paper's shape (EVA several times faster everywhere),
+not its absolute seconds.  The measured wall-clock time of the mock-backend
+execution (single thread) is reported alongside as a sanity column.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import Executor, simulate_schedule
+from repro.nn import encrypted_inference
+
+from conftest import NETWORK_NAMES, print_table
+
+THREADS = 56
+
+
+def modeled_latency(workspace, name: str, policy: str) -> float:
+    compiled = workspace.compiled(name, policy)
+    discipline = "dag" if policy == "eva" else "kernel"
+    return simulate_schedule(
+        compiled.compilation, threads=THREADS, discipline=discipline
+    ).makespan_seconds
+
+
+def test_table5_latency(benchmark, workspace, mock_backend):
+    rows = []
+    speedups = []
+    for name in NETWORK_NAMES:
+        chet_latency = modeled_latency(workspace, name, "chet")
+        eva_latency = modeled_latency(workspace, name, "eva")
+        compiled = workspace.compiled(name, "eva")
+        image = workspace.test_images(name, 1)[0][0]
+        start = time.perf_counter()
+        encrypted_inference(compiled, image, backend=mock_backend)
+        mock_seconds = time.perf_counter() - start
+        speedup = chet_latency / max(eva_latency, 1e-12)
+        speedups.append(speedup)
+        rows.append(
+            [
+                name,
+                f"{chet_latency:.3f}",
+                f"{eva_latency:.3f}",
+                f"{speedup:.1f}x",
+                f"{mock_seconds:.2f}",
+            ]
+        )
+        # Shape check: EVA is faster on every network (Table 5 shows 4.2x-7.3x).
+        assert eva_latency <= chet_latency
+    rows.append(["Geo-mean speedup", "", "", f"{float(np.exp(np.mean(np.log(speedups)))):.1f}x", ""])
+    print_table(
+        f"Table 5: modeled average latency on {THREADS} threads (seconds)",
+        ["Model", "CHET (s)", "EVA (s)", "Speedup", "Mock exec wall (s)"],
+        rows,
+    )
+
+    # Benchmark target: the 56-thread schedule simulation for LeNet-5-medium.
+    compiled = workspace.compiled("LeNet-5-medium", "eva")
+    benchmark.pedantic(
+        lambda: simulate_schedule(compiled.compilation, threads=THREADS, discipline="dag"),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,50 @@
+"""Table 6: encryption parameters selected by CHET and EVA.
+
+For every network and both policies, the reproduction reports ``log2 N``,
+``log2 Q`` and the modulus-chain length ``r`` chosen by the parameter-selection
+pass.  The paper's shape — EVA selects a strictly shorter modulus chain, a
+smaller total modulus, and an equal or one-step-smaller polynomial degree —
+is asserted for every network.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CompilerOptions
+from repro.nn import DnnCompiler
+
+from conftest import NETWORK_NAMES, NETWORK_SCALES, print_table
+
+
+def test_table6_encryption_parameters(benchmark, workspace):
+    rows = []
+    for name in NETWORK_NAMES:
+        chet = workspace.compiled(name, "chet").compilation.parameters.summary()
+        eva = workspace.compiled(name, "eva").compilation.parameters.summary()
+        rows.append(
+            [
+                name,
+                chet["log_n"],
+                chet["log_q"],
+                chet["r"],
+                eva["log_n"],
+                eva["log_q"],
+                eva["r"],
+            ]
+        )
+        # Table 6 shape: EVA's chain is shorter and its modulus smaller.
+        assert eva["r"] < chet["r"]
+        assert eva["log_q"] < chet["log_q"]
+        assert eva["log_n"] <= chet["log_n"]
+    print_table(
+        "Table 6: encryption parameters selected by CHET and EVA",
+        ["Model", "CHET logN", "CHET logQ", "CHET r", "EVA logN", "EVA logQ", "EVA r"],
+        rows,
+    )
+
+    # Benchmark target: full compilation (transform + validate + select) of
+    # LeNet-5-small under the EVA policy.
+    network = workspace.network("LeNet-5-small")
+    compiler = DnnCompiler(NETWORK_SCALES["LeNet-5-small"], CompilerOptions(policy="eva"))
+    benchmark.pedantic(lambda: compiler.compile(network), rounds=3, iterations=1)

@@ -1,0 +1,63 @@
+"""Table 7: compilation, encryption-context, encryption, and decryption times.
+
+The encryption-context column covers key generation (public, relinearization,
+and Galois keys); in this reproduction it is measured on the mock backend,
+whose context setup is intentionally cheap, so the compile / encrypt / decrypt
+columns are the meaningful ones and the shape to check is that they remain
+negligible next to inference (as the paper reports).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.backend import MockBackend
+from repro.core import CompilerOptions, Executor
+from repro.nn import DnnCompiler
+
+from conftest import NETWORK_NAMES, NETWORK_SCALES, print_table
+
+
+def measure(workspace, name: str):
+    network = workspace.network(name)
+    compiler = DnnCompiler(NETWORK_SCALES[name], CompilerOptions(policy="eva"))
+    start = time.perf_counter()
+    compiled = compiler.compile(network)
+    compile_seconds = time.perf_counter() - start
+
+    backend = MockBackend(seed=0)
+    executor = Executor(compiled.compilation, backend=backend)
+    image = workspace.test_images(name, 1)[0][0]
+    result = executor.execute(compiled.image_to_inputs(image))
+    stats = result.stats
+    return compile_seconds, stats.context_seconds, stats.encrypt_seconds, stats.decrypt_seconds
+
+
+def test_table7_compile_and_context_times(benchmark, workspace):
+    rows = []
+    for name in NETWORK_NAMES:
+        compile_s, context_s, encrypt_s, decrypt_s = measure(workspace, name)
+        rows.append(
+            [
+                name,
+                f"{compile_s:.2f}",
+                f"{context_s:.4f}",
+                f"{encrypt_s:.4f}",
+                f"{decrypt_s:.4f}",
+            ]
+        )
+        # The paper's observation: these costs are small (seconds, not minutes).
+        assert compile_s < 60.0
+    print_table(
+        "Table 7: compilation, context, encryption, and decryption times (seconds)",
+        ["Model", "Compilation", "Context", "Encrypt", "Decrypt"],
+        rows,
+    )
+
+    # Benchmark target: compiling the smallest network.
+    network = workspace.network("LeNet-5-small")
+    compiler = DnnCompiler(NETWORK_SCALES["LeNet-5-small"], CompilerOptions(policy="eva"))
+    benchmark.pedantic(lambda: compiler.compile(network), rounds=3, iterations=1)

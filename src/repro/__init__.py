@@ -1,0 +1,46 @@
+"""Reproduction of EVA: an Encrypted Vector Arithmetic language and compiler.
+
+The package is organized as follows:
+
+* :mod:`repro.core` — the EVA language (term-graph IR), the optimizing
+  compiler (rescale / modswitch / relinearize insertion, scale matching,
+  validation, parameter and rotation-key selection), executors, and a
+  scheduling simulator.
+* :mod:`repro.ckks` — a from-scratch RNS-CKKS implementation standing in for
+  Microsoft SEAL.
+* :mod:`repro.backend` — the HISA backend interface, the metadata-exact mock
+  simulator, and the real CKKS backend.
+* :mod:`repro.frontend` — PyEVA, the Python-embedded DSL.
+* :mod:`repro.nn` — the CHET-style tensor compiler for DNN inference on
+  encrypted images.
+* :mod:`repro.apps` — the arithmetic, statistical-ML, and image-processing
+  applications evaluated in the paper.
+"""
+
+from .core import (
+    CompilationResult,
+    CompilerOptions,
+    EvaCompiler,
+    Executor,
+    Program,
+    ReferenceExecutor,
+    compile_program,
+    execute_reference,
+)
+from .frontend import EvaProgram, Expr
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompilationResult",
+    "CompilerOptions",
+    "EvaCompiler",
+    "Executor",
+    "Program",
+    "ReferenceExecutor",
+    "compile_program",
+    "execute_reference",
+    "EvaProgram",
+    "Expr",
+    "__version__",
+]

@@ -1,0 +1,34 @@
+"""Applications evaluated in Section 8.3: arithmetic, statistical ML, image processing."""
+
+from .common import run_application, sqrt_poly, sqrt_poly_reference
+from .harris import build_harris_program, reference_harris
+from .path_length import build_path_length_program, random_path, reference_path_length
+from .regression import (
+    build_linear_regression_program,
+    build_multivariate_regression_program,
+    build_polynomial_regression_program,
+    reference_linear_regression,
+    reference_multivariate_regression,
+    reference_polynomial_regression,
+)
+from .sobel import build_sobel_program, random_image, reference_sobel
+
+__all__ = [
+    "run_application",
+    "sqrt_poly",
+    "sqrt_poly_reference",
+    "build_harris_program",
+    "reference_harris",
+    "build_path_length_program",
+    "random_path",
+    "reference_path_length",
+    "build_linear_regression_program",
+    "build_multivariate_regression_program",
+    "build_polynomial_regression_program",
+    "reference_linear_regression",
+    "reference_multivariate_regression",
+    "reference_polynomial_regression",
+    "build_sobel_program",
+    "random_image",
+    "reference_sobel",
+]

@@ -1,0 +1,44 @@
+"""Shared helpers for the example applications of Section 8.3."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..backend.hisa import HomomorphicBackend
+from ..core.compiler import CompilationResult, CompilerOptions
+from ..core.executor import ExecutionResult, Executor
+from ..frontend.pyeva import EvaProgram, Expr, constant
+
+
+def sqrt_poly(x: Expr, scale: float) -> Expr:
+    """Third-degree polynomial approximation of the square root.
+
+    This is the approximation used in the paper's Sobel example (Figure 6):
+    ``sqrt(x) ~ 2.214 x - 1.098 x^2 + 0.173 x^3`` on the interval the image
+    gradients live in.
+    """
+    return (
+        x * constant(2.214, scale)
+        + (x ** 2) * constant(-1.098, scale)
+        + (x ** 3) * constant(0.173, scale)
+    )
+
+
+def sqrt_poly_reference(x: np.ndarray) -> np.ndarray:
+    """NumPy reference of :func:`sqrt_poly`."""
+    return 2.214 * x - 1.098 * x**2 + 0.173 * x**3
+
+
+def run_application(
+    program: EvaProgram,
+    inputs: Dict[str, np.ndarray],
+    backend: Optional[HomomorphicBackend] = None,
+    options: Optional[CompilerOptions] = None,
+    threads: int = 1,
+) -> ExecutionResult:
+    """Compile a PyEVA application and execute it on encrypted inputs."""
+    compilation = program.compile(options=options)
+    executor = Executor(compilation, backend=backend, threads=threads)
+    return executor.execute(inputs)

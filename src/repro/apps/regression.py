@@ -1,0 +1,102 @@
+"""Statistical machine learning on encrypted data (Table 8).
+
+Three applications mirror the paper's statistical-ML workloads: evaluating a
+linear regression model, a (univariate) polynomial regression model, and a
+multivariate regression model on encrypted feature vectors.  The model
+coefficients are plaintext (they belong to the service provider); the feature
+vectors are encrypted (they belong to the client).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..frontend.pyeva import EvaProgram, constant, input_encrypted, output
+
+#: Vector sizes reported in Table 8.
+LINEAR_VEC_SIZE = 2048
+POLYNOMIAL_VEC_SIZE = 4096
+MULTIVARIATE_VEC_SIZE = 2048
+
+
+def build_linear_regression_program(
+    slope: float = 1.7,
+    intercept: float = -0.3,
+    vec_size: int = LINEAR_VEC_SIZE,
+    scale: float = 30.0,
+) -> EvaProgram:
+    """``y = a*x + b`` evaluated element-wise on an encrypted vector."""
+    program = EvaProgram("linear_regression", vec_size=vec_size, default_scale=scale)
+    with program:
+        x = input_encrypted("x", scale)
+        y = x * constant(slope, scale) + constant(intercept, scale)
+        output("prediction", y, scale)
+    return program
+
+
+def reference_linear_regression(x: np.ndarray, slope: float = 1.7, intercept: float = -0.3) -> np.ndarray:
+    return slope * x + intercept
+
+
+def build_polynomial_regression_program(
+    coefficients: Sequence[float] = (0.5, -1.2, 0.8, 0.3),
+    vec_size: int = POLYNOMIAL_VEC_SIZE,
+    scale: float = 30.0,
+) -> EvaProgram:
+    """Polynomial model ``c0 + c1*x + c2*x^2 + c3*x^3`` on an encrypted vector.
+
+    Evaluated in Horner form to keep the multiplicative depth at the number of
+    coefficients minus one.
+    """
+    program = EvaProgram("polynomial_regression", vec_size=vec_size, default_scale=scale)
+    coeffs = list(coefficients)
+    with program:
+        x = input_encrypted("x", scale)
+        result = constant(coeffs[-1], scale) * x
+        for coefficient in reversed(coeffs[1:-1]):
+            result = (result + constant(coefficient, scale)) * x
+        result = result + constant(coeffs[0], scale)
+        output("prediction", result, scale)
+    return program
+
+
+def reference_polynomial_regression(
+    x: np.ndarray, coefficients: Sequence[float] = (0.5, -1.2, 0.8, 0.3)
+) -> np.ndarray:
+    result = np.zeros_like(np.asarray(x, dtype=np.float64))
+    for power, coefficient in enumerate(coefficients):
+        result = result + coefficient * np.power(x, power)
+    return result
+
+
+def build_multivariate_regression_program(
+    weights: Sequence[float] = (0.9, -0.4, 1.3, 0.2, -0.7),
+    intercept: float = 0.1,
+    vec_size: int = MULTIVARIATE_VEC_SIZE,
+    scale: float = 30.0,
+) -> EvaProgram:
+    """``y = w . x + b`` where each feature is a separate encrypted vector."""
+    program = EvaProgram("multivariate_regression", vec_size=vec_size, default_scale=scale)
+    weights = list(weights)
+    with program:
+        features = [input_encrypted(f"x{i}", scale) for i in range(len(weights))]
+        result = features[0] * constant(weights[0], scale)
+        for feature, weight in zip(features[1:], weights[1:]):
+            result = result + feature * constant(weight, scale)
+        result = result + constant(intercept, scale)
+        output("prediction", result, scale)
+    return program
+
+
+def reference_multivariate_regression(
+    features: Dict[str, np.ndarray],
+    weights: Sequence[float] = (0.9, -0.4, 1.3, 0.2, -0.7),
+    intercept: float = 0.1,
+) -> np.ndarray:
+    result = None
+    for index, weight in enumerate(weights):
+        term = weight * np.asarray(features[f"x{index}"], dtype=np.float64)
+        result = term if result is None else result + term
+    return result + intercept

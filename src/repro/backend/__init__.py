@@ -1,0 +1,35 @@
+"""Homomorphic backends implementing the HISA interface.
+
+Two backends are provided:
+
+* :class:`~repro.backend.mock_backend.MockBackend` — a metadata-exact CKKS
+  simulator.  It stores logical values in the clear but tracks scales, the
+  coefficient-modulus chain, polynomial counts and an approximation-error
+  model, and raises the same class of errors a real RNS-CKKS library raises
+  when a cryptographic constraint is violated.  It is the default backend for
+  tests and the DNN benchmarks.
+* :class:`~repro.backend.seal_backend.CkksBackend` — a real RNS-CKKS
+  implementation built on :mod:`repro.ckks` (the SEAL substitute), suitable
+  for laptop-scale parameters.
+"""
+
+from .hisa import HomomorphicBackend, BackendContext
+from .mock_backend import MockBackend
+from .cost_model import CostModel, DEFAULT_COST_MODEL
+
+__all__ = [
+    "HomomorphicBackend",
+    "BackendContext",
+    "MockBackend",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "CkksBackend",
+]
+
+
+def __getattr__(name):
+    if name == "CkksBackend":
+        from .seal_backend import CkksBackend
+
+        return CkksBackend
+    raise AttributeError(name)

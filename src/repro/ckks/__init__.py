@@ -1,0 +1,42 @@
+"""A from-scratch RNS-CKKS implementation (the Microsoft SEAL substitute).
+
+The module provides the full pipeline of the scheme: parameter validation
+against the HE security standard, NTT-friendly prime generation, the
+canonical-embedding encoder, RLWE key generation (secret, public,
+relinearization, and Galois keys with the special-prime key-switching
+technique), encryption, decryption, and the homomorphic evaluator
+(add/sub/negate, ciphertext and plaintext multiplication, relinearization,
+slot rotation, rescaling, and modulus switching).
+
+All arithmetic is vectorized numpy ``int64``; coefficient-modulus primes are
+limited to 30 bits, so the compiler should be configured with
+``max_rescale_bits <= 30`` when targeting this backend (the mock backend
+supports the paper's 60-bit configuration).
+"""
+
+from .context import CkksContext
+from .ciphertext import Ciphertext, Plaintext
+from .encoder import CkksEncoder, get_encoder
+from .encryptor import Encryptor
+from .decryptor import Decryptor
+from .evaluator import Evaluator
+from .keys import GaloisKeys, KeyGenerator, PublicKey, RelinearizationKey, SecretKey
+from .rns import RnsBasis, RnsPolynomial
+
+__all__ = [
+    "CkksContext",
+    "Ciphertext",
+    "Plaintext",
+    "CkksEncoder",
+    "get_encoder",
+    "Encryptor",
+    "Decryptor",
+    "Evaluator",
+    "GaloisKeys",
+    "KeyGenerator",
+    "PublicKey",
+    "RelinearizationKey",
+    "SecretKey",
+    "RnsBasis",
+    "RnsPolynomial",
+]

@@ -1,0 +1,46 @@
+"""Ciphertext and plaintext containers for the CKKS scheme."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from .rns import RnsPolynomial
+
+
+@dataclass
+class Plaintext:
+    """An encoded plaintext polynomial with its scale and level."""
+
+    poly: RnsPolynomial
+    scale: float
+    level: int
+
+    @property
+    def poly_modulus_degree(self) -> int:
+        return self.poly.basis.poly_modulus_degree
+
+
+@dataclass
+class Ciphertext:
+    """A CKKS ciphertext: two or more polynomials plus scale and level.
+
+    ``polys[i]`` is the coefficient of ``s^i`` in the decryption equation
+    ``m + e = sum_i polys[i] * s^i (mod Q_level)``.
+    """
+
+    polys: List[RnsPolynomial] = field(default_factory=list)
+    scale: float = 1.0
+    level: int = 0
+
+    @property
+    def size(self) -> int:
+        """Number of polynomials (2 for fresh or relinearized ciphertexts)."""
+        return len(self.polys)
+
+    @property
+    def basis(self):
+        return self.polys[0].basis
+
+    def copy(self) -> "Ciphertext":
+        return Ciphertext([p.copy() for p in self.polys], self.scale, self.level)

@@ -1,0 +1,38 @@
+"""CKKS decryption and decoding."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ExecutionError
+from .ciphertext import Ciphertext
+from .context import CkksContext
+from .keys import SecretKey
+
+
+class Decryptor:
+    """Decrypts ciphertexts with the secret key and decodes them to vectors."""
+
+    def __init__(self, context: CkksContext, secret_key: SecretKey) -> None:
+        self.context = context
+        self.secret_key = secret_key
+
+    def decrypt_poly(self, ciphertext: Ciphertext):
+        """Return the raw plaintext polynomial ``sum_i c_i s^i`` (RNS form)."""
+        if ciphertext.size < 2:
+            raise ExecutionError("ciphertext is transparent or malformed")
+        basis = ciphertext.basis
+        s = self.secret_key.poly_for(basis)
+        result = ciphertext.polys[0]
+        s_power = s
+        for index in range(1, ciphertext.size):
+            result = result.add(ciphertext.polys[index].multiply(s_power))
+            if index + 1 < ciphertext.size:
+                s_power = s_power.multiply(s)
+        return result
+
+    def decrypt(self, ciphertext: Ciphertext) -> np.ndarray:
+        """Decrypt and decode to a real-valued slot vector."""
+        message = self.decrypt_poly(ciphertext)
+        coefficients = message.to_int_coefficients()
+        return self.context.encoder.decode_real(coefficients, ciphertext.scale)

@@ -1,0 +1,105 @@
+"""CKKS encoder: canonical-embedding encoding of complex/real vectors.
+
+A CKKS plaintext polynomial ``m(X)`` of degree ``< N`` encodes ``N/2`` complex
+slots: slot ``k`` holds ``m(zeta^{5^k}) / scale`` where ``zeta`` is a primitive
+``2N``-th root of unity.  Encoding inverts this embedding, scales by the
+fixed-point scale, and rounds to integer coefficients.
+
+The implementation uses the explicit Vandermonde-style embedding matrix over
+the rotation group ``{5^k mod 2N}``; it is cached per ``N`` and is O(N^2),
+which is ample for the laptop-scale ring dimensions the pure-Python backend
+targets (``N <= 8192``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Union
+
+import numpy as np
+
+from ..errors import EncodingError
+
+#: Largest ring dimension for which the dense embedding matrix is built.
+MAX_ENCODER_DEGREE = 8192
+
+_ENCODER_CACHE: Dict[int, "CkksEncoder"] = {}
+
+
+class CkksEncoder:
+    """Encode/decode vectors of complex numbers into integer coefficient vectors."""
+
+    def __init__(self, poly_modulus_degree: int) -> None:
+        n = int(poly_modulus_degree)
+        if n & (n - 1) or n < 4:
+            raise EncodingError("polynomial degree must be a power of two >= 4")
+        if n > MAX_ENCODER_DEGREE:
+            raise EncodingError(
+                f"the dense CKKS encoder supports N <= {MAX_ENCODER_DEGREE}, got {n}"
+            )
+        self.poly_modulus_degree = n
+        self.slots = n // 2
+        m = 2 * n
+        rot_group = np.empty(self.slots, dtype=np.int64)
+        power = 1
+        for i in range(self.slots):
+            rot_group[i] = power
+            power = (power * 5) % m
+        self.rot_group = rot_group
+        roots = np.exp(2j * np.pi * np.arange(m) / m)
+        exponents = np.outer(rot_group, np.arange(n)) % m
+        #: Embedding matrix U with U[k, j] = zeta^{rot_group[k] * j}.
+        self.embedding = roots[exponents]
+
+    # -- public API ---------------------------------------------------------------
+    def encode(self, values: Union[Sequence[float], np.ndarray], scale: float) -> np.ndarray:
+        """Encode a vector into int64 plaintext coefficients at the given scale.
+
+        The input length must divide the slot count; shorter vectors are
+        replicated (the EVA input-replication rule) and scalars broadcast.
+        """
+        array = np.atleast_1d(np.asarray(values, dtype=np.complex128)).ravel()
+        if array.size > self.slots:
+            raise EncodingError(
+                f"cannot encode {array.size} values into {self.slots} slots"
+            )
+        if self.slots % array.size != 0:
+            raise EncodingError(
+                f"input length {array.size} must divide the slot count {self.slots}"
+            )
+        if array.size < self.slots:
+            array = np.tile(array, self.slots // array.size)
+        coeffs = (2.0 / self.poly_modulus_degree) * np.real(
+            self.embedding.conj().T @ array
+        )
+        scaled = coeffs * float(scale)
+        max_coeff = float(np.max(np.abs(scaled))) if scaled.size else 0.0
+        if max_coeff >= 2**62:
+            raise EncodingError(
+                "encoded coefficients overflow 63 bits; lower the scale"
+            )
+        return np.round(scaled).astype(np.int64)
+
+    def decode(self, coefficients: Union[Sequence[int], np.ndarray], scale: float) -> np.ndarray:
+        """Decode centered integer coefficients back into complex slot values."""
+        coeffs = np.asarray(
+            [float(c) for c in coefficients], dtype=np.float64
+        )
+        if coeffs.size != self.poly_modulus_degree:
+            raise EncodingError(
+                f"expected {self.poly_modulus_degree} coefficients, got {coeffs.size}"
+            )
+        slots = self.embedding @ coeffs
+        return slots / float(scale)
+
+    def decode_real(self, coefficients: Union[Sequence[int], np.ndarray], scale: float) -> np.ndarray:
+        """Decode and return only the real parts of the slots."""
+        return np.real(self.decode(coefficients, scale))
+
+
+def get_encoder(poly_modulus_degree: int) -> CkksEncoder:
+    """Return a cached encoder for the given ring dimension."""
+    encoder = _ENCODER_CACHE.get(int(poly_modulus_degree))
+    if encoder is None:
+        encoder = CkksEncoder(poly_modulus_degree)
+        _ENCODER_CACHE[int(poly_modulus_degree)] = encoder
+    return encoder

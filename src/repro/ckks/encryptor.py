@@ -1,0 +1,65 @@
+"""CKKS encoding + encryption front door."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from ..errors import ParameterError
+from .ciphertext import Ciphertext, Plaintext
+from .context import CkksContext
+from .keys import PublicKey
+from .rns import RnsPolynomial
+from .sampling import RlweSampler
+
+
+class Encryptor:
+    """Encodes vectors into plaintexts and encrypts them under a public key."""
+
+    def __init__(
+        self,
+        context: CkksContext,
+        public_key: PublicKey,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.context = context
+        self.public_key = public_key
+        self.sampler = RlweSampler(seed)
+
+    # -- encoding ------------------------------------------------------------------
+    def encode(
+        self,
+        values: Union[float, Sequence[float], np.ndarray],
+        scale: float,
+        level: int = 0,
+    ) -> Plaintext:
+        """Encode a vector (or scalar) at the given scale and level."""
+        coefficients = self.context.encoder.encode(values, scale)
+        basis = self.context.data_basis(level)
+        poly = RnsPolynomial.from_int64_coefficients(basis, coefficients)
+        return Plaintext(poly=poly, scale=float(scale), level=int(level))
+
+    # -- encryption -----------------------------------------------------------------
+    def encrypt(self, plaintext: Plaintext) -> Ciphertext:
+        """Encrypt an encoded plaintext with the public key."""
+        basis = self.context.data_basis(plaintext.level)
+        if plaintext.poly.basis != basis:
+            raise ParameterError("plaintext level does not match its polynomial basis")
+        pk_b = self.context.restrict(self.public_key.b, basis)
+        pk_a = self.context.restrict(self.public_key.a, basis)
+        u = self.sampler.ternary(basis)
+        e0 = self.sampler.error(basis)
+        e1 = self.sampler.error(basis)
+        c0 = pk_b.multiply(u).add(e0).add(plaintext.poly)
+        c1 = pk_a.multiply(u).add(e1)
+        return Ciphertext(polys=[c0, c1], scale=plaintext.scale, level=plaintext.level)
+
+    def encode_and_encrypt(
+        self,
+        values: Union[float, Sequence[float], np.ndarray],
+        scale: float,
+        level: int = 0,
+    ) -> Ciphertext:
+        """Convenience: encode then encrypt."""
+        return self.encrypt(self.encode(values, scale, level))

@@ -1,0 +1,194 @@
+"""Homomorphic evaluation operations for RNS-CKKS.
+
+Implements the operation set of Table 2 on real ciphertexts: element-wise
+addition/subtraction/negation (ciphertext-ciphertext and ciphertext-plaintext),
+multiplication, relinearization, slot rotation via Galois automorphisms,
+rescaling, and modulus switching.  Every operation enforces the same
+preconditions SEAL enforces and raises the typed errors of
+:mod:`repro.errors` when they are violated — the conditions the EVA compiler
+guarantees can never occur in a validated program.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..errors import (
+    LevelMismatchError,
+    ModulusExhaustedError,
+    ParameterError,
+    PolynomialCountError,
+    ScaleMismatchError,
+)
+from .ciphertext import Ciphertext, Plaintext
+from .context import CkksContext
+from .keys import GaloisKeys, KeySwitchingKey, RelinearizationKey
+from .rns import RnsPolynomial
+
+#: Relative tolerance when comparing scales of additive operands.
+_SCALE_RTOL = 1e-6
+
+
+class Evaluator:
+    """Evaluates homomorphic operations on CKKS ciphertexts."""
+
+    def __init__(
+        self,
+        context: CkksContext,
+        relin_key: Optional[RelinearizationKey] = None,
+        galois_keys: Optional[GaloisKeys] = None,
+    ) -> None:
+        self.context = context
+        self.relin_key = relin_key
+        self.galois_keys = galois_keys
+
+    # -- checks ---------------------------------------------------------------------
+    @staticmethod
+    def _check_same_level(a: Ciphertext, b: Ciphertext) -> None:
+        if a.level != b.level:
+            raise LevelMismatchError(
+                f"ciphertexts are at different levels ({a.level} vs {b.level})"
+            )
+
+    @staticmethod
+    def _check_same_scale(a_scale: float, b_scale: float) -> None:
+        if abs(a_scale - b_scale) > _SCALE_RTOL * max(abs(a_scale), abs(b_scale), 1.0):
+            raise ScaleMismatchError(
+                f"operand scales differ ({a_scale:g} vs {b_scale:g})"
+            )
+
+    def _check_plain(self, a: Ciphertext, p: Plaintext) -> None:
+        if a.level != p.level:
+            raise LevelMismatchError(
+                f"plaintext level {p.level} does not match ciphertext level {a.level}"
+            )
+
+    # -- linear operations -------------------------------------------------------------
+    def negate(self, a: Ciphertext) -> Ciphertext:
+        return Ciphertext([p.negate() for p in a.polys], a.scale, a.level)
+
+    def add(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        self._check_same_level(a, b)
+        self._check_same_scale(a.scale, b.scale)
+        size = max(a.size, b.size)
+        polys = []
+        for i in range(size):
+            if i < a.size and i < b.size:
+                polys.append(a.polys[i].add(b.polys[i]))
+            elif i < a.size:
+                polys.append(a.polys[i].copy())
+            else:
+                polys.append(b.polys[i].copy())
+        return Ciphertext(polys, max(a.scale, b.scale), a.level)
+
+    def sub(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        return self.add(a, self.negate(b))
+
+    def add_plain(self, a: Ciphertext, p: Plaintext) -> Ciphertext:
+        self._check_plain(a, p)
+        self._check_same_scale(a.scale, p.scale)
+        polys = [a.polys[0].add(p.poly)] + [poly.copy() for poly in a.polys[1:]]
+        return Ciphertext(polys, a.scale, a.level)
+
+    def sub_plain(self, a: Ciphertext, p: Plaintext, reverse: bool = False) -> Ciphertext:
+        self._check_plain(a, p)
+        self._check_same_scale(a.scale, p.scale)
+        if not reverse:
+            polys = [a.polys[0].sub(p.poly)] + [poly.copy() for poly in a.polys[1:]]
+            return Ciphertext(polys, a.scale, a.level)
+        negated = self.negate(a)
+        polys = [negated.polys[0].add(p.poly)] + [poly.copy() for poly in negated.polys[1:]]
+        return Ciphertext(polys, a.scale, a.level)
+
+    # -- multiplication -------------------------------------------------------------------
+    def multiply(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        self._check_same_level(a, b)
+        for operand in (a, b):
+            if operand.size != 2:
+                raise PolynomialCountError(
+                    f"multiplication operand has {operand.size} polynomials; relinearize first"
+                )
+        c0 = a.polys[0].multiply(b.polys[0])
+        c1 = a.polys[0].multiply(b.polys[1]).add(a.polys[1].multiply(b.polys[0]))
+        c2 = a.polys[1].multiply(b.polys[1])
+        return Ciphertext([c0, c1, c2], a.scale * b.scale, a.level)
+
+    def multiply_plain(self, a: Ciphertext, p: Plaintext) -> Ciphertext:
+        self._check_plain(a, p)
+        polys = [poly.multiply(p.poly) for poly in a.polys]
+        return Ciphertext(polys, a.scale * p.scale, a.level)
+
+    def square(self, a: Ciphertext) -> Ciphertext:
+        return self.multiply(a, a)
+
+    # -- key switching ----------------------------------------------------------------------
+    def _key_switch(
+        self, poly: RnsPolynomial, switching_key: KeySwitchingKey, level: int
+    ) -> Tuple[RnsPolynomial, RnsPolynomial]:
+        """Switch ``poly`` (held under some key ``s'``) to the secret key ``s``.
+
+        Returns the pair to be added to ``(c0, c1)``, already scaled down by
+        the special prime and expressed in the data basis of ``level``.
+        """
+        context = self.context
+        data_basis = poly.basis
+        key_basis = context.key_basis(level)
+        acc0 = RnsPolynomial.zero(key_basis)
+        acc1 = RnsPolynomial.zero(key_basis)
+        for row, prime in enumerate(data_basis.primes):
+            pair = switching_key.pairs.get(prime)
+            if pair is None:
+                raise ParameterError(f"switching key is missing the digit for prime {prime}")
+            digit = RnsPolynomial.from_int64_coefficients(key_basis, poly.residues[row])
+            b_j = context.restrict(pair[0], key_basis)
+            a_j = context.restrict(pair[1], key_basis)
+            acc0 = acc0.add(digit.multiply(b_j))
+            acc1 = acc1.add(digit.multiply(a_j))
+        return acc0.divide_and_round_last(), acc1.divide_and_round_last()
+
+    def relinearize(self, a: Ciphertext) -> Ciphertext:
+        """Reduce a three-polynomial ciphertext back to two polynomials."""
+        if self.relin_key is None:
+            raise ParameterError("no relinearization key available")
+        if a.size == 2:
+            return a.copy()
+        if a.size != 3:
+            raise PolynomialCountError(
+                f"relinearization supports ciphertexts of size 3, got {a.size}"
+            )
+        ks0, ks1 = self._key_switch(a.polys[2], self.relin_key.key, a.level)
+        return Ciphertext(
+            [a.polys[0].add(ks0), a.polys[1].add(ks1)], a.scale, a.level
+        )
+
+    def rotate(self, a: Ciphertext, steps: int) -> Ciphertext:
+        """Rotate the slots left by ``steps`` (negative values rotate right)."""
+        if self.galois_keys is None:
+            raise ParameterError("no Galois keys available")
+        steps = int(steps) % self.context.slots
+        if steps == 0:
+            return a.copy()
+        if a.size != 2:
+            raise PolynomialCountError("rotation requires a relinearized ciphertext")
+        element = self.context.galois_element_for_step(steps)
+        switching_key = self.galois_keys.key_for(element)
+        c0 = a.polys[0].automorphism(element)
+        c1 = a.polys[1].automorphism(element)
+        ks0, ks1 = self._key_switch(c1, switching_key, a.level)
+        return Ciphertext([c0.add(ks0), ks1], a.scale, a.level)
+
+    # -- modulus chain -----------------------------------------------------------------------
+    def rescale_to_next(self, a: Ciphertext) -> Ciphertext:
+        """Divide the ciphertext (and its scale) by the next prime in the chain."""
+        if a.level >= self.context.max_level - 1:
+            raise ModulusExhaustedError("cannot rescale: no prime left to divide away")
+        prime = a.basis.primes[-1]
+        polys = [p.divide_and_round_last() for p in a.polys]
+        return Ciphertext(polys, a.scale / prime, a.level + 1)
+
+    def mod_switch_to_next(self, a: Ciphertext) -> Ciphertext:
+        """Drop the next prime in the chain without changing the scale."""
+        if a.level >= self.context.max_level - 1:
+            raise ModulusExhaustedError("cannot switch modulus: no prime left to drop")
+        polys = [p.drop_last() for p in a.polys]
+        return Ciphertext(polys, a.scale, a.level + 1)

@@ -1,0 +1,123 @@
+"""Negacyclic Number-Theoretic Transforms over word-sized primes.
+
+Polynomial multiplication in the ring ``Z_q[X] / (X^N + 1)`` is performed via
+the negacyclic NTT: coefficients are pre-twisted by powers of a primitive
+``2N``-th root of unity ``psi``, transformed with a radix-2 NTT of length
+``N`` (whose root is ``psi^2``), multiplied point-wise, inverse-transformed,
+and post-twisted by powers of ``psi^{-1}``.
+
+All arithmetic is vectorized ``numpy`` ``int64``; the primes produced by
+:mod:`repro.ckks.numth` are below 2^31 so intermediate products never
+overflow.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from .numth import find_primitive_root, mod_inverse
+
+
+class NttContext:
+    """Precomputed twiddle factors for one (prime, N) pair."""
+
+    def __init__(self, prime: int, poly_modulus_degree: int) -> None:
+        n = int(poly_modulus_degree)
+        if n & (n - 1):
+            raise ValueError("polynomial degree must be a power of two")
+        self.prime = int(prime)
+        self.n = n
+        self.psi = find_primitive_root(2 * n, self.prime)
+        self.psi_inv = mod_inverse(self.psi, self.prime)
+        self.omega = (self.psi * self.psi) % self.prime
+        self.omega_inv = mod_inverse(self.omega, self.prime)
+        self.n_inv = mod_inverse(n, self.prime)
+
+        powers = np.arange(n, dtype=np.int64)
+        self.psi_powers = np.array(
+            [pow(self.psi, int(i), self.prime) for i in powers], dtype=np.int64
+        )
+        self.psi_inv_powers = np.array(
+            [pow(self.psi_inv, int(i), self.prime) for i in powers], dtype=np.int64
+        )
+        # Stage twiddles for the iterative Cooley-Tukey butterflies.
+        self._forward_stages = self._stage_twiddles(self.omega)
+        self._inverse_stages = self._stage_twiddles(self.omega_inv)
+
+    def _stage_twiddles(self, root: int) -> Dict[int, np.ndarray]:
+        stages: Dict[int, np.ndarray] = {}
+        length = 2
+        while length <= self.n:
+            step_root = pow(root, self.n // length, self.prime)
+            stages[length] = np.array(
+                [pow(step_root, i, self.prime) for i in range(length // 2)],
+                dtype=np.int64,
+            )
+            length *= 2
+        return stages
+
+    # -- core transforms ---------------------------------------------------------
+    def _transform(self, values: np.ndarray, stages: Dict[int, np.ndarray]) -> np.ndarray:
+        q = self.prime
+        data = values.astype(np.int64) % q
+        data = data[_bit_reverse_indices(self.n)]
+        length = 2
+        while length <= self.n:
+            half = length // 2
+            twiddles = stages[length]
+            blocks = data.reshape(-1, length)
+            low = blocks[:, :half].copy()
+            high = (blocks[:, half:] * twiddles[np.newaxis, :]) % q
+            blocks[:, :half] = (low + high) % q
+            blocks[:, half:] = (low - high) % q
+            data = blocks.reshape(-1)
+            length *= 2
+        return data
+
+    def forward(self, coeffs: np.ndarray) -> np.ndarray:
+        """Negacyclic forward NTT of a length-N coefficient vector."""
+        twisted = (coeffs.astype(np.int64) % self.prime) * self.psi_powers % self.prime
+        return self._transform(twisted, self._forward_stages)
+
+    def inverse(self, values: np.ndarray) -> np.ndarray:
+        """Inverse negacyclic NTT back to the coefficient domain."""
+        data = self._transform(values, self._inverse_stages)
+        data = data * self.n_inv % self.prime
+        return data * self.psi_inv_powers % self.prime
+
+    def multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Negacyclic product of two coefficient vectors modulo the prime."""
+        fa = self.forward(a)
+        fb = self.forward(b)
+        return self.inverse(fa * fb % self.prime)
+
+
+_BIT_REVERSE_CACHE: Dict[int, np.ndarray] = {}
+
+
+def _bit_reverse_indices(n: int) -> np.ndarray:
+    cached = _BIT_REVERSE_CACHE.get(n)
+    if cached is not None:
+        return cached
+    bits = n.bit_length() - 1
+    indices = np.arange(n, dtype=np.int64)
+    reversed_indices = np.zeros(n, dtype=np.int64)
+    for bit in range(bits):
+        reversed_indices |= ((indices >> bit) & 1) << (bits - 1 - bit)
+    _BIT_REVERSE_CACHE[n] = reversed_indices
+    return reversed_indices
+
+
+_NTT_CACHE: Dict[Tuple[int, int], NttContext] = {}
+
+
+def get_ntt_context(prime: int, poly_modulus_degree: int) -> NttContext:
+    """Return a cached :class:`NttContext` for the (prime, N) pair."""
+    key = (int(prime), int(poly_modulus_degree))
+    context = _NTT_CACHE.get(key)
+    if context is None:
+        context = NttContext(prime, poly_modulus_degree)
+        _NTT_CACHE[key] = context
+    return context

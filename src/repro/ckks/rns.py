@@ -1,0 +1,181 @@
+"""Residue Number System polynomial arithmetic.
+
+An :class:`RnsPolynomial` stores one residue row per prime of its basis; all
+ring operations (addition, negacyclic multiplication, Galois automorphisms,
+dropping / dividing away the last prime) are implemented row-wise with
+vectorized ``numpy`` ``int64`` arithmetic and the NTT contexts of
+:mod:`repro.ckks.ntt`.
+
+CRT composition back to arbitrary-precision integers (needed only at
+decryption time, where coefficients can exceed 64 bits) uses Python integers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from ..errors import ParameterError
+from .ntt import get_ntt_context
+from .numth import mod_inverse
+
+
+class RnsBasis:
+    """An ordered list of primes together with their NTT contexts."""
+
+    def __init__(self, primes: Sequence[int], poly_modulus_degree: int) -> None:
+        if not primes:
+            raise ParameterError("an RNS basis needs at least one prime")
+        self.primes: List[int] = [int(p) for p in primes]
+        self.poly_modulus_degree = int(poly_modulus_degree)
+        self.ntt = [get_ntt_context(p, poly_modulus_degree) for p in self.primes]
+
+    def __len__(self) -> int:
+        return len(self.primes)
+
+    def drop_last(self) -> "RnsBasis":
+        return RnsBasis(self.primes[:-1], self.poly_modulus_degree)
+
+    def modulus(self) -> int:
+        product = 1
+        for prime in self.primes:
+            product *= prime
+        return product
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, RnsBasis)
+            and self.primes == other.primes
+            and self.poly_modulus_degree == other.poly_modulus_degree
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<RnsBasis {len(self.primes)} primes, N={self.poly_modulus_degree}>"
+
+
+class RnsPolynomial:
+    """A polynomial in ``Z_Q[X]/(X^N + 1)`` stored residue-wise."""
+
+    __slots__ = ("basis", "residues")
+
+    def __init__(self, basis: RnsBasis, residues: np.ndarray) -> None:
+        self.basis = basis
+        self.residues = residues  # shape (len(basis), N), int64, reduced
+
+    # -- constructors -------------------------------------------------------------
+    @classmethod
+    def zero(cls, basis: RnsBasis) -> "RnsPolynomial":
+        return cls(
+            basis,
+            np.zeros((len(basis), basis.poly_modulus_degree), dtype=np.int64),
+        )
+
+    @classmethod
+    def from_int_coefficients(cls, basis: RnsBasis, coeffs: Iterable[int]) -> "RnsPolynomial":
+        """Build from (possibly negative, possibly large) integer coefficients."""
+        coeff_list = list(coeffs)
+        n = basis.poly_modulus_degree
+        if len(coeff_list) != n:
+            raise ParameterError(f"expected {n} coefficients, got {len(coeff_list)}")
+        rows = []
+        as_array = np.asarray(coeff_list, dtype=object)
+        for prime in basis.primes:
+            row = np.array([int(c) % prime for c in as_array], dtype=np.int64)
+            rows.append(row)
+        return cls(basis, np.stack(rows))
+
+    @classmethod
+    def from_int64_coefficients(cls, basis: RnsBasis, coeffs: np.ndarray) -> "RnsPolynomial":
+        """Build from int64 coefficients (fast path; values must fit in int64)."""
+        coeffs = np.asarray(coeffs, dtype=np.int64)
+        rows = [coeffs % prime for prime in basis.primes]
+        return cls(basis, np.stack(rows))
+
+    def copy(self) -> "RnsPolynomial":
+        return RnsPolynomial(self.basis, self.residues.copy())
+
+    # -- ring operations -----------------------------------------------------------
+    def _check_basis(self, other: "RnsPolynomial") -> None:
+        if self.basis != other.basis:
+            raise ParameterError("polynomials have different RNS bases")
+
+    def add(self, other: "RnsPolynomial") -> "RnsPolynomial":
+        self._check_basis(other)
+        primes = np.array(self.basis.primes, dtype=np.int64)[:, None]
+        return RnsPolynomial(self.basis, (self.residues + other.residues) % primes)
+
+    def sub(self, other: "RnsPolynomial") -> "RnsPolynomial":
+        self._check_basis(other)
+        primes = np.array(self.basis.primes, dtype=np.int64)[:, None]
+        return RnsPolynomial(self.basis, (self.residues - other.residues) % primes)
+
+    def negate(self) -> "RnsPolynomial":
+        primes = np.array(self.basis.primes, dtype=np.int64)[:, None]
+        return RnsPolynomial(self.basis, (-self.residues) % primes)
+
+    def multiply(self, other: "RnsPolynomial") -> "RnsPolynomial":
+        """Negacyclic polynomial product (NTT-based, per prime)."""
+        self._check_basis(other)
+        rows = []
+        for index, ntt in enumerate(self.basis.ntt):
+            rows.append(ntt.multiply(self.residues[index], other.residues[index]))
+        return RnsPolynomial(self.basis, np.stack(rows))
+
+    def multiply_scalar(self, scalar: int) -> "RnsPolynomial":
+        rows = []
+        for index, prime in enumerate(self.basis.primes):
+            rows.append(self.residues[index] * (int(scalar) % prime) % prime)
+        return RnsPolynomial(self.basis, np.stack(rows))
+
+    def automorphism(self, galois_element: int) -> "RnsPolynomial":
+        """Apply ``X -> X^g`` (``g`` odd) in the negacyclic ring."""
+        n = self.basis.poly_modulus_degree
+        g = int(galois_element) % (2 * n)
+        indices = (np.arange(n, dtype=np.int64) * g) % (2 * n)
+        target = indices % n
+        sign_flip = indices >= n
+        rows = []
+        for index, prime in enumerate(self.basis.primes):
+            row = np.zeros(n, dtype=np.int64)
+            values = self.residues[index].copy()
+            values[sign_flip] = (-values[sign_flip]) % prime
+            row[target] = values
+            rows.append(row)
+        return RnsPolynomial(self.basis, np.stack(rows))
+
+    # -- modulus-chain operations ----------------------------------------------------
+    def drop_last(self) -> "RnsPolynomial":
+        """Drop the last prime without scaling (CKKS modulus switching)."""
+        if len(self.basis) < 2:
+            raise ParameterError("cannot drop the only prime of the basis")
+        return RnsPolynomial(self.basis.drop_last(), self.residues[:-1].copy())
+
+    def divide_and_round_last(self) -> "RnsPolynomial":
+        """Divide by the last prime of the basis and round (CKKS rescaling)."""
+        if len(self.basis) < 2:
+            raise ParameterError("cannot rescale away the only prime of the basis")
+        last_prime = self.basis.primes[-1]
+        last_row = self.residues[-1]
+        centered = np.where(last_row > last_prime // 2, last_row - last_prime, last_row)
+        new_basis = self.basis.drop_last()
+        rows = []
+        for index, prime in enumerate(new_basis.primes):
+            inv = mod_inverse(last_prime, prime)
+            diff = (self.residues[index] - centered) % prime
+            rows.append(diff * inv % prime)
+        return RnsPolynomial(new_basis, np.stack(rows))
+
+    def to_int_coefficients(self) -> List[int]:
+        """CRT-compose the residues into centered integer coefficients."""
+        modulus = self.basis.modulus()
+        half = modulus // 2
+        n = self.basis.poly_modulus_degree
+        composed = [0] * n
+        for index, prime in enumerate(self.basis.primes):
+            quotient = modulus // prime
+            factor = (quotient * mod_inverse(quotient, prime)) % modulus
+            row = self.residues[index]
+            for position in range(n):
+                composed[position] = (composed[position] + int(row[position]) * factor) % modulus
+        return [c - modulus if c > half else c for c in composed]

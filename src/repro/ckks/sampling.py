@@ -1,0 +1,55 @@
+"""Random samplers for RLWE key generation and encryption.
+
+Three distributions are needed: the uniform distribution over ``R_Q`` (public
+randomness), the centered ternary distribution ``{-1, 0, 1}`` (secret keys and
+encryption randomness), and a narrow discrete Gaussian (errors).  The error
+standard deviation follows SEAL's default of 3.2.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .rns import RnsBasis, RnsPolynomial
+
+#: SEAL's default RLWE error standard deviation.
+ERROR_STDDEV = 3.2
+
+
+class RlweSampler:
+    """Samples the polynomials needed by key generation and encryption."""
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def uniform(self, basis: RnsBasis) -> RnsPolynomial:
+        """Uniformly random polynomial of ``R_Q`` (independent residues per prime)."""
+        rows = [
+            self._rng.integers(0, prime, basis.poly_modulus_degree, dtype=np.int64)
+            for prime in basis.primes
+        ]
+        return RnsPolynomial(basis, np.stack(rows))
+
+    def ternary(self, basis: RnsBasis) -> RnsPolynomial:
+        """Centered ternary polynomial (coefficients in ``{-1, 0, 1}``)."""
+        coeffs = self._rng.integers(-1, 2, basis.poly_modulus_degree, dtype=np.int64)
+        return RnsPolynomial.from_int64_coefficients(basis, coeffs)
+
+    def error(self, basis: RnsBasis, stddev: float = ERROR_STDDEV) -> RnsPolynomial:
+        """Discrete-Gaussian-like error polynomial (rounded normal samples)."""
+        coeffs = np.round(
+            self._rng.normal(0.0, stddev, basis.poly_modulus_degree)
+        ).astype(np.int64)
+        return RnsPolynomial.from_int64_coefficients(basis, coeffs)
+
+    def ternary_coefficients(self, poly_modulus_degree: int) -> np.ndarray:
+        """Raw ternary coefficient vector (used for the secret key)."""
+        return self._rng.integers(-1, 2, poly_modulus_degree, dtype=np.int64)
+
+    def error_coefficients(
+        self, poly_modulus_degree: int, stddev: float = ERROR_STDDEV
+    ) -> np.ndarray:
+        """Raw error coefficient vector."""
+        return np.round(self._rng.normal(0.0, stddev, poly_modulus_degree)).astype(np.int64)

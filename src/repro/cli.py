@@ -1,0 +1,171 @@
+"""Command-line interface for working with serialized EVA programs.
+
+Mirrors the workflow split the paper describes (the client owns the keys and
+data, the server owns the compiled program): programs written with PyEVA can
+be saved to disk (``repro.core.serialization.save``), then inspected, compiled
+and executed from the command line::
+
+    python -m repro.cli info program.evaproto
+    python -m repro.cli compile program.evaproto -o compiled.evaproto --policy eva
+    python -m repro.cli run compiled.evaproto --inputs inputs.json --backend mock
+
+``inputs.json`` maps input names to numbers or lists of numbers; the decrypted
+outputs are printed as JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict
+
+import numpy as np
+
+from .backend import MockBackend
+from .core import CompilerOptions, EvaCompiler, Executor
+from .core.analysis import select_parameters, select_rotation_steps
+from .core.serialization import load, save
+from .errors import EvaError
+
+
+def _load_inputs(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _make_backend(name: str, seed: int):
+    if name == "mock":
+        return MockBackend(seed=seed)
+    if name == "mock-exact":
+        return MockBackend(error_model="none", seed=seed)
+    if name == "ckks":
+        from .backend import CkksBackend
+
+        return CkksBackend(seed=seed)
+    raise EvaError(f"unknown backend {name!r} (choose mock, mock-exact, or ckks)")
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    program = load(args.program)
+    counts = {op.name: count for op, count in sorted(program.op_counts().items())}
+    info = {
+        "name": program.name,
+        "vec_size": program.vec_size,
+        "terms": len(program),
+        "inputs": {name: term.scale for name, term in program.inputs.items()},
+        "outputs": list(program.outputs),
+        "multiplicative_depth": program.multiplicative_depth(),
+        "op_counts": counts,
+    }
+    print(json.dumps(info, indent=2))
+    return 0
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    program = load(args.program)
+    options = CompilerOptions(
+        policy=args.policy,
+        max_rescale_bits=args.max_rescale_bits,
+        security_level=args.security,
+    )
+    result = EvaCompiler(options).compile(program)
+    save(result.program, args.output)
+    summary = dict(result.summary())
+    summary["coeff_modulus_bits"] = result.parameters.coeff_modulus_bits
+    summary["rotation_steps"] = result.rotation_steps
+    summary["output"] = str(args.output)
+    print(json.dumps(summary, indent=2))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    program = load(args.program)
+    options = CompilerOptions(
+        policy=args.policy,
+        max_rescale_bits=args.max_rescale_bits,
+        security_level=args.security,
+    )
+    # The executable on disk may be an already-compiled program (containing
+    # FHE-specific instructions); in that case only parameter selection is
+    # needed.  Otherwise compile from scratch.
+    has_fhe_ops = any(term.op.is_fhe_specific for term in program.terms())
+    if has_fhe_ops:
+        rotation_steps = select_rotation_steps(program)
+        parameters = select_parameters(
+            program,
+            max_rescale_bits=options.max_rescale_bits,
+            security_level=options.security_level,
+            rotation_steps=rotation_steps,
+        )
+        from .core.compiler import CompilationResult
+
+        compilation = CompilationResult(
+            program=program,
+            parameters=parameters,
+            rotation_steps=rotation_steps,
+            options=options,
+            input_scales={n: float(t.scale or 0.0) for n, t in program.inputs.items()},
+            output_scales=dict(program.output_scales),
+        )
+    else:
+        compilation = EvaCompiler(options).compile(program)
+
+    inputs = _load_inputs(args.inputs)
+    backend = _make_backend(args.backend, args.seed)
+    executor = Executor(compilation, backend=backend, threads=args.threads)
+    result = executor.execute(inputs)
+    outputs = {
+        name: np.asarray(values)[: args.head].tolist()
+        for name, values in result.outputs.items()
+    }
+    print(json.dumps({"outputs": outputs, "wall_seconds": result.stats.wall_seconds}, indent=2))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli", description="Inspect, compile, and run serialized EVA programs."
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    info = sub.add_parser("info", help="print a summary of a program file")
+    info.add_argument("program", type=Path)
+    info.set_defaults(func=cmd_info)
+
+    def add_compile_options(p):
+        p.add_argument("--policy", choices=["eva", "chet"], default="eva")
+        p.add_argument("--max-rescale-bits", type=float, default=60.0)
+        p.add_argument("--security", type=int, default=128, choices=[128, 192, 256])
+
+    comp = sub.add_parser("compile", help="compile an input program")
+    comp.add_argument("program", type=Path)
+    comp.add_argument("-o", "--output", type=Path, required=True)
+    add_compile_options(comp)
+    comp.set_defaults(func=cmd_compile)
+
+    run = sub.add_parser("run", help="compile (if needed) and execute a program")
+    run.add_argument("program", type=Path)
+    run.add_argument("--inputs", required=True, help="JSON file mapping input names to values")
+    run.add_argument("--backend", default="mock", choices=["mock", "mock-exact", "ckks"])
+    run.add_argument("--threads", type=int, default=1)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--head", type=int, default=8, help="number of output slots to print")
+    add_compile_options(run)
+    run.set_defaults(func=cmd_run)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except EvaError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

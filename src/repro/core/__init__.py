@@ -1,0 +1,29 @@
+"""Core EVA language, compiler, and executor."""
+
+from .types import Op, ValueType, DEFAULT_MAX_RESCALE_BITS, DEFAULT_SECURITY_LEVEL
+from .ir import Program, Term, GraphEditor
+from .compiler import CompilerOptions, CompilationResult, EvaCompiler, compile_program
+from .executor import Executor, ReferenceExecutor, ExecutionResult, execute_reference
+from .scheduling import simulate_schedule, ScheduleResult
+from .analysis.parameters import EncryptionParameters
+
+__all__ = [
+    "Op",
+    "ValueType",
+    "DEFAULT_MAX_RESCALE_BITS",
+    "DEFAULT_SECURITY_LEVEL",
+    "Program",
+    "Term",
+    "GraphEditor",
+    "CompilerOptions",
+    "CompilationResult",
+    "EvaCompiler",
+    "compile_program",
+    "Executor",
+    "ReferenceExecutor",
+    "ExecutionResult",
+    "execute_reference",
+    "simulate_schedule",
+    "ScheduleResult",
+    "EncryptionParameters",
+]

@@ -1,0 +1,37 @@
+"""Rotation-key selection pass (Section 6.2).
+
+Collects the set of distinct rotation step counts used by ROTATE_LEFT and
+ROTATE_RIGHT instructions in a program.  Each distinct step requires its own
+Galois key, so the executor only generates keys for this set.
+
+Steps are normalized to *left* rotations: a right rotation by ``k`` on a
+vector of size ``M`` equals a left rotation by ``M - k`` (EVA replicates
+shorter inputs to fill all slots, so vectors are periodic with period
+``vec_size`` and the identity holds for the full slot vector as well).
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from ..ir import Program
+from ..types import Op
+
+
+def normalize_step(op: Op, step: int, vec_size: int) -> int:
+    """Normalize a rotation to an equivalent left-rotation step in ``[0, vec_size)``."""
+    step = int(step) % vec_size
+    if op is Op.ROTATE_RIGHT:
+        step = (vec_size - step) % vec_size
+    return step
+
+
+def select_rotation_steps(program: Program) -> List[int]:
+    """Return the sorted set of left-rotation steps needing Galois keys."""
+    steps: Set[int] = set()
+    for term in program.terms():
+        if term.op.is_rotation:
+            step = normalize_step(term.op, term.rotation, program.vec_size)
+            if step != 0:
+                steps.add(step)
+    return sorted(steps)

@@ -1,0 +1,52 @@
+"""Fixed-point scale analysis.
+
+Computes the scale (in bits, i.e. ``log2`` of the fixed-point scaling factor)
+of every term in a program, following the semantics of RNS-CKKS:
+
+* inputs and constants carry their declared scale;
+* MULTIPLY adds the scales of its operands;
+* RESCALE subtracts its rescale value from the operand scale;
+* ADD/SUB require equal scales between ciphertext operands and produce that
+  scale (for analysis purposes, the maximum of the ciphertext operand scales
+  is used so that pre-MATCH-SCALE programs can still be analysed);
+* every other instruction preserves the scale of its (ciphertext) operand.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..ir import Program, Term
+from ..types import Op, ValueType
+from .traversal import forward_traversal
+
+
+def _scale_of(term: Term, state: Dict[int, float]) -> float:
+    if term.is_root:
+        scale = term.scale
+        return float(scale) if scale is not None else 0.0
+
+    arg_scales = [state[a.id] for a in term.args]
+    cipher_scales = [
+        state[a.id] for a in term.args if a.value_type is ValueType.CIPHER
+    ]
+
+    if term.op is Op.MULTIPLY:
+        return float(sum(arg_scales))
+    if term.op is Op.RESCALE:
+        return float(arg_scales[0] - term.rescale_value)
+    if term.op.is_additive:
+        # ADD/SUB of a ciphertext and a plaintext: the plaintext is encoded at
+        # the ciphertext's scale by the executor, so the result scale is the
+        # ciphertext scale.  For cipher-cipher the scales must match; use the
+        # maximum so the analysis is defined on not-yet-matched programs too.
+        if cipher_scales:
+            return float(max(cipher_scales))
+        return float(max(arg_scales))
+    # NEGATE, COPY, SUM, ROTATE_*, RELINEARIZE, MOD_SWITCH, NORMALIZE_SCALE.
+    return float(arg_scales[0])
+
+
+def compute_scales(program: Program) -> Dict[int, float]:
+    """Return a map from term id to its scale in bits."""
+    return forward_traversal(program, _scale_of)

@@ -1,0 +1,47 @@
+"""Graph traversal framework (Section 6.1).
+
+A forward traversal visits a node only after all its parents (arguments) have
+been visited; a backward traversal visits a node only after all its children
+(consumers) have been visited.  A single pass suffices for forward or backward
+data-flow analyses because programs are acyclic.  Traversals never modify the
+graph structure; they thread a per-node state dictionary instead.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, TypeVar
+
+from ..ir import Program, Term
+
+S = TypeVar("S")
+
+#: Signature of a forward visitor: ``visit(term, state) -> value`` where
+#: ``state`` maps already-visited term ids to their values.
+ForwardVisitor = Callable[[Term, Dict[int, S]], S]
+
+#: Signature of a backward visitor: ``visit(term, consumers, state) -> value``.
+BackwardVisitor = Callable[[Term, "list[Term]", Dict[int, S]], S]
+
+
+def forward_traversal(program: Program, visit: ForwardVisitor) -> Dict[int, S]:
+    """Visit every reachable term in topological (parents-first) order.
+
+    Returns the per-term state computed by ``visit``.
+    """
+    state: Dict[int, S] = {}
+    for term in program.terms():
+        state[term.id] = visit(term, state)
+    return state
+
+
+def backward_traversal(program: Program, visit: BackwardVisitor) -> Dict[int, S]:
+    """Visit every reachable term in reverse topological (children-first) order.
+
+    ``visit`` receives the list of consumers of the term in addition to the
+    state of already-visited terms.
+    """
+    state: Dict[int, S] = {}
+    uses = program.uses()
+    for term in reversed(program.terms()):
+        state[term.id] = visit(term, uses.get(term.id, []), state)
+    return state

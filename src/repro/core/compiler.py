@@ -1,0 +1,232 @@
+"""The EVA compiler driver (Algorithm 1 of the paper).
+
+Compilation takes an input program (frontend opcodes only), the scales of its
+inputs, and the desired scales of its outputs, and produces:
+
+* an executable program with RESCALE / MOD_SWITCH / RELINEARIZE inserted and
+  all scales matched (the ``Transform`` step),
+* a proof that the program satisfies Constraints 1-4 (the ``Validate`` step —
+  a :class:`~repro.errors.ValidationError` is raised otherwise),
+* the vector of coefficient-modulus bit sizes and the polynomial modulus
+  degree (the ``DetermineParameters`` step), and
+* the set of rotation steps requiring Galois keys (``DetermineRotationSteps``).
+
+Two policy profiles are provided.  ``"eva"`` is the paper's policy
+(WATERLINE-RESCALE with the maximum rescale value, EAGER-MODSWITCH,
+MATCH-SCALE); ``"chet"`` is the baseline policy modelling CHET's expert
+kernels (ALWAYS-RESCALE after every multiplication, LAZY-MODSWITCH), used by
+the benchmark harness to reproduce the CHET-vs-EVA comparisons of Section 8.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import CompilationError
+from .analysis import select_parameters, select_rotation_steps, validate
+from .analysis.parameters import EncryptionParameters
+from .ir import Program
+from .rewrite import (
+    ChetKernelAlignmentPass,
+    CommonSubexpressionEliminationPass,
+    ConstantFoldingPass,
+    DeadCodeEliminationPass,
+    EagerModSwitchPass,
+    ExpandSumPass,
+    LazyModSwitchPass,
+    MatchScalePass,
+    PassManager,
+    RelinearizePass,
+    RemoveCopyPass,
+    WaterlineRescalePass,
+)
+from .rewrite.framework import PassContext, PassReport, waterline_of
+from .types import DEFAULT_MAX_RESCALE_BITS, DEFAULT_SECURITY_LEVEL
+
+
+@dataclass
+class CompilerOptions:
+    """Knobs of the EVA compiler.
+
+    Attributes
+    ----------
+    policy:
+        ``"eva"`` (paper policy) or ``"chet"`` (baseline policy).
+    max_rescale_bits:
+        ``log2 s_f`` — both the largest rescale value and the largest prime
+        bit size (60 in SEAL).
+    rescale_bits:
+        Fixed rescale value used by WATERLINE-RESCALE; defaults to
+        ``max_rescale_bits``.
+    security_level:
+        Security level in bits for parameter selection (128 by default).
+    lower_sum / remove_copies / cleanup:
+        Enable the lowering and cleanup passes.
+    """
+
+    policy: str = "eva"
+    max_rescale_bits: float = DEFAULT_MAX_RESCALE_BITS
+    rescale_bits: Optional[float] = None
+    waterline_bits: Optional[float] = None
+    security_level: int = DEFAULT_SECURITY_LEVEL
+    lower_sum: bool = True
+    remove_copies: bool = True
+    cleanup: bool = True
+
+    def __post_init__(self) -> None:
+        if self.policy not in ("eva", "chet"):
+            raise CompilationError(f"unknown compiler policy {self.policy!r}")
+
+
+@dataclass
+class CompilationResult:
+    """Everything the executor needs to run a compiled program."""
+
+    program: Program
+    parameters: EncryptionParameters
+    rotation_steps: List[int]
+    options: CompilerOptions
+    input_scales: Dict[str, float]
+    output_scales: Dict[str, float]
+    pass_reports: List[PassReport] = field(default_factory=list)
+    compile_seconds: float = 0.0
+
+    @property
+    def poly_modulus_degree(self) -> int:
+        return self.parameters.poly_modulus_degree
+
+    @property
+    def coeff_modulus_bits(self) -> List[int]:
+        return self.parameters.coeff_modulus_bits
+
+    def summary(self) -> Dict[str, object]:
+        """Compact description used in logs and benchmark tables."""
+        return {
+            "policy": self.options.policy,
+            "terms": len(self.program),
+            "log_n": self.parameters.summary()["log_n"],
+            "log_q": self.parameters.summary()["log_q"],
+            "r": self.parameters.summary()["r"],
+            "rotations": len(self.rotation_steps),
+            "compile_seconds": self.compile_seconds,
+        }
+
+
+class EvaCompiler:
+    """Compile EVA input programs into executable EVA programs."""
+
+    def __init__(self, options: Optional[CompilerOptions] = None) -> None:
+        self.options = options or CompilerOptions()
+
+    def _build_passes(self) -> List:
+        options = self.options
+        passes: List = []
+        if options.remove_copies:
+            passes.append(RemoveCopyPass())
+        if options.lower_sum:
+            passes.append(ExpandSumPass())
+        if options.cleanup:
+            passes.append(ConstantFoldingPass())
+            passes.append(CommonSubexpressionEliminationPass())
+            passes.append(DeadCodeEliminationPass())
+        if options.policy == "eva":
+            passes.append(WaterlineRescalePass())
+            passes.append(EagerModSwitchPass())
+        else:
+            # The CHET baseline: per-multiply rescaling (waterline-sized
+            # rescale value, set by the driver), conservative per-kernel level
+            # alignment, and lazy modulus switching.
+            passes.append(WaterlineRescalePass())
+            passes.append(ChetKernelAlignmentPass())
+            passes.append(LazyModSwitchPass())
+        passes.append(MatchScalePass())
+        passes.append(RelinearizePass())
+        return passes
+
+    def compile(
+        self,
+        program: Program,
+        input_scales: Optional[Dict[str, float]] = None,
+        output_scales: Optional[Dict[str, float]] = None,
+    ) -> CompilationResult:
+        """Run Algorithm 1 on ``program`` and return the compilation result.
+
+        ``input_scales`` overrides the scales declared on input terms;
+        ``output_scales`` provides the desired scales of the outputs (missing
+        entries default to the program's recorded ``output_scales``, then 0).
+        """
+        start = time.perf_counter()
+        program.check_structure(frontend_only=True)
+
+        working = program.clone()
+        if input_scales:
+            for name, bits in input_scales.items():
+                if name not in working.inputs:
+                    raise CompilationError(f"unknown input {name!r} in input_scales")
+                working.inputs[name].scale = float(bits)
+        resolved_outputs = dict(working.output_scales)
+        if output_scales:
+            resolved_outputs.update({k: float(v) for k, v in output_scales.items()})
+        for name in working.outputs:
+            resolved_outputs.setdefault(name, 0.0)
+        unknown = set(resolved_outputs) - set(working.outputs)
+        if unknown:
+            raise CompilationError(f"unknown outputs in output_scales: {sorted(unknown)}")
+        working.output_scales = resolved_outputs
+
+        waterline = (
+            self.options.waterline_bits
+            if self.options.waterline_bits is not None
+            else waterline_of(working)
+        )
+        rescale_bits = self.options.rescale_bits
+        if rescale_bits is None and self.options.policy == "chet":
+            # The CHET baseline rescales by (roughly) the input scale after
+            # every multiplicative level, the way expert-written kernels do,
+            # instead of EVA's maximal 2^60 rescales.  Using the waterline as
+            # the fixed rescale value keeps every chain entry identical so the
+            # per-kernel policy still produces conforming chains.
+            rescale_bits = max(waterline, 1.0)
+        context = PassContext(
+            max_rescale_bits=self.options.max_rescale_bits,
+            waterline_bits=waterline,
+            rescale_bits=rescale_bits,
+        )
+        manager = PassManager(self._build_passes())
+        reports = manager.run(working, context)
+
+        validate(working, max_rescale_bits=self.options.max_rescale_bits)
+
+        rotation_steps = select_rotation_steps(working)
+        parameters = select_parameters(
+            working,
+            desired_output_scales=resolved_outputs,
+            max_rescale_bits=self.options.max_rescale_bits,
+            security_level=self.options.security_level,
+            rotation_steps=rotation_steps,
+        )
+        elapsed = time.perf_counter() - start
+        return CompilationResult(
+            program=working,
+            parameters=parameters,
+            rotation_steps=rotation_steps,
+            options=self.options,
+            input_scales={
+                name: float(term.scale or 0.0) for name, term in working.inputs.items()
+            },
+            output_scales=resolved_outputs,
+            pass_reports=reports,
+            compile_seconds=elapsed,
+        )
+
+
+def compile_program(
+    program: Program,
+    input_scales: Optional[Dict[str, float]] = None,
+    output_scales: Optional[Dict[str, float]] = None,
+    options: Optional[CompilerOptions] = None,
+) -> CompilationResult:
+    """Convenience wrapper: compile ``program`` with the given options."""
+    return EvaCompiler(options).compile(program, input_scales, output_scales)

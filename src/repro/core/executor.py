@@ -1,0 +1,390 @@
+"""Executors for EVA programs (Section 6.1).
+
+Two executors are provided:
+
+* :class:`ReferenceExecutor` runs a program under the *identity scheme* of
+  Section 3's execution semantics: Cipher values are ordinary vectors and the
+  FHE-specific instructions are identities.  It defines the reference output
+  every backend execution is compared against.
+* :class:`Executor` runs a *compiled* program against a homomorphic backend
+  (the mock simulator or the real RNS-CKKS implementation).  It performs the
+  executor duties described in the paper: encoding plaintext operands at the
+  level and scale their consumers require, scheduling the DAG, and recycling
+  ciphertext memory as soon as a value is dead (retired).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..backend.hisa import BackendContext, HomomorphicBackend
+from ..errors import ExecutionError
+from .analysis.scales import compute_scales
+from .compiler import CompilationResult
+from .ir import Program, Term
+from .types import Op, ValueType
+
+
+def _reference_op(term: Term, args: List[np.ndarray], vec_size: int) -> np.ndarray:
+    """Evaluate one instruction under the identity scheme."""
+    if term.op is Op.NEGATE:
+        return -args[0]
+    if term.op is Op.ADD:
+        return args[0] + args[1]
+    if term.op is Op.SUB:
+        return args[0] - args[1]
+    if term.op is Op.MULTIPLY:
+        return args[0] * args[1]
+    if term.op is Op.ROTATE_LEFT:
+        return np.roll(args[0], -term.rotation)
+    if term.op is Op.ROTATE_RIGHT:
+        return np.roll(args[0], term.rotation)
+    if term.op is Op.SUM:
+        return np.full(vec_size, float(np.sum(args[0])))
+    if term.op in (Op.COPY, Op.RELINEARIZE, Op.MOD_SWITCH, Op.RESCALE, Op.NORMALIZE_SCALE):
+        return args[0]
+    raise ExecutionError(f"unsupported opcode {term.op.name}")
+
+
+def _broadcast(value: Any, vec_size: int) -> np.ndarray:
+    array = np.atleast_1d(np.asarray(value, dtype=np.float64)).ravel()
+    if array.size == vec_size:
+        return array.astype(np.float64)
+    if array.size == 1:
+        return np.full(vec_size, float(array[0]))
+    if vec_size % array.size != 0:
+        raise ExecutionError(
+            f"value of size {array.size} cannot fill a vector of size {vec_size}"
+        )
+    return np.tile(array, vec_size // array.size)
+
+
+class ReferenceExecutor:
+    """Execute a program under the identity scheme (plaintext reference)."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+
+    def execute(self, inputs: Dict[str, Any]) -> Dict[str, np.ndarray]:
+        vec_size = self.program.vec_size
+        values: Dict[int, np.ndarray] = {}
+        for term in self.program.terms():
+            if term.is_input:
+                if term.name not in inputs:
+                    raise ExecutionError(f"missing value for input {term.name!r}")
+                values[term.id] = _broadcast(inputs[term.name], vec_size)
+            elif term.is_constant:
+                values[term.id] = _broadcast(term.value, vec_size)
+            else:
+                args = [values[a.id] for a in term.args]
+                values[term.id] = _reference_op(term, args, vec_size)
+        return {name: values[t.id].copy() for name, t in self.program.outputs.items()}
+
+
+@dataclass
+class ExecutionStats:
+    """Measurements collected during a backend execution."""
+
+    wall_seconds: float = 0.0
+    context_seconds: float = 0.0
+    encrypt_seconds: float = 0.0
+    evaluate_seconds: float = 0.0
+    decrypt_seconds: float = 0.0
+    op_count: int = 0
+    peak_live_ciphertexts: int = 0
+    threads: int = 1
+
+
+@dataclass
+class ExecutionResult:
+    """Decrypted outputs plus execution statistics."""
+
+    outputs: Dict[str, np.ndarray]
+    stats: ExecutionStats = field(default_factory=ExecutionStats)
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.outputs[name]
+
+
+class Executor:
+    """Execute a compiled EVA program on a homomorphic backend."""
+
+    def __init__(
+        self,
+        compilation: CompilationResult,
+        backend: Optional[HomomorphicBackend] = None,
+        threads: int = 1,
+    ) -> None:
+        if backend is None:
+            from ..backend.mock_backend import MockBackend
+
+            backend = MockBackend()
+        self.compilation = compilation
+        self.backend = backend
+        self.threads = max(int(threads), 1)
+        self.program = compilation.program
+        self._scales = compute_scales(self.program)
+
+    # -- public API -------------------------------------------------------------
+    def execute(self, inputs: Dict[str, Any]) -> ExecutionResult:
+        """Encrypt ``inputs``, evaluate the program, and decrypt the outputs."""
+        stats = ExecutionStats(threads=self.threads)
+        start_all = time.perf_counter()
+
+        t0 = time.perf_counter()
+        context = self.backend.create_context(self.compilation.parameters)
+        context.generate_keys()
+        stats.context_seconds = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        cipher_values, plain_values = self._prepare_roots(context, inputs)
+        stats.encrypt_seconds = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        output_handles = self._evaluate(context, cipher_values, plain_values)
+        stats.evaluate_seconds = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        outputs = {}
+        for name, handle in output_handles.items():
+            decoded = context.decrypt(handle)
+            outputs[name] = decoded[: self.program.vec_size].copy()
+        stats.decrypt_seconds = time.perf_counter() - t0
+
+        stats.wall_seconds = time.perf_counter() - start_all
+        stats.op_count = getattr(context, "op_count", 0)
+        stats.peak_live_ciphertexts = getattr(context, "peak_live_ciphertexts", 0)
+        return ExecutionResult(outputs=outputs, stats=stats)
+
+    # -- internals ---------------------------------------------------------------
+    def _prepare_roots(
+        self, context: BackendContext, inputs: Dict[str, Any]
+    ) -> Tuple[Dict[int, Any], Dict[int, np.ndarray]]:
+        cipher_values: Dict[int, Any] = {}
+        plain_values: Dict[int, np.ndarray] = {}
+        vec_size = self.program.vec_size
+        for term in self.program.terms():
+            if term.is_input:
+                if term.name not in inputs:
+                    raise ExecutionError(f"missing value for input {term.name!r}")
+                value = inputs[term.name]
+                if term.value_type is ValueType.CIPHER:
+                    cipher_values[term.id] = context.encrypt(
+                        _broadcast(value, vec_size), self._scales[term.id], level=0
+                    )
+                else:
+                    plain_values[term.id] = _broadcast(value, vec_size)
+            elif term.is_constant:
+                plain_values[term.id] = _broadcast(term.value, vec_size)
+        return cipher_values, plain_values
+
+    def _evaluate(
+        self,
+        context: BackendContext,
+        cipher_values: Dict[int, Any],
+        plain_values: Dict[int, np.ndarray],
+    ) -> Dict[str, Any]:
+        program = self.program
+        uses = program.uses()
+        remaining_uses = {tid: len(consumers) for tid, consumers in uses.items()}
+        output_ids = {t.id for t in program.outputs.values()}
+        terms = program.terms()
+
+        if self.threads == 1:
+            for term in terms:
+                if term.is_root:
+                    continue
+                self._execute_term(context, term, cipher_values, plain_values)
+                self._retire_args(context, term, remaining_uses, output_ids, cipher_values)
+        else:
+            self._evaluate_parallel(
+                context, terms, cipher_values, plain_values, remaining_uses, output_ids
+            )
+
+        handles = {}
+        for name, term in program.outputs.items():
+            if term.id in cipher_values:
+                handles[name] = cipher_values[term.id]
+            else:
+                raise ExecutionError(f"output {name!r} did not produce a ciphertext")
+        return handles
+
+    def _evaluate_parallel(
+        self,
+        context: BackendContext,
+        terms: List[Term],
+        cipher_values: Dict[int, Any],
+        plain_values: Dict[int, np.ndarray],
+        remaining_uses: Dict[int, int],
+        output_ids: set,
+    ) -> None:
+        """Dependency-driven parallel evaluation of the instruction DAG.
+
+        Active (ready) instructions are dispatched to a thread pool as soon as
+        all their parents have produced values, mirroring the asynchronous
+        scheduling of the paper's Galois-based executor.
+        """
+        import threading
+
+        lock = threading.Lock()
+        terms_by_id = {t.id: t for t in terms}
+        pending_args: Dict[int, int] = {}
+        consumers: Dict[int, List[int]] = {t.id: [] for t in terms}
+        for term in terms:
+            if term.is_root:
+                continue
+            pending_args[term.id] = sum(1 for a in term.args if a.is_instruction)
+            for arg in term.args:
+                if arg.is_instruction:
+                    consumers[arg.id].append(term.id)
+
+        ready = [
+            t
+            for t in terms
+            if t.is_instruction and pending_args[t.id] == 0
+        ]
+        done_count = 0
+        total = sum(1 for t in terms if t.is_instruction)
+        done_event = threading.Event()
+        errors: List[BaseException] = []
+
+        def run_term(term: Term) -> None:
+            nonlocal done_count
+            try:
+                self._execute_term(context, term, cipher_values, plain_values)
+            except BaseException as exc:  # propagate to the caller
+                with lock:
+                    errors.append(exc)
+                    done_event.set()
+                return
+            newly_ready: List[Term] = []
+            with lock:
+                self._retire_args(context, term, remaining_uses, output_ids, cipher_values)
+                done_count += 1
+                for consumer_id in consumers[term.id]:
+                    pending_args[consumer_id] -= 1
+                    if pending_args[consumer_id] == 0:
+                        newly_ready.append(terms_by_id[consumer_id])
+                if done_count == total:
+                    done_event.set()
+            for nxt in newly_ready:
+                pool.submit(run_term, nxt)
+
+        with ThreadPoolExecutor(max_workers=self.threads) as pool:
+            if total == 0:
+                return
+            for term in ready:
+                pool.submit(run_term, term)
+            done_event.wait()
+        if errors:
+            raise errors[0]
+
+    def _execute_term(
+        self,
+        context: BackendContext,
+        term: Term,
+        cipher_values: Dict[int, Any],
+        plain_values: Dict[int, np.ndarray],
+    ) -> None:
+        if term.value_type is not ValueType.CIPHER:
+            args = [plain_values[a.id] for a in term.args]
+            plain_values[term.id] = _reference_op(term, args, self.program.vec_size)
+            return
+        cipher_values[term.id] = self._execute_cipher_term(
+            context, term, cipher_values, plain_values
+        )
+
+    def _execute_cipher_term(
+        self,
+        context: BackendContext,
+        term: Term,
+        cipher_values: Dict[int, Any],
+        plain_values: Dict[int, np.ndarray],
+    ) -> Any:
+        op = term.op
+        args = term.args
+
+        def cipher(i: int) -> Any:
+            return cipher_values[args[i].id]
+
+        def is_cipher(i: int) -> bool:
+            return args[i].value_type is ValueType.CIPHER
+
+        if op is Op.NEGATE:
+            return context.negate(cipher(0))
+        if op is Op.COPY:
+            return cipher(0)
+        if op is Op.RELINEARIZE:
+            return context.relinearize(cipher(0))
+        if op is Op.RESCALE:
+            return context.rescale(cipher(0), term.rescale_value)
+        if op is Op.MOD_SWITCH:
+            return context.mod_switch(cipher(0))
+        if op is Op.ROTATE_LEFT:
+            return context.rotate(cipher(0), term.rotation)
+        if op is Op.ROTATE_RIGHT:
+            return context.rotate(cipher(0), -term.rotation)
+        if op is Op.SUM:
+            acc = cipher(0)
+            shift = 1
+            while shift < self.program.vec_size:
+                acc = context.add(acc, context.rotate(acc, shift))
+                shift *= 2
+            return acc
+        if op is Op.MULTIPLY:
+            if is_cipher(0) and is_cipher(1):
+                return context.multiply(cipher(0), cipher(1))
+            cipher_idx, plain_idx = (0, 1) if is_cipher(0) else (1, 0)
+            handle = cipher_values[args[cipher_idx].id]
+            plain = context.encode(
+                plain_values[args[plain_idx].id],
+                self._scales[args[plain_idx].id],
+                level=context.level(handle),
+            )
+            return context.multiply_plain(handle, plain)
+        if op in (Op.ADD, Op.SUB):
+            if is_cipher(0) and is_cipher(1):
+                return context.add(cipher(0), cipher(1)) if op is Op.ADD else context.sub(
+                    cipher(0), cipher(1)
+                )
+            cipher_idx, plain_idx = (0, 1) if is_cipher(0) else (1, 0)
+            handle = cipher_values[args[cipher_idx].id]
+            plain = context.encode(
+                plain_values[args[plain_idx].id],
+                context.scale_bits(handle),
+                level=context.level(handle),
+            )
+            if op is Op.ADD:
+                return context.add_plain(handle, plain)
+            return context.sub_plain(handle, plain, reverse=(plain_idx == 0))
+        raise ExecutionError(f"unsupported ciphertext opcode {op.name}")
+
+    @staticmethod
+    def _retire_args(
+        context: BackendContext,
+        term: Term,
+        remaining_uses: Dict[int, int],
+        output_ids: set,
+        cipher_values: Dict[int, Any],
+    ) -> None:
+        """Release ciphertexts whose last consumer has executed (memory reuse)."""
+        for arg in term.args:
+            if arg.id not in remaining_uses:
+                continue
+            remaining_uses[arg.id] -= 1
+            if (
+                remaining_uses[arg.id] <= 0
+                and arg.id in cipher_values
+                and arg.id not in output_ids
+            ):
+                context.release(cipher_values[arg.id])
+
+
+def execute_reference(program: Program, inputs: Dict[str, Any]) -> Dict[str, np.ndarray]:
+    """Convenience wrapper around :class:`ReferenceExecutor`."""
+    return ReferenceExecutor(program).execute(inputs)

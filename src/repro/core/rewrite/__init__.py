@@ -1,0 +1,28 @@
+"""Graph rewriting framework and transformation passes (Section 5 of the paper)."""
+
+from .framework import RewritePass, PassManager, PassReport
+from .rescale import AlwaysRescalePass, WaterlineRescalePass
+from .modswitch import LazyModSwitchPass, EagerModSwitchPass
+from .matchscale import MatchScalePass
+from .relinearize import RelinearizePass
+from .kernel_alignment import ChetKernelAlignmentPass
+from .lowering import ExpandSumPass, RemoveCopyPass
+from .folding import ConstantFoldingPass, CommonSubexpressionEliminationPass, DeadCodeEliminationPass
+
+__all__ = [
+    "RewritePass",
+    "PassManager",
+    "PassReport",
+    "AlwaysRescalePass",
+    "WaterlineRescalePass",
+    "LazyModSwitchPass",
+    "EagerModSwitchPass",
+    "MatchScalePass",
+    "RelinearizePass",
+    "ChetKernelAlignmentPass",
+    "ExpandSumPass",
+    "RemoveCopyPass",
+    "ConstantFoldingPass",
+    "CommonSubexpressionEliminationPass",
+    "DeadCodeEliminationPass",
+]

@@ -1,0 +1,71 @@
+"""Kernel-boundary level alignment (CHET baseline modelling).
+
+CHET relies on an expert-written library of homomorphic tensor kernels.  Each
+kernel manages rescaling and level alignment locally: to stay composable with
+any downstream kernel, a kernel that consumed scale (performed a
+ciphertext-ciphertext multiplication) conservatively drops its outputs one
+additional level before handing them to the next kernel.  Globally this wastes
+coefficient-modulus budget — which is precisely the inefficiency EVA's
+whole-program analysis removes (Section 8.2, Table 6).
+
+This pass reproduces that behaviour for the ``chet`` compiler policy: for
+every kernel group containing at least one ciphertext-ciphertext MULTIPLY, a
+MOD_SWITCH is inserted on each edge leaving the group.  Programs without
+kernel labels (hand-written PyEVA programs) are unaffected.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..ir import GraphEditor, Program, Term
+from ..types import Op, ValueType
+from .framework import PassContext, RewritePass
+
+
+class ChetKernelAlignmentPass(RewritePass):
+    """Insert a conservative MOD_SWITCH at the exit of multiplying kernels."""
+
+    name = "chet-kernel-alignment"
+    direction = "forward"
+
+    def run(self, program: Program, context: PassContext) -> int:
+        editor = GraphEditor(program)
+        kernels_with_cipher_multiply: Set[str] = set()
+        for term in program.terms():
+            if (
+                term.op is Op.MULTIPLY
+                and term.kernel is not None
+                and all(a.value_type is ValueType.CIPHER for a in term.args)
+            ):
+                kernels_with_cipher_multiply.add(term.kernel)
+        if not kernels_with_cipher_multiply:
+            return 0
+
+        rewrites = 0
+        for term in program.terms():
+            kernel = term.kernel
+            if (
+                kernel is None
+                or kernel not in kernels_with_cipher_multiply
+                or term.value_type is not ValueType.CIPHER
+                or not term.is_instruction
+            ):
+                continue
+            leaving = [
+                consumer
+                for consumer in editor.consumers(term)
+                if consumer.kernel != kernel and consumer.op is not Op.MOD_SWITCH
+            ]
+            is_output = any(out is term for out in program.outputs.values())
+            if not leaving and not is_output:
+                continue
+            switch = Term(Op.MOD_SWITCH, [term], ValueType.CIPHER, kernel=kernel)
+            editor.insert_after(term, switch, only_consumers=leaving)
+            editor.uses.setdefault(term.id, []).append(switch)
+            if is_output:
+                for name, out in program.outputs.items():
+                    if out is term:
+                        program.outputs[name] = switch
+            rewrites += 1
+        return rewrites

@@ -1,0 +1,39 @@
+"""RELINEARIZE insertion pass (Section 5.2, Figure 4).
+
+Multiplying two ciphertexts (each with two polynomials) produces a ciphertext
+with three polynomials.  To satisfy Constraint 3 — every MULTIPLY operand must
+have exactly two polynomials — a RELINEARIZE is inserted directly after every
+ciphertext-ciphertext MULTIPLY, before any of its consumers.  This simple
+policy guarantees a single relinearization key suffices for the whole program;
+optimal placement is NP-hard and left as future work in the paper.
+"""
+
+from __future__ import annotations
+
+from ..ir import GraphEditor, Program, Term
+from ..types import Op, ValueType
+from .framework import PassContext, RewritePass
+
+
+class RelinearizePass(RewritePass):
+    """Insert RELINEARIZE after every ciphertext-ciphertext MULTIPLY."""
+
+    name = "relinearize"
+    direction = "forward"
+
+    def run(self, program: Program, context: PassContext) -> int:
+        editor = GraphEditor(program)
+        rewrites = 0
+        for term in program.terms():
+            if term.op is not Op.MULTIPLY:
+                continue
+            if any(a.value_type is not ValueType.CIPHER for a in term.args):
+                continue
+            if any(c.op is Op.RELINEARIZE for c in editor.consumers(term)):
+                continue  # already relinearized (idempotence)
+            node = Term(Op.RELINEARIZE, [term], ValueType.CIPHER)
+            if term.kernel is not None:
+                node.attributes["kernel"] = term.kernel
+            editor.insert_after(term, node)
+            rewrites += 1
+        return rewrites

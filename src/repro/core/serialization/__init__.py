@@ -1,0 +1,36 @@
+"""Serialization of EVA programs (binary proto3 wire format and JSON)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from ...errors import SerializationError
+from ..ir import Program
+from . import json_format, proto
+from .proto import deserialize, serialize
+
+__all__ = ["serialize", "deserialize", "save", "load", "proto", "json_format"]
+
+
+def save(program: Program, path: Union[str, Path]) -> None:
+    """Save a program to disk; the format is chosen by file extension.
+
+    ``.json`` files use the JSON text format; anything else uses the binary
+    proto3 wire format of Figure 1.
+    """
+    path = Path(path)
+    if path.suffix == ".json":
+        path.write_text(json_format.dumps(program, indent=2))
+    else:
+        path.write_bytes(serialize(program))
+
+
+def load(path: Union[str, Path]) -> Program:
+    """Load a program saved with :func:`save`."""
+    path = Path(path)
+    if not path.exists():
+        raise SerializationError(f"no such program file: {path}")
+    if path.suffix == ".json":
+        return json_format.loads(path.read_text())
+    return deserialize(path.read_bytes(), name=path.stem)

@@ -1,0 +1,76 @@
+"""Exception hierarchy for the EVA reproduction.
+
+Every error raised by this package derives from :class:`EvaError`, so callers
+can catch a single base class.  The hierarchy mirrors the failure modes the
+paper discusses: compile-time validation failures (Constraints 1-4 of
+Section 4.2), encryption-parameter/security failures, and runtime failures of
+the homomorphic backend (the class of exceptions SEAL would throw and that the
+EVA compiler is designed to make impossible).
+"""
+
+from __future__ import annotations
+
+
+class EvaError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class CompilationError(EvaError):
+    """An error occurring while compiling an EVA program."""
+
+
+class ValidationError(CompilationError):
+    """The compiled program violates one of the RNS-CKKS constraints.
+
+    The validator checks Constraints 1-4 of the paper (matching coefficient
+    moduli for binary ops, matching scales for additive ops, two-polynomial
+    operands for multiplication, and the maximum rescale value).
+    """
+
+
+class UnsupportedOperationError(CompilationError):
+    """An opcode is not allowed in the current position (e.g. RESCALE in input)."""
+
+
+class ParameterError(EvaError):
+    """Invalid or inconsistent encryption parameters."""
+
+
+class SecurityError(ParameterError):
+    """The requested parameters do not reach the requested security level."""
+
+
+class SerializationError(EvaError):
+    """Failure while serializing or deserializing an EVA program."""
+
+
+class ExecutionError(EvaError):
+    """A runtime failure while executing an EVA program on a backend."""
+
+
+class ScaleMismatchError(ExecutionError):
+    """Operands of an additive operation have different scales (Constraint 2)."""
+
+
+class LevelMismatchError(ExecutionError):
+    """Operands of a binary operation have different coefficient moduli (Constraint 1)."""
+
+
+class PolynomialCountError(ExecutionError):
+    """An operand of a multiplication has more than two polynomials (Constraint 3)."""
+
+
+class ModulusExhaustedError(ExecutionError):
+    """A rescale or modulus switch was attempted with no moduli left in the chain."""
+
+
+class TransparentCiphertextError(ExecutionError):
+    """An operation produced a ciphertext that trivially reveals its plaintext."""
+
+
+class EncodingError(EvaError):
+    """Failure while encoding or decoding a CKKS plaintext."""
+
+
+class NoiseBudgetExhaustedError(ExecutionError):
+    """The accumulated approximation error exceeds the message magnitude."""

@@ -1,0 +1,23 @@
+"""PyEVA: Python frontend for the EVA language (Section 7.1)."""
+
+from .pyeva import (
+    EvaProgram,
+    Expr,
+    constant,
+    current_program,
+    input_encrypted,
+    input_plain,
+    output,
+    sum_slots,
+)
+
+__all__ = [
+    "EvaProgram",
+    "Expr",
+    "constant",
+    "current_program",
+    "input_encrypted",
+    "input_plain",
+    "output",
+    "sum_slots",
+]

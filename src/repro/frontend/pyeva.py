@@ -1,0 +1,261 @@
+"""PyEVA: the Python-embedded DSL frontend for EVA (Section 7.1).
+
+PyEVA mirrors the frontend of the paper: an :class:`EvaProgram` is a context
+manager; inside a ``with program:`` block, calls such as
+:func:`input_encrypted`, :func:`constant`, and :func:`output` record nodes in
+the active program, and :class:`Expr` overloads the Python operators so that
+programs read like ordinary NumPy-style arithmetic::
+
+    program = EvaProgram("squares", vec_size=8)
+    with program:
+        x = input_encrypted("x", scale=30)
+        y = x ** 2 + x
+        output("y", y, scale=30)
+
+    compiled = program.compile()
+
+Rotations use the shift operators (``x << 3`` rotates left by three slots, as
+in the paper's Sobel example), and ``**`` with a non-negative integer exponent
+expands to a balanced multiplication tree.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.compiler import CompilationResult, CompilerOptions, EvaCompiler
+from ..core.ir import Program, Term
+from ..core.types import Op, ValueType
+from ..errors import CompilationError
+
+_active_programs = threading.local()
+
+
+def _program_stack() -> List["EvaProgram"]:
+    if not hasattr(_active_programs, "stack"):
+        _active_programs.stack = []
+    return _active_programs.stack
+
+
+def current_program() -> "EvaProgram":
+    """The innermost active ``with program:`` block."""
+    stack = _program_stack()
+    if not stack:
+        raise CompilationError(
+            "no active EvaProgram; use 'with program:' around PyEVA calls"
+        )
+    return stack[-1]
+
+
+Number = Union[int, float]
+VectorLike = Union[Number, Sequence[float], np.ndarray]
+
+
+class Expr:
+    """A handle to a term of the active program, with operator overloading."""
+
+    __slots__ = ("program", "term")
+
+    def __init__(self, program: "EvaProgram", term: Term) -> None:
+        self.program = program
+        self.term = term
+
+    # -- helpers ----------------------------------------------------------------
+    def _wrap(self, other: Any) -> "Expr":
+        if isinstance(other, Expr):
+            if other.program is not self.program:
+                raise CompilationError("cannot mix expressions from different programs")
+            return other
+        return self.program.constant(other)
+
+    def _emit(self, op: Op, *args: "Expr", **attrs: Any) -> "Expr":
+        term = self.program.graph.make_term(op, [a.term for a in args], **attrs)
+        if self.program.current_kernel is not None:
+            term.attributes["kernel"] = self.program.current_kernel
+        return Expr(self.program, term)
+
+    # -- arithmetic ---------------------------------------------------------------
+    def __add__(self, other: Any) -> "Expr":
+        return self._emit(Op.ADD, self, self._wrap(other))
+
+    def __radd__(self, other: Any) -> "Expr":
+        return self._wrap(other).__add__(self)
+
+    def __sub__(self, other: Any) -> "Expr":
+        return self._emit(Op.SUB, self, self._wrap(other))
+
+    def __rsub__(self, other: Any) -> "Expr":
+        return self._wrap(other).__sub__(self)
+
+    def __mul__(self, other: Any) -> "Expr":
+        return self._emit(Op.MULTIPLY, self, self._wrap(other))
+
+    def __rmul__(self, other: Any) -> "Expr":
+        return self._wrap(other).__mul__(self)
+
+    def __neg__(self) -> "Expr":
+        return self._emit(Op.NEGATE, self)
+
+    def __pow__(self, exponent: int) -> "Expr":
+        if not isinstance(exponent, int) or exponent < 1:
+            raise CompilationError("exponent must be a positive integer")
+        # Balanced exponentiation keeps the multiplicative depth logarithmic.
+        result: Optional[Expr] = None
+        base = self
+        remaining = exponent
+        while remaining:
+            if remaining & 1:
+                result = base if result is None else result * base
+            remaining >>= 1
+            if remaining:
+                base = base * base
+        assert result is not None
+        return result
+
+    def __lshift__(self, steps: int) -> "Expr":
+        return self._emit(Op.ROTATE_LEFT, self, rotation=int(steps))
+
+    def __rshift__(self, steps: int) -> "Expr":
+        return self._emit(Op.ROTATE_RIGHT, self, rotation=int(steps))
+
+    # -- reductions ----------------------------------------------------------------
+    def sum(self) -> "Expr":
+        """Sum all slots; every slot of the result holds the total."""
+        return self._emit(Op.SUM, self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Expr {self.term!r}>"
+
+
+class EvaProgram:
+    """A PyEVA program under construction.
+
+    Parameters
+    ----------
+    name:
+        Program name (used in serialization and reports).
+    vec_size:
+        Size of every Cipher/Vector value; must be a power of two.
+    default_scale:
+        Scale (bits) applied to constants created implicitly from Python
+        numbers and to inputs/outputs when no scale is given.
+    """
+
+    def __init__(self, name: str = "pyeva", vec_size: int = 4096, default_scale: float = 30.0) -> None:
+        self.graph = Program(name, vec_size=vec_size)
+        self.default_scale = float(default_scale)
+        self.current_kernel: Optional[str] = None
+        self._output_counter = 0
+
+    # -- context management -------------------------------------------------------
+    def __enter__(self) -> "EvaProgram":
+        _program_stack().append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        stack = _program_stack()
+        if not stack or stack[-1] is not self:
+            raise CompilationError("mismatched EvaProgram context exit")
+        stack.pop()
+
+    # -- program construction ------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.graph.name
+
+    @property
+    def vec_size(self) -> int:
+        return self.graph.vec_size
+
+    def input_encrypted(self, name: str, scale: Optional[float] = None) -> Expr:
+        """Declare an encrypted (Cipher) input."""
+        bits = self.default_scale if scale is None else float(scale)
+        return Expr(self, self.graph.input(name, ValueType.CIPHER, scale=bits))
+
+    def input_plain(self, name: str, scale: Optional[float] = None) -> Expr:
+        """Declare an unencrypted vector input."""
+        bits = self.default_scale if scale is None else float(scale)
+        return Expr(self, self.graph.input(name, ValueType.VECTOR, scale=bits))
+
+    def constant(self, value: VectorLike, scale: Optional[float] = None) -> Expr:
+        """Create a plaintext constant (scalar or vector) at the given scale."""
+        bits = self.default_scale if scale is None else float(scale)
+        if isinstance(value, Expr):
+            return value
+        return Expr(self, self.graph.constant(value, scale=bits))
+
+    def output(self, name: str, expr: Expr, scale: Optional[float] = None) -> None:
+        """Mark ``expr`` as a named program output with a desired scale."""
+        bits = self.default_scale if scale is None else float(scale)
+        self.graph.set_output(name, expr.term, scale=bits)
+
+    def kernel(self, label: str) -> "_KernelScope":
+        """Label instructions created in the returned scope with a kernel name.
+
+        Kernel labels drive the bulk-synchronous baseline scheduler used for
+        the CHET comparison; they have no effect on program semantics.
+        """
+        return _KernelScope(self, label)
+
+    # -- compilation ----------------------------------------------------------------
+    def compile(
+        self,
+        input_scales: Optional[Dict[str, float]] = None,
+        output_scales: Optional[Dict[str, float]] = None,
+        options: Optional[CompilerOptions] = None,
+    ) -> CompilationResult:
+        """Compile the program with the EVA compiler (Algorithm 1)."""
+        return EvaCompiler(options).compile(self.graph, input_scales, output_scales)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<EvaProgram {self.name!r} vec_size={self.vec_size} terms={len(self.graph)}>"
+
+
+class _KernelScope:
+    """Context manager labelling new instructions with a kernel name."""
+
+    def __init__(self, program: EvaProgram, label: str) -> None:
+        self.program = program
+        self.label = label
+        self._previous: Optional[str] = None
+
+    def __enter__(self) -> "_KernelScope":
+        self._previous = self.program.current_kernel
+        self.program.current_kernel = self.label
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.program.current_kernel = self._previous
+
+
+# ---------------------------------------------------------------------------
+# Module-level convenience functions operating on the active program, matching
+# the paper's PyEVA examples (Figure 6).
+# ---------------------------------------------------------------------------
+
+def input_encrypted(name: str, scale: Optional[float] = None) -> Expr:
+    """Declare an encrypted input in the active program."""
+    return current_program().input_encrypted(name, scale)
+
+
+def input_plain(name: str, scale: Optional[float] = None) -> Expr:
+    """Declare an unencrypted vector input in the active program."""
+    return current_program().input_plain(name, scale)
+
+
+def constant(value: VectorLike, scale: Optional[float] = None) -> Expr:
+    """Create a plaintext constant in the active program."""
+    return current_program().constant(value, scale)
+
+
+def output(name: str, expr: Expr, scale: Optional[float] = None) -> None:
+    """Declare a named output of the active program."""
+    current_program().output(name, expr, scale)
+
+
+def sum_slots(expr: Expr) -> Expr:
+    """Sum all slots of ``expr`` (every slot of the result holds the total)."""
+    return expr.sum()

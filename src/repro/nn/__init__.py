@@ -1,0 +1,55 @@
+"""CHET re-targeted onto EVA: homomorphic neural-network inference (Section 7.2)."""
+
+from .chet import (
+    CompiledNetwork,
+    DnnCompiler,
+    ScaleConfig,
+    encrypted_accuracy,
+    encrypted_inference,
+    unencrypted_accuracy,
+)
+from .datasets import ImageDataset, synthetic_image_dataset
+from .kernels import KernelBuilder, NeuronVector, SpatialTensor
+from .layout import TensorLayout
+from .models import (
+    MODEL_BUILDERS,
+    build_industrial,
+    build_lenet_large,
+    build_lenet_medium,
+    build_lenet_small,
+    build_model,
+    build_squeezenet_cifar,
+)
+from .network import Activation, AveragePool2D, Conv2D, Dense, Flatten, Network
+from .training import accuracy, extract_features, train_readout
+
+__all__ = [
+    "CompiledNetwork",
+    "DnnCompiler",
+    "ScaleConfig",
+    "encrypted_accuracy",
+    "encrypted_inference",
+    "unencrypted_accuracy",
+    "ImageDataset",
+    "synthetic_image_dataset",
+    "KernelBuilder",
+    "NeuronVector",
+    "SpatialTensor",
+    "TensorLayout",
+    "MODEL_BUILDERS",
+    "build_model",
+    "build_lenet_small",
+    "build_lenet_medium",
+    "build_lenet_large",
+    "build_industrial",
+    "build_squeezenet_cifar",
+    "Activation",
+    "AveragePool2D",
+    "Conv2D",
+    "Dense",
+    "Flatten",
+    "Network",
+    "accuracy",
+    "extract_features",
+    "train_readout",
+]

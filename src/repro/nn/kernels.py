@@ -1,0 +1,246 @@
+"""Homomorphic tensor kernels: EVA-graph builders for neural-network layers.
+
+These are the vectorized tensor kernels of Section 7.2: each layer of a
+:class:`~repro.nn.network.Network` is lowered onto EVA's vector instructions
+(rotations, plaintext multiplications by masked weight vectors, additions, and
+SUM reductions), one ciphertext per channel in the CHW layout.
+
+The builders label every generated instruction with the layer's kernel name.
+The label has no semantic effect; it feeds the bulk-synchronous baseline
+scheduler used for the CHET comparison (Figure 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import CompilationError
+from ..frontend.pyeva import EvaProgram, Expr
+from .layout import TensorLayout
+from .network import Activation, AveragePool2D, Conv2D, Dense, Flatten
+from .network import Network
+
+
+@dataclass
+class SpatialTensor:
+    """An activation tensor packed one ciphertext per channel."""
+
+    channels: List[Expr]
+    layout: TensorLayout
+
+
+@dataclass
+class NeuronVector:
+    """A dense activation vector: one broadcast ciphertext per neuron."""
+
+    neurons: List[Expr]
+
+
+class KernelBuilder:
+    """Builds EVA graphs for network layers inside an :class:`EvaProgram`."""
+
+    def __init__(
+        self,
+        program: EvaProgram,
+        vector_scale: float,
+        scalar_scale: float,
+    ) -> None:
+        self.program = program
+        self.vector_scale = float(vector_scale)
+        self.scalar_scale = float(scalar_scale)
+        self._rotation_cache: Dict[Tuple[int, int], Expr] = {}
+
+    # -- primitive helpers ---------------------------------------------------------
+    def rotate(self, expr: Expr, offset: int) -> Expr:
+        """Rotate so that slot ``p`` of the result reads slot ``p + offset``."""
+        if offset == 0:
+            return expr
+        key = (expr.term.id, offset)
+        cached = self._rotation_cache.get(key)
+        if cached is None:
+            cached = expr << offset if offset > 0 else expr >> (-offset)
+            self._rotation_cache[key] = cached
+        return cached
+
+    def vector_constant(self, values: np.ndarray) -> Expr:
+        return self.program.constant(np.asarray(values, dtype=np.float64), scale=self.vector_scale)
+
+    def scalar_constant(self, value: float) -> Expr:
+        return self.program.constant(float(value), scale=self.scalar_scale)
+
+    # -- layer kernels ----------------------------------------------------------------
+    def conv2d(self, data: SpatialTensor, layer: Conv2D) -> SpatialTensor:
+        """Convolution as masked rotate-multiply-accumulate (zero padding)."""
+        layout = data.layout
+        if layer.in_channels != len(data.channels):
+            raise CompilationError(
+                f"{layer.name}: expected {layer.in_channels} input channels, "
+                f"got {len(data.channels)}"
+            )
+        out_layout = layout.after_conv(layer.kernel, layer.stride, layer.padding)
+        pad = (layer.kernel - 1) // 2 if layer.padding == "same" else 0
+        vec_size = self.program.vec_size
+        outputs: List[Expr] = []
+        with self.program.kernel(layer.name):
+            for oc in range(layer.out_channels):
+                acc: Optional[Expr] = None
+                for ic in range(layer.in_channels):
+                    for dy in range(layer.kernel):
+                        for dx in range(layer.kernel):
+                            weight = float(layer.weights[oc, ic, dy, dx])
+                            if weight == 0.0:
+                                continue
+                            mask = self._conv_mask(
+                                layout, out_layout, layer.stride, pad, dy, dx, weight, vec_size
+                            )
+                            if not np.any(mask):
+                                continue
+                            offset = layout.offset(dy - pad, dx - pad)
+                            rotated = self.rotate(data.channels[ic], offset)
+                            term = rotated * self.vector_constant(mask)
+                            acc = term if acc is None else acc + term
+                if acc is None:
+                    raise CompilationError(f"{layer.name}: output channel {oc} is empty")
+                if layer.bias is not None:
+                    acc = acc + self.scalar_constant(float(layer.bias[oc]))
+                outputs.append(acc)
+        return SpatialTensor(outputs, out_layout)
+
+    def average_pool(self, data: SpatialTensor, layer: AveragePool2D) -> SpatialTensor:
+        """Average pooling as a per-channel uniform-weight convolution."""
+        layout = data.layout
+        out_layout = layout.after_conv(layer.kernel, layer.stride, "valid")
+        weight = 1.0 / float(layer.kernel * layer.kernel)
+        vec_size = self.program.vec_size
+        outputs: List[Expr] = []
+        with self.program.kernel(layer.name):
+            for channel in data.channels:
+                acc: Optional[Expr] = None
+                for dy in range(layer.kernel):
+                    for dx in range(layer.kernel):
+                        mask = self._conv_mask(
+                            layout, out_layout, layer.stride, 0, dy, dx, weight, vec_size
+                        )
+                        offset = layout.offset(dy, dx)
+                        term = self.rotate(channel, offset) * self.vector_constant(mask)
+                        acc = term if acc is None else acc + term
+                outputs.append(acc)
+        return SpatialTensor(outputs, out_layout)
+
+    def activation(self, data, layer: Activation):
+        """Polynomial activation applied element-wise (square by default)."""
+        with self.program.kernel(layer.name):
+            if isinstance(data, SpatialTensor):
+                return SpatialTensor(
+                    [self._activate(c, layer) for c in data.channels], data.layout
+                )
+            return NeuronVector([self._activate(n, layer) for n in data.neurons])
+
+    def _activate(self, x: Expr, layer: Activation) -> Expr:
+        result: Optional[Expr] = None
+        if layer.square_coeff != 0.0:
+            squared = x * x
+            if layer.square_coeff != 1.0:
+                squared = squared * self.scalar_constant(layer.square_coeff)
+            result = squared
+        if layer.linear_coeff != 0.0:
+            linear = x * self.scalar_constant(layer.linear_coeff)
+            result = linear if result is None else result + linear
+        if result is None:
+            result = x * self.scalar_constant(0.0)
+        if layer.constant_coeff != 0.0:
+            result = result + self.scalar_constant(layer.constant_coeff)
+        return result
+
+    def dense(self, data, layer: Dense):
+        """Fully connected layer.
+
+        On spatial input the weights are laid out as masked vectors per input
+        channel and reduced with a SUM; on neuron-vector input the weighted
+        sum uses scalar constants directly.
+        """
+        with self.program.kernel(layer.name):
+            if isinstance(data, SpatialTensor):
+                return self._dense_from_spatial(data, layer)
+            return self._dense_from_neurons(data, layer)
+
+    def _dense_from_spatial(self, data: SpatialTensor, layer: Dense) -> NeuronVector:
+        layout = data.layout
+        per_channel = layout.height * layout.width
+        expected = per_channel * len(data.channels)
+        if layer.in_features != expected:
+            raise CompilationError(
+                f"{layer.name}: expects {layer.in_features} inputs but the spatial "
+                f"tensor provides {expected}"
+            )
+        vec_size = self.program.vec_size
+        neurons: List[Expr] = []
+        for j in range(layer.out_features):
+            acc: Optional[Expr] = None
+            for ic, channel in enumerate(data.channels):
+                mask = np.zeros(vec_size)
+                for r in range(layout.height):
+                    for c in range(layout.width):
+                        flat = ic * per_channel + r * layout.width + c
+                        mask[layout.physical_index(r, c)] = layer.weights[j, flat]
+                if not np.any(mask):
+                    continue
+                term = channel * self.vector_constant(mask)
+                acc = term if acc is None else acc + term
+            if acc is None:
+                acc = data.channels[0] * self.scalar_constant(0.0)
+            total = acc.sum()
+            if layer.bias is not None and layer.bias[j] != 0.0:
+                total = total + self.scalar_constant(float(layer.bias[j]))
+            neurons.append(total)
+        return NeuronVector(neurons)
+
+    def _dense_from_neurons(self, data: NeuronVector, layer: Dense) -> NeuronVector:
+        if layer.in_features != len(data.neurons):
+            raise CompilationError(
+                f"{layer.name}: expects {layer.in_features} inputs but got "
+                f"{len(data.neurons)} neurons"
+            )
+        neurons: List[Expr] = []
+        for j in range(layer.out_features):
+            acc: Optional[Expr] = None
+            for i, neuron in enumerate(data.neurons):
+                weight = float(layer.weights[j, i])
+                if weight == 0.0:
+                    continue
+                term = neuron * self.scalar_constant(weight)
+                acc = term if acc is None else acc + term
+            if acc is None:
+                acc = data.neurons[0] * self.scalar_constant(0.0)
+            if layer.bias is not None and layer.bias[j] != 0.0:
+                acc = acc + self.scalar_constant(float(layer.bias[j]))
+            neurons.append(acc)
+        return NeuronVector(neurons)
+
+    # -- internals ---------------------------------------------------------------------
+    @staticmethod
+    def _conv_mask(
+        layout: TensorLayout,
+        out_layout: TensorLayout,
+        stride: int,
+        pad: int,
+        dy: int,
+        dx: int,
+        weight: float,
+        vec_size: int,
+    ) -> np.ndarray:
+        """Weight mask over output positions whose (dy, dx) tap is in bounds."""
+        mask = np.zeros(vec_size)
+        for r in range(out_layout.height):
+            in_r = r * stride + dy - pad
+            if not 0 <= in_r < layout.height:
+                continue
+            for c in range(out_layout.width):
+                in_c = c * stride + dx - pad
+                if not 0 <= in_c < layout.width:
+                    continue
+                mask[out_layout.physical_index(r, c)] = weight
+        return mask

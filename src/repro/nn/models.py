@@ -1,0 +1,196 @@
+"""FHE-compatible network architectures used in the evaluation (Table 3).
+
+The five architectures follow the structure of the paper's networks — the
+three LeNet-5 variants, the proprietary "Industrial" network, and a
+SqueezeNet-style network for CIFAR — scaled down spatially so that a full
+encrypted inference runs in seconds on a laptop-class machine with the
+pure-Python backends.  The layer *kinds* and counts match Table 3 (convolution
++ polynomial-activation + dense stacks; the SqueezeNet variant is a deep
+all-convolutional network with no dense layer); max pooling and ReLU are
+replaced by average pooling and polynomial activations exactly as CHET's
+authors did to make the originals FHE-compatible.
+
+Weights of the convolutional feature extractors are drawn from a scaled
+Gaussian (and can then be trained with :mod:`repro.nn.training`); the
+Industrial network uses uniform random weights in [-1, 1] like the paper,
+since its trained model was proprietary even to the original authors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .network import Activation, AveragePool2D, Conv2D, Dense, Flatten, Network
+
+
+def _conv(rng, out_channels, in_channels, kernel, stride, name, padding="same", scale=None):
+    fan_in = in_channels * kernel * kernel
+    scale = scale if scale is not None else 1.0 / np.sqrt(fan_in)
+    weights = rng.normal(0.0, scale, (out_channels, in_channels, kernel, kernel))
+    bias = rng.normal(0.0, 0.05, out_channels)
+    return Conv2D(weights, bias, stride=stride, padding=padding, name=name)
+
+
+def _dense(rng, out_features, in_features, name, scale=None):
+    scale = scale if scale is not None else 1.0 / np.sqrt(in_features)
+    weights = rng.normal(0.0, scale, (out_features, in_features))
+    bias = np.zeros(out_features)
+    return Dense(weights, bias, name=name)
+
+
+def build_lenet_small(num_classes: int = 10, seed: int = 1) -> Network:
+    """LeNet-5-small analogue: 8x8 input, two conv and two dense layers."""
+    rng = np.random.default_rng(seed)
+    return Network(
+        name="LeNet-5-small",
+        input_shape=(1, 8, 8),
+        layers=[
+            _conv(rng, 4, 1, 3, 2, "conv1"),
+            Activation.polynomial(0.25, 0.5, name="act1"),
+            _conv(rng, 8, 4, 3, 2, "conv2"),
+            Activation.polynomial(0.25, 0.5, name="act2"),
+            Flatten(),
+            _dense(rng, 16, 8 * 2 * 2, "fc1"),
+            Activation.polynomial(0.25, 0.5, name="act3"),
+            _dense(rng, num_classes, 16, "fc2"),
+        ],
+    )
+
+
+def build_lenet_medium(num_classes: int = 10, seed: int = 2) -> Network:
+    """LeNet-5-medium analogue: 16x16 input, wider feature maps."""
+    rng = np.random.default_rng(seed)
+    return Network(
+        name="LeNet-5-medium",
+        input_shape=(1, 16, 16),
+        layers=[
+            _conv(rng, 8, 1, 3, 2, "conv1"),
+            Activation.polynomial(0.25, 0.5, name="act1"),
+            _conv(rng, 16, 8, 3, 2, "conv2"),
+            Activation.polynomial(0.25, 0.5, name="act2"),
+            Flatten(),
+            _dense(rng, 32, 16 * 4 * 4, "fc1"),
+            Activation.polynomial(0.25, 0.5, name="act3"),
+            _dense(rng, num_classes, 32, "fc2"),
+        ],
+    )
+
+
+def build_lenet_large(num_classes: int = 10, seed: int = 3) -> Network:
+    """LeNet-5-large analogue: 16x16 input, 5x5 first convolution, wide dense layer."""
+    rng = np.random.default_rng(seed)
+    return Network(
+        name="LeNet-5-large",
+        input_shape=(1, 16, 16),
+        layers=[
+            _conv(rng, 16, 1, 5, 2, "conv1"),
+            Activation.polynomial(0.25, 0.5, name="act1"),
+            _conv(rng, 32, 16, 3, 2, "conv2"),
+            Activation.polynomial(0.25, 0.5, name="act2"),
+            Flatten(),
+            _dense(rng, 64, 32 * 4 * 4, "fc1"),
+            Activation.polynomial(0.25, 0.5, name="act3"),
+            _dense(rng, num_classes, 64, "fc2"),
+        ],
+    )
+
+
+def build_industrial(num_classes: int = 2, seed: int = 4) -> Network:
+    """Industrial analogue: five convolutions, two dense layers, six activations.
+
+    Weights are uniform random in [-1, 1] scaled by the fan-in (the paper also
+    evaluated this network with random weights, as the trained model was
+    proprietary).
+    """
+    rng = np.random.default_rng(seed)
+
+    def uconv(out_c, in_c, kernel, stride, name):
+        fan_in = in_c * kernel * kernel
+        weights = rng.uniform(-1.0, 1.0, (out_c, in_c, kernel, kernel)) / fan_in
+        bias = rng.uniform(-1.0, 1.0, out_c) * 0.1
+        return Conv2D(weights, bias, stride=stride, padding="same", name=name)
+
+    def udense(out_f, in_f, name):
+        weights = rng.uniform(-1.0, 1.0, (out_f, in_f)) / in_f
+        bias = rng.uniform(-1.0, 1.0, out_f) * 0.1
+        return Dense(weights, bias, name=name)
+
+    return Network(
+        name="Industrial",
+        input_shape=(1, 16, 16),
+        layers=[
+            uconv(8, 1, 3, 2, "conv1"),
+            Activation.square("act1"),
+            uconv(8, 8, 3, 1, "conv2"),
+            Activation.square("act2"),
+            uconv(16, 8, 3, 2, "conv3"),
+            Activation.square("act3"),
+            uconv(16, 16, 3, 1, "conv4"),
+            Activation.square("act4"),
+            uconv(16, 16, 3, 1, "conv5"),
+            Activation.square("act5"),
+            Flatten(),
+            udense(16, 16 * 4 * 4, "fc1"),
+            Activation.square("act6"),
+            udense(num_classes, 16, "fc2"),
+        ],
+    )
+
+
+def build_squeezenet_cifar(num_classes: int = 10, seed: int = 5) -> Network:
+    """SqueezeNet-CIFAR analogue: a deep all-convolutional network.
+
+    Ten convolutions with squeeze (1x1) / expand (3x3) alternation in the
+    style of Fire modules, nine polynomial activations, no dense layers, and a
+    final global average pool over per-class channels.  (The original's
+    channel-concatenating Fire modules are linearized into a sequential
+    squeeze/expand stack; see DESIGN.md.)
+    """
+    rng = np.random.default_rng(seed)
+    act = lambda name: Activation.polynomial(0.25, 0.5, name=name)  # noqa: E731
+    return Network(
+        name="SqueezeNet-CIFAR",
+        input_shape=(3, 16, 16),
+        layers=[
+            _conv(rng, 8, 3, 3, 2, "conv1"),
+            act("act1"),
+            _conv(rng, 4, 8, 1, 1, "fire1_squeeze"),
+            act("act2"),
+            _conv(rng, 8, 4, 3, 1, "fire1_expand"),
+            act("act3"),
+            _conv(rng, 4, 8, 1, 2, "fire2_squeeze"),
+            act("act4"),
+            _conv(rng, 8, 4, 3, 1, "fire2_expand"),
+            act("act5"),
+            _conv(rng, 4, 8, 1, 1, "fire3_squeeze"),
+            act("act6"),
+            _conv(rng, 8, 4, 3, 2, "fire3_expand"),
+            act("act7"),
+            _conv(rng, 8, 8, 3, 1, "fire4_expand"),
+            act("act8"),
+            _conv(rng, 16, 8, 1, 1, "conv9"),
+            act("act9"),
+            _conv(rng, num_classes, 16, 1, 1, "conv10"),
+            AveragePool2D(kernel=2, stride=2, name="global_pool"),
+        ],
+    )
+
+
+#: Registry used by the benchmark harness (Tables 3-7, Figure 7).
+MODEL_BUILDERS = {
+    "LeNet-5-small": build_lenet_small,
+    "LeNet-5-medium": build_lenet_medium,
+    "LeNet-5-large": build_lenet_large,
+    "Industrial": build_industrial,
+    "SqueezeNet-CIFAR": build_squeezenet_cifar,
+}
+
+
+def build_model(name: str, **kwargs) -> Network:
+    """Build one of the evaluation networks by name."""
+    try:
+        return MODEL_BUILDERS[name](**kwargs)
+    except KeyError as exc:
+        raise KeyError(f"unknown model {name!r}; choose from {sorted(MODEL_BUILDERS)}") from exc

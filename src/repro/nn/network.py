@@ -1,0 +1,212 @@
+"""Plaintext network description and NumPy reference semantics.
+
+A :class:`Network` is an ordered list of layers with concrete weights; it can
+be evaluated directly on NumPy arrays (the unencrypted reference used for
+training and for the accuracy comparisons of Table 4) and compiled to an EVA
+program by :mod:`repro.nn.chet`.
+
+Only FHE-compatible layers are provided, mirroring how the CHET authors made
+the paper's networks FHE-compatible: convolutions, average pooling (instead of
+max pooling), polynomial activations (instead of ReLU), flatten, and dense
+layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class Conv2D:
+    """2-D convolution with optional bias.
+
+    ``weights`` has shape ``(out_channels, in_channels, kernel, kernel)``;
+    ``bias`` has shape ``(out_channels,)`` or is None.  ``padding`` is
+    ``"same"`` (zero padding, output spatial size ``ceil(in / stride)``) or
+    ``"valid"``.
+    """
+
+    weights: np.ndarray
+    bias: Optional[np.ndarray] = None
+    stride: int = 1
+    padding: str = "same"
+    name: str = "conv"
+
+    @property
+    def out_channels(self) -> int:
+        return self.weights.shape[0]
+
+    @property
+    def in_channels(self) -> int:
+        return self.weights.shape[1]
+
+    @property
+    def kernel(self) -> int:
+        return self.weights.shape[2]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Reference forward pass on a (channels, height, width) array.
+
+        Vectorized over output positions: the kernel taps are enumerated and
+        each contributes a strided slice of the (zero padded) input.
+        """
+        channels, height, width = x.shape
+        k, stride = self.kernel, self.stride
+        if self.padding == "same":
+            out_h = (height + stride - 1) // stride
+            out_w = (width + stride - 1) // stride
+            pad = (k - 1) // 2
+        elif self.padding == "valid":
+            out_h = (height - k) // stride + 1
+            out_w = (width - k) // stride + 1
+            pad = 0
+        else:
+            raise ValueError(f"unknown padding mode {self.padding!r}")
+        padded = np.zeros((channels, height + 2 * pad + k, width + 2 * pad + k))
+        padded[:, pad : pad + height, pad : pad + width] = x
+        out = np.zeros((self.out_channels, out_h, out_w))
+        for dy in range(k):
+            for dx in range(k):
+                window = padded[
+                    :,
+                    dy : dy + out_h * stride : stride,
+                    dx : dx + out_w * stride : stride,
+                ][:, :out_h, :out_w]
+                # (oc, ic) x (ic, out_h, out_w) -> (oc, out_h, out_w)
+                out += np.einsum("oi,ihw->ohw", self.weights[:, :, dy, dx], window)
+        if self.bias is not None:
+            out += self.bias[:, None, None]
+        return out
+
+
+@dataclass
+class AveragePool2D:
+    """Average pooling with a square window."""
+
+    kernel: int = 2
+    stride: int = 2
+    name: str = "pool"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        channels, height, width = x.shape
+        out_h = (height - self.kernel) // self.stride + 1
+        out_w = (width - self.kernel) // self.stride + 1
+        out = np.zeros((channels, out_h, out_w))
+        for r in range(out_h):
+            for c in range(out_w):
+                window = x[
+                    :,
+                    r * self.stride : r * self.stride + self.kernel,
+                    c * self.stride : c * self.stride + self.kernel,
+                ]
+                out[:, r, c] = window.mean(axis=(1, 2))
+        return out
+
+
+@dataclass
+class Activation:
+    """Polynomial activation ``a*x^2 + b*x + c`` (square activation by default)."""
+
+    square_coeff: float = 1.0
+    linear_coeff: float = 0.0
+    constant_coeff: float = 0.0
+    name: str = "act"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.square_coeff * x * x + self.linear_coeff * x + self.constant_coeff
+
+    @classmethod
+    def square(cls, name: str = "act") -> "Activation":
+        return cls(1.0, 0.0, 0.0, name=name)
+
+    @classmethod
+    def polynomial(cls, square: float, linear: float, constant: float = 0.0, name: str = "act") -> "Activation":
+        return cls(square, linear, constant, name=name)
+
+
+@dataclass
+class Flatten:
+    """Flatten a (channels, height, width) tensor into a vector (CHW order)."""
+
+    name: str = "flatten"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x.reshape(-1)
+
+
+@dataclass
+class Dense:
+    """Fully connected layer: ``y = W x + b``."""
+
+    weights: np.ndarray
+    bias: Optional[np.ndarray] = None
+    name: str = "fc"
+
+    @property
+    def out_features(self) -> int:
+        return self.weights.shape[0]
+
+    @property
+    def in_features(self) -> int:
+        return self.weights.shape[1]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        y = self.weights @ x
+        if self.bias is not None:
+            y = y + self.bias
+        return y
+
+
+Layer = object  # any of the dataclasses above
+
+
+@dataclass
+class Network:
+    """An ordered list of layers plus the expected input shape (C, H, W)."""
+
+    name: str
+    input_shape: Tuple[int, int, int]
+    layers: List[Layer] = field(default_factory=list)
+
+    def forward(self, image: np.ndarray) -> np.ndarray:
+        """Unencrypted reference inference for one image (C, H, W)."""
+        x: np.ndarray = np.asarray(image, dtype=np.float64)
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def predict(self, image: np.ndarray) -> int:
+        """Class prediction (arg-max of the logits)."""
+        return int(np.argmax(self.forward(image)))
+
+    def layer_summary(self) -> List[str]:
+        """Human-readable one-line-per-layer summary."""
+        lines = []
+        for layer in self.layers:
+            if isinstance(layer, Conv2D):
+                lines.append(
+                    f"{layer.name}: Conv2D {layer.out_channels}x{layer.in_channels}"
+                    f"x{layer.kernel}x{layer.kernel} stride={layer.stride} pad={layer.padding}"
+                )
+            elif isinstance(layer, Dense):
+                lines.append(f"{layer.name}: Dense {layer.out_features}x{layer.in_features}")
+            elif isinstance(layer, Activation):
+                lines.append(
+                    f"{layer.name}: Activation {layer.square_coeff:g}x^2+{layer.linear_coeff:g}x"
+                )
+            elif isinstance(layer, AveragePool2D):
+                lines.append(f"{layer.name}: AveragePool {layer.kernel}x{layer.kernel}")
+            else:
+                lines.append(f"{layer.name}: {type(layer).__name__}")
+        return lines
+
+    def count_layers(self) -> dict:
+        """Counts used for the Table 3 style summary."""
+        return {
+            "conv": sum(isinstance(l, Conv2D) for l in self.layers),
+            "fc": sum(isinstance(l, Dense) for l in self.layers),
+            "act": sum(isinstance(l, Activation) for l in self.layers),
+        }

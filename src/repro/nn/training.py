@@ -1,0 +1,97 @@
+"""Plain-NumPy training for the FHE-compatible networks.
+
+The convolutional feature extractors use fixed (random, suitably scaled)
+weights; the final dense classifier is trained with softmax regression on the
+extracted features.  This "fixed features + trained read-out" scheme keeps the
+training code dependency-free while giving high accuracy on the synthetic
+datasets, which is all the Table 3/4 reproduction needs: the claim under test
+is that *encrypted* inference matches *unencrypted* inference, not the
+absolute accuracy of the models.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .datasets import ImageDataset
+from .network import Dense, Network
+
+
+def _split_at_final_dense(network: Network) -> Tuple[List[object], Dense]:
+    """Split the network into (feature layers, final dense layer)."""
+    if not network.layers or not isinstance(network.layers[-1], Dense):
+        raise ValueError("the network must end with a Dense layer to train its read-out")
+    return network.layers[:-1], network.layers[-1]
+
+
+def extract_features(network: Network, images: Sequence[np.ndarray]) -> np.ndarray:
+    """Forward images through every layer except the final dense classifier."""
+    feature_layers, _ = _split_at_final_dense(network)
+    features = []
+    for image in images:
+        x = np.asarray(image, dtype=np.float64)
+        for layer in feature_layers:
+            x = layer.forward(x)
+        features.append(np.asarray(x, dtype=np.float64).reshape(-1))
+    return np.asarray(features)
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def train_readout(
+    network: Network,
+    dataset: ImageDataset,
+    epochs: int = 300,
+    learning_rate: float = 0.5,
+    weight_decay: float = 1e-4,
+    seed: int = 0,
+) -> Network:
+    """Train the final dense layer of ``network`` in place and return it.
+
+    Uses full-batch softmax regression with L2 regularization on the features
+    produced by the (fixed) earlier layers.
+    """
+    feature_layers, head = _split_at_final_dense(network)
+    features = extract_features(network, dataset.train_images)
+    labels = dataset.train_labels.astype(int)
+    num_classes = head.out_features
+    if features.shape[1] != head.in_features:
+        raise ValueError(
+            f"feature dimension {features.shape[1]} does not match the dense layer's "
+            f"{head.in_features} inputs"
+        )
+    # Normalize features so a single learning rate works across networks.
+    scale = np.maximum(np.std(features, axis=0, keepdims=True), 1e-6)
+    normalized = features / scale
+
+    rng = np.random.default_rng(seed)
+    weights = rng.normal(0.0, 0.01, (num_classes, features.shape[1]))
+    bias = np.zeros(num_classes)
+    one_hot = np.eye(num_classes)[labels]
+    count = features.shape[0]
+    for _ in range(epochs):
+        logits = normalized @ weights.T + bias
+        probabilities = _softmax(logits)
+        gradient = (probabilities - one_hot) / count
+        weights -= learning_rate * (gradient.T @ normalized + weight_decay * weights)
+        bias -= learning_rate * gradient.sum(axis=0)
+
+    # Fold the feature normalization into the trained weights so inference
+    # (encrypted or not) uses raw features.
+    head.weights = weights / scale
+    head.bias = bias
+    return network
+
+
+def accuracy(network: Network, images: Sequence[np.ndarray], labels: Sequence[int]) -> float:
+    """Top-1 accuracy of the plaintext network."""
+    correct = sum(
+        1 for image, label in zip(images, labels) if network.predict(image) == int(label)
+    )
+    return correct / max(len(labels), 1)

@@ -1,0 +1,80 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend import MockBackend
+from repro.core import CompilerOptions, Program
+from repro.core.types import Op, ValueType
+from repro.frontend import EvaProgram, input_encrypted, output
+
+
+@pytest.fixture
+def mock_backend() -> MockBackend:
+    """Deterministic mock backend."""
+    return MockBackend(seed=1234)
+
+
+@pytest.fixture
+def noiseless_backend() -> MockBackend:
+    """Mock backend with the error model disabled (bit-exact values)."""
+    return MockBackend(error_model="none")
+
+
+@pytest.fixture
+def eva_options() -> CompilerOptions:
+    return CompilerOptions(policy="eva")
+
+
+@pytest.fixture
+def chet_options() -> CompilerOptions:
+    return CompilerOptions(policy="chet")
+
+
+@pytest.fixture
+def x2y3_program() -> Program:
+    """The paper's x^2 * y^3 example (Figure 2) as a core IR program."""
+    program = Program("x2y3", vec_size=8)
+    x = program.input("x", ValueType.CIPHER, scale=60)
+    y = program.input("y", ValueType.CIPHER, scale=30)
+    x2 = program.make_term(Op.MULTIPLY, [x, x])
+    y2 = program.make_term(Op.MULTIPLY, [y, y])
+    y3 = program.make_term(Op.MULTIPLY, [y2, y])
+    result = program.make_term(Op.MULTIPLY, [x2, y3])
+    program.set_output("out", result, scale=30)
+    return program
+
+
+@pytest.fixture
+def x2_plus_x_program() -> Program:
+    """The paper's x^2 + x example (Figure 3)."""
+    program = Program("x2_plus_x", vec_size=8)
+    x = program.input("x", ValueType.CIPHER, scale=30)
+    x2 = program.make_term(Op.MULTIPLY, [x, x])
+    result = program.make_term(Op.ADD, [x2, x])
+    program.set_output("out", result, scale=30)
+    return program
+
+
+@pytest.fixture
+def simple_pyeva_program() -> EvaProgram:
+    """A small mixed program exercised by many executor tests."""
+    program = EvaProgram("simple", vec_size=16, default_scale=25)
+    with program:
+        x = input_encrypted("x", 25)
+        y = input_encrypted("y", 25)
+        z = (x * y) + (x << 2) - 0.5
+        w = z * z + x
+        output("w", w, 25)
+    return program
+
+
+@pytest.fixture
+def simple_inputs() -> dict:
+    rng = np.random.default_rng(7)
+    return {
+        "x": rng.uniform(-1, 1, 16),
+        "y": rng.uniform(-1, 1, 16),
+    }

@@ -1,0 +1,229 @@
+"""Unit tests for the analysis passes: scales, levels, validation, parameters, rotations."""
+
+import pytest
+
+from repro.core.analysis import (
+    compute_levels,
+    compute_scales,
+    select_parameters,
+    select_rotation_steps,
+    validate,
+)
+from repro.core.analysis.levels import compute_rescale_chains, merge_chains
+from repro.core.analysis.parameters import (
+    SECURITY_MAX_COEFF_MODULUS_BITS,
+    EncryptionParameters,
+    max_modulus_bits,
+)
+from repro.core.analysis.rotations import normalize_step
+from repro.core.analysis.validation import compute_polynomial_counts
+from repro.core.compiler import CompilerOptions, compile_program
+from repro.core.ir import Program
+from repro.core.types import Op, ValueType
+from repro.errors import SecurityError, ValidationError
+
+
+def make_program_with_rescale(rescale_bits=30.0):
+    program = Program("p", vec_size=8)
+    x = program.input("x", ValueType.CIPHER, scale=30)
+    square = program.make_term(Op.MULTIPLY, [x, x])
+    rescaled = program.make_term(Op.RESCALE, [square], rescale_value=rescale_bits)
+    relin = program.make_term(Op.RELINEARIZE, [rescaled])
+    program.set_output("out", relin, scale=30)
+    return program
+
+
+class TestScales:
+    def test_multiply_adds_scales(self):
+        program = Program("p", vec_size=8)
+        x = program.input("x", ValueType.CIPHER, scale=20)
+        y = program.input("y", ValueType.CIPHER, scale=25)
+        product = program.make_term(Op.MULTIPLY, [x, y])
+        program.set_output("out", product, scale=20)
+        scales = compute_scales(program)
+        assert scales[product.id] == 45
+
+    def test_rescale_subtracts(self):
+        program = make_program_with_rescale(30.0)
+        scales = compute_scales(program)
+        out = program.outputs["out"]
+        assert scales[out.id] == 30
+
+    def test_add_with_plaintext_keeps_cipher_scale(self):
+        program = Program("p", vec_size=8)
+        x = program.input("x", ValueType.CIPHER, scale=30)
+        c = program.constant(1.0, scale=10)
+        added = program.make_term(Op.ADD, [x, c])
+        program.set_output("out", added, scale=30)
+        scales = compute_scales(program)
+        assert scales[added.id] == 30
+
+    def test_rotation_preserves_scale(self):
+        program = Program("p", vec_size=8)
+        x = program.input("x", ValueType.CIPHER, scale=30)
+        rot = program.make_term(Op.ROTATE_LEFT, [x], rotation=2)
+        program.set_output("out", rot, scale=30)
+        assert compute_scales(program)[rot.id] == 30
+
+
+class TestLevelsAndChains:
+    def test_levels_increase_at_rescale_and_modswitch(self):
+        program = Program("p", vec_size=8)
+        x = program.input("x", ValueType.CIPHER, scale=30)
+        r = program.make_term(Op.RESCALE, [x], rescale_value=30.0)
+        m = program.make_term(Op.MOD_SWITCH, [r])
+        program.set_output("out", m, scale=30)
+        levels = compute_levels(program)
+        assert levels[x.id] == 0
+        assert levels[r.id] == 1
+        assert levels[m.id] == 2
+
+    def test_merge_chains_with_wildcards(self):
+        assert merge_chains((30.0, None), (30.0, 60.0)) == (30.0, 60.0)
+        assert merge_chains((None,), (25.0,)) == (25.0,)
+        assert merge_chains((30.0,), (60.0,)) is None
+        assert merge_chains((30.0,), (30.0, 30.0)) is None
+
+    def test_nonconforming_chains_raise_in_strict_mode(self):
+        program = Program("p", vec_size=8)
+        x = program.input("x", ValueType.CIPHER, scale=30)
+        y = program.input("y", ValueType.CIPHER, scale=30)
+        rx = program.make_term(Op.RESCALE, [program.make_term(Op.MULTIPLY, [x, x])], rescale_value=30.0)
+        added = program.make_term(Op.ADD, [rx, y])
+        program.set_output("out", added, scale=30)
+        with pytest.raises(ValidationError):
+            compute_rescale_chains(program, strict=True)
+        compute_rescale_chains(program, strict=False)
+
+
+class TestValidation:
+    def test_valid_program_passes(self):
+        validate(make_program_with_rescale())
+
+    def test_constraint2_scale_mismatch(self):
+        program = Program("p", vec_size=8)
+        x = program.input("x", ValueType.CIPHER, scale=30)
+        y = program.input("y", ValueType.CIPHER, scale=40)
+        program.set_output("out", program.make_term(Op.ADD, [x, y]), scale=30)
+        with pytest.raises(ValidationError, match="Constraint 2"):
+            validate(program)
+
+    def test_constraint3_missing_relinearization(self):
+        program = Program("p", vec_size=8)
+        x = program.input("x", ValueType.CIPHER, scale=20)
+        square = program.make_term(Op.MULTIPLY, [x, x])
+        fourth = program.make_term(Op.MULTIPLY, [square, square])
+        program.set_output("out", fourth, scale=20)
+        with pytest.raises(ValidationError, match="Constraint 3"):
+            validate(program)
+
+    def test_constraint4_rescale_too_large(self):
+        program = make_program_with_rescale(70.0)
+        with pytest.raises(ValidationError, match="Constraint 4"):
+            validate(program, max_rescale_bits=60)
+
+    def test_constraint1_level_mismatch(self):
+        program = Program("p", vec_size=8)
+        x = program.input("x", ValueType.CIPHER, scale=30)
+        y = program.input("y", ValueType.CIPHER, scale=30)
+        switched = program.make_term(Op.MOD_SWITCH, [x])
+        program.set_output("out", program.make_term(Op.ADD, [switched, y]), scale=30)
+        with pytest.raises(ValidationError):
+            validate(program)
+
+    def test_negative_scale_rejected(self):
+        program = make_program_with_rescale(55.0)  # 60 - 55 > 0 but below zero after...
+        # scale after rescale = 60 - 55 = 5 > 0: fine; force a destructive rescale instead.
+        program2 = Program("p", vec_size=8)
+        x = program2.input("x", ValueType.CIPHER, scale=20)
+        square = program2.make_term(Op.MULTIPLY, [x, x])
+        rescaled = program2.make_term(Op.RESCALE, [square], rescale_value=50.0)
+        program2.set_output("out", rescaled, scale=20)
+        with pytest.raises(ValidationError):
+            validate(program2)
+
+    def test_polynomial_counts(self):
+        program = Program("p", vec_size=8)
+        x = program.input("x", ValueType.CIPHER, scale=20)
+        square = program.make_term(Op.MULTIPLY, [x, x])
+        relin = program.make_term(Op.RELINEARIZE, [square])
+        program.set_output("out", relin, scale=20)
+        counts = compute_polynomial_counts(program)
+        assert counts[x.id] == 2
+        assert counts[square.id] == 3
+        assert counts[relin.id] == 2
+
+
+class TestParameterSelection:
+    def test_parameters_for_compiled_program(self, x2y3_program):
+        result = compile_program(x2y3_program, options=CompilerOptions())
+        params = result.parameters
+        assert params.coeff_modulus_bits[-1] == 60  # special prime
+        assert params.total_coeff_modulus_bits == sum(params.coeff_modulus_bits)
+        assert params.modulus_count == len(params.coeff_modulus_bits)
+        bound = SECURITY_MAX_COEFF_MODULUS_BITS[128][params.poly_modulus_degree]
+        assert params.total_coeff_modulus_bits <= bound
+
+    def test_poly_degree_grows_with_modulus(self):
+        # A deep program needs a larger N purely because of the security bound.
+        program = Program("deep", vec_size=8)
+        x = program.input("x", ValueType.CIPHER, scale=40)
+        node = x
+        for _ in range(10):
+            node = program.make_term(Op.MULTIPLY, [node, node])
+        program.set_output("out", node, scale=40)
+        result = compile_program(program, options=CompilerOptions())
+        assert result.parameters.poly_modulus_degree >= 16384
+
+    def test_security_error_when_program_too_deep(self):
+        program = Program("too_deep", vec_size=8)
+        x = program.input("x", ValueType.CIPHER, scale=60)
+        node = x
+        for _ in range(40):
+            node = program.make_term(Op.MULTIPLY, [node, node])
+        program.set_output("out", node, scale=60)
+        with pytest.raises(SecurityError):
+            compile_program(program, options=CompilerOptions())
+
+    def test_max_modulus_bits_table(self):
+        assert max_modulus_bits(8192, 128) == 218
+        assert max_modulus_bits(32768, 128) == 881
+        with pytest.raises(SecurityError):
+            max_modulus_bits(123, 128)
+        with pytest.raises(SecurityError):
+            max_modulus_bits(8192, 96)
+
+    def test_higher_security_needs_larger_degree(self, x2y3_program):
+        low = compile_program(x2y3_program, options=CompilerOptions(security_level=128))
+        high = compile_program(x2y3_program, options=CompilerOptions(security_level=256))
+        assert high.parameters.poly_modulus_degree >= low.parameters.poly_modulus_degree
+
+    def test_summary_keys(self, x2y3_program):
+        result = compile_program(x2y3_program)
+        summary = result.parameters.summary()
+        assert set(summary) == {"log_n", "log_q", "r"}
+
+
+class TestRotationSelection:
+    def test_normalize_step(self):
+        assert normalize_step(Op.ROTATE_LEFT, 3, 16) == 3
+        assert normalize_step(Op.ROTATE_RIGHT, 3, 16) == 13
+        assert normalize_step(Op.ROTATE_LEFT, 16, 16) == 0
+        assert normalize_step(Op.ROTATE_LEFT, -1, 16) == 15
+
+    def test_rotation_steps_collected_and_deduplicated(self):
+        program = Program("p", vec_size=16)
+        x = program.input("x", ValueType.CIPHER, scale=30)
+        r1 = program.make_term(Op.ROTATE_LEFT, [x], rotation=2)
+        r2 = program.make_term(Op.ROTATE_LEFT, [x], rotation=2)
+        r3 = program.make_term(Op.ROTATE_RIGHT, [x], rotation=4)
+        total = program.make_term(Op.ADD, [program.make_term(Op.ADD, [r1, r2]), r3])
+        program.set_output("out", total, scale=30)
+        assert select_rotation_steps(program) == [2, 12]
+
+    def test_zero_rotation_excluded(self):
+        program = Program("p", vec_size=16)
+        x = program.input("x", ValueType.CIPHER, scale=30)
+        r = program.make_term(Op.ROTATE_LEFT, [x], rotation=16)
+        program.set_output("out", program.make_term(Op.ADD, [r, x]), scale=30)
+        assert select_rotation_steps(program) == []

@@ -1,0 +1,70 @@
+"""End-to-end tests of compiled EVA programs on the real RNS-CKKS backend.
+
+These are the slowest tests in the suite (real lattice arithmetic in pure
+Python); they use small vectors and shallow programs, and confirm that the
+compiler's output runs on genuine ciphertexts with the expected accuracy.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.backend import CkksBackend
+from repro.core import CompilerOptions, Executor, execute_reference
+from repro.frontend import EvaProgram, input_encrypted, output
+
+OPTIONS = CompilerOptions(max_rescale_bits=25)
+
+
+def compile_and_run(program, inputs, seed=5):
+    compiled = program.compile(options=OPTIONS)
+    executor = Executor(compiled, CkksBackend(seed=seed))
+    return compiled, executor.execute(inputs)
+
+
+class TestCkksBackendExecution:
+    def test_polynomial_with_rotation(self):
+        program = EvaProgram("poly", vec_size=256, default_scale=25)
+        with program:
+            x = input_encrypted("x", 25)
+            y = x * x * 0.5 + (x << 3) + 1.0
+            output("y", y, 25)
+        xv = np.linspace(-1, 1, 256)
+        compiled, result = compile_and_run(program, {"x": xv})
+        reference = execute_reference(program.graph, {"x": xv})
+        assert np.max(np.abs(result["y"] - reference["y"])) < 0.05
+        assert result.stats.op_count > 0
+
+    def test_cipher_cipher_multiply_and_add(self):
+        program = EvaProgram("mix", vec_size=128, default_scale=25)
+        with program:
+            x = input_encrypted("x", 25)
+            y = input_encrypted("y", 25)
+            output("out", x * y + x, 25)
+        rng = np.random.default_rng(0)
+        xv, yv = rng.uniform(-1, 1, 128), rng.uniform(-1, 1, 128)
+        compiled, result = compile_and_run(program, {"x": xv, "y": yv})
+        assert np.max(np.abs(result["out"] - (xv * yv + xv))) < 0.05
+
+    def test_level_metadata_matches_compiler_expectation(self):
+        program = EvaProgram("depth", vec_size=64, default_scale=25)
+        with program:
+            x = input_encrypted("x", 25)
+            output("out", (x * x) * (x * x), 25)
+        compiled = program.compile(options=OPTIONS)
+        context = CkksBackend(seed=1).create_context(compiled.parameters)
+        context.generate_keys()
+        cipher = context.encrypt(np.linspace(-1, 1, 64), 25)
+        assert context.level(cipher) == 0
+        assert context.scale_bits(cipher) == pytest.approx(25.0)
+
+    def test_prime_bit_cap_enforced(self):
+        program = EvaProgram("big", vec_size=64, default_scale=40)
+        with program:
+            x = input_encrypted("x", 40)
+            output("out", x * x, 40)
+        compiled = program.compile(options=CompilerOptions(max_rescale_bits=60))
+        executor = Executor(compiled, CkksBackend(seed=2))
+        with pytest.raises(Exception):
+            executor.execute({"x": np.linspace(-1, 1, 64)})

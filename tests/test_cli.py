@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.serialization import save
+from repro.frontend import EvaProgram, input_encrypted, output
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    program = EvaProgram("cli_demo", vec_size=16, default_scale=25)
+    with program:
+        x = input_encrypted("x", 25)
+        output("out", x * x + (x << 1), 25)
+    path = tmp_path / "demo.evaproto"
+    save(program.graph, path)
+    return path
+
+
+@pytest.fixture
+def inputs_file(tmp_path):
+    path = tmp_path / "inputs.json"
+    path.write_text(json.dumps({"x": list(np.linspace(-1, 1, 16))}))
+    return path
+
+
+class TestCli:
+    def test_info(self, program_file, capsys):
+        assert main(["info", str(program_file)]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["vec_size"] == 16
+        assert report["outputs"] == ["out"]
+        assert report["multiplicative_depth"] == 1
+
+    def test_compile(self, program_file, tmp_path, capsys):
+        out_path = tmp_path / "compiled.evaproto"
+        assert main(["compile", str(program_file), "-o", str(out_path)]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert out_path.exists()
+        assert report["policy"] == "eva"
+        assert report["r"] >= 2
+
+    def test_run_input_program(self, program_file, inputs_file, capsys):
+        assert main(
+            ["run", str(program_file), "--inputs", str(inputs_file), "--backend", "mock-exact"]
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        x = np.linspace(-1, 1, 16)
+        expected = (x * x + np.roll(x, -1))[:8]
+        np.testing.assert_allclose(report["outputs"]["out"], expected, atol=1e-6)
+
+    def test_run_precompiled_program(self, program_file, inputs_file, tmp_path, capsys):
+        compiled_path = tmp_path / "compiled.evaproto"
+        assert main(["compile", str(program_file), "-o", str(compiled_path)]) == 0
+        capsys.readouterr()
+        assert main(
+            ["run", str(compiled_path), "--inputs", str(inputs_file), "--backend", "mock-exact"]
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert "out" in report["outputs"]
+
+    def test_error_reported_cleanly(self, tmp_path, capsys):
+        missing = tmp_path / "missing.evaproto"
+        assert main(["info", str(missing)]) == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,161 @@
+"""Tests for the reference executor and the backend executor (incl. memory reuse)."""
+
+import numpy as np
+import pytest
+
+from repro.backend import MockBackend
+from repro.backend.mock_backend import MockContext
+from repro.core import CompilerOptions, Executor, ReferenceExecutor, execute_reference
+from repro.core.ir import Program
+from repro.core.types import Op, ValueType
+from repro.errors import ExecutionError
+from repro.frontend import EvaProgram, input_encrypted, input_plain, output
+
+
+class TestReferenceExecutor:
+    def test_basic_arithmetic(self):
+        program = EvaProgram("arith", vec_size=8, default_scale=25)
+        with program:
+            x = input_encrypted("x", 25)
+            y = input_encrypted("y", 25)
+            output("sum", x + y, 25)
+            output("diff", x - y, 25)
+            output("prod", x * y, 25)
+            output("neg", -x, 25)
+        xv = np.arange(8, dtype=float)
+        yv = np.ones(8) * 2
+        out = execute_reference(program.graph, {"x": xv, "y": yv})
+        np.testing.assert_allclose(out["sum"], xv + yv)
+        np.testing.assert_allclose(out["diff"], xv - yv)
+        np.testing.assert_allclose(out["prod"], xv * yv)
+        np.testing.assert_allclose(out["neg"], -xv)
+
+    def test_rotations(self):
+        program = EvaProgram("rot", vec_size=8, default_scale=25)
+        with program:
+            x = input_encrypted("x", 25)
+            output("left", (x << 3) * 1.0, 25)
+            output("right", (x >> 2) * 1.0, 25)
+        xv = np.arange(8, dtype=float)
+        out = execute_reference(program.graph, {"x": xv})
+        np.testing.assert_allclose(out["left"], np.roll(xv, -3))
+        np.testing.assert_allclose(out["right"], np.roll(xv, 2))
+
+    def test_sum_reduction(self):
+        program = EvaProgram("sum", vec_size=8, default_scale=25)
+        with program:
+            x = input_encrypted("x", 25)
+            output("total", x.sum(), 25)
+        xv = np.arange(8, dtype=float)
+        out = execute_reference(program.graph, {"x": xv})
+        np.testing.assert_allclose(out["total"], np.full(8, xv.sum()))
+
+    def test_scalar_broadcasting(self):
+        program = EvaProgram("bcast", vec_size=8, default_scale=25)
+        with program:
+            x = input_encrypted("x", 25)
+            output("out", x * 2.0 + 1.0, 25)
+        out = execute_reference(program.graph, {"x": 3.0})
+        np.testing.assert_allclose(out["out"], np.full(8, 7.0))
+
+    def test_short_input_replication(self):
+        program = EvaProgram("rep", vec_size=8, default_scale=25)
+        with program:
+            x = input_encrypted("x", 25)
+            output("out", x * 1.0, 25)
+        out = execute_reference(program.graph, {"x": [1.0, 2.0]})
+        np.testing.assert_allclose(out["out"], np.tile([1.0, 2.0], 4))
+
+    def test_missing_input_raises(self, simple_pyeva_program):
+        with pytest.raises(ExecutionError):
+            execute_reference(simple_pyeva_program.graph, {"x": np.zeros(16)})
+
+    def test_fhe_ops_are_identities(self):
+        program = Program("fhe", vec_size=8)
+        x = program.input("x", ValueType.CIPHER, scale=30)
+        relin = program.make_term(Op.RELINEARIZE, [program.make_term(Op.MULTIPLY, [x, x])])
+        rescaled = program.make_term(Op.RESCALE, [relin], rescale_value=30.0)
+        program.set_output("out", rescaled, scale=30)
+        out = ReferenceExecutor(program).execute({"x": np.full(8, 2.0)})
+        np.testing.assert_allclose(out["out"], np.full(8, 4.0))
+
+
+class TestBackendExecutor:
+    def test_matches_reference_on_mock(self, simple_pyeva_program, simple_inputs, noiseless_backend):
+        compiled = simple_pyeva_program.compile()
+        result = Executor(compiled, noiseless_backend).execute(simple_inputs)
+        reference = execute_reference(simple_pyeva_program.graph, simple_inputs)
+        np.testing.assert_allclose(result["w"], reference["w"], rtol=1e-9, atol=1e-12)
+
+    def test_noise_model_stays_close_to_reference(self, simple_pyeva_program, simple_inputs, mock_backend):
+        compiled = simple_pyeva_program.compile()
+        result = Executor(compiled, mock_backend).execute(simple_inputs)
+        reference = execute_reference(simple_pyeva_program.graph, simple_inputs)
+        np.testing.assert_allclose(result["w"], reference["w"], atol=1e-2)
+
+    def test_plain_inputs_supported(self, noiseless_backend):
+        program = EvaProgram("plain", vec_size=8, default_scale=25)
+        with program:
+            x = input_encrypted("x", 25)
+            mask = input_plain("mask", 15)
+            output("out", x * mask + mask, 25)
+        xv = np.arange(8, dtype=float)
+        mv = np.linspace(0, 1, 8)
+        compiled = program.compile()
+        result = Executor(compiled, noiseless_backend).execute({"x": xv, "mask": mv})
+        np.testing.assert_allclose(result["out"], xv * mv + mv, rtol=1e-9)
+
+    def test_subtraction_with_plain_on_left(self, noiseless_backend):
+        program = EvaProgram("sub", vec_size=8, default_scale=25)
+        with program:
+            x = input_encrypted("x", 25)
+            output("out", 1.0 - x, 25)
+        xv = np.linspace(-1, 1, 8)
+        compiled = program.compile()
+        result = Executor(compiled, noiseless_backend).execute({"x": xv})
+        np.testing.assert_allclose(result["out"], 1.0 - xv, rtol=1e-9)
+
+    def test_missing_input_raises(self, simple_pyeva_program, mock_backend):
+        compiled = simple_pyeva_program.compile()
+        with pytest.raises(ExecutionError):
+            Executor(compiled, mock_backend).execute({"x": np.zeros(16)})
+
+    def test_execution_stats_populated(self, simple_pyeva_program, simple_inputs, mock_backend):
+        compiled = simple_pyeva_program.compile()
+        result = Executor(compiled, mock_backend).execute(simple_inputs)
+        stats = result.stats
+        assert stats.op_count > 0
+        assert stats.wall_seconds > 0
+        assert stats.peak_live_ciphertexts > 0
+        assert stats.peak_live_ciphertexts <= stats.op_count
+
+    def test_memory_reuse_limits_live_ciphertexts(self, noiseless_backend):
+        # A long chain of multiplies by constants should only ever keep a
+        # couple of ciphertexts alive at a time thanks to retirement.
+        program = EvaProgram("chain", vec_size=8, default_scale=20)
+        with program:
+            x = input_encrypted("x", 20)
+            node = x
+            for _ in range(30):
+                node = node * 0.9
+            output("out", node, 20)
+        compiled = program.compile()
+        executor = Executor(compiled, noiseless_backend)
+        result = executor.execute({"x": np.ones(8)})
+        assert result.stats.peak_live_ciphertexts <= 5
+
+    def test_parallel_execution_matches_serial(self, simple_pyeva_program, simple_inputs):
+        compiled = simple_pyeva_program.compile()
+        serial = Executor(compiled, MockBackend(error_model="none")).execute(simple_inputs)
+        parallel = Executor(compiled, MockBackend(error_model="none"), threads=4).execute(simple_inputs)
+        np.testing.assert_allclose(parallel["w"], serial["w"], rtol=1e-9)
+
+    def test_output_truncated_to_vec_size(self, simple_pyeva_program, simple_inputs, mock_backend):
+        compiled = simple_pyeva_program.compile()
+        result = Executor(compiled, mock_backend).execute(simple_inputs)
+        assert result["w"].shape == (16,)
+
+    def test_default_backend_is_mock(self, simple_pyeva_program, simple_inputs):
+        compiled = simple_pyeva_program.compile()
+        result = Executor(compiled).execute(simple_inputs)
+        assert "w" in result.outputs

@@ -1,0 +1,165 @@
+"""Tests for the PyEVA frontend (Expr operators, context management, compile)."""
+
+import numpy as np
+import pytest
+
+from repro.core import execute_reference
+from repro.core.types import Op
+from repro.errors import CompilationError
+from repro.frontend import (
+    EvaProgram,
+    constant,
+    current_program,
+    input_encrypted,
+    output,
+    sum_slots,
+)
+
+
+class TestContextManagement:
+    def test_no_active_program_raises(self):
+        with pytest.raises(CompilationError):
+            current_program()
+
+    def test_nested_programs(self):
+        outer = EvaProgram("outer", vec_size=8)
+        inner = EvaProgram("inner", vec_size=8)
+        with outer:
+            assert current_program() is outer
+            with inner:
+                assert current_program() is inner
+            assert current_program() is outer
+
+    def test_module_functions_use_active_program(self):
+        program = EvaProgram("p", vec_size=8, default_scale=20)
+        with program:
+            x = input_encrypted("x")
+            output("out", x * 2.0)
+        assert "x" in program.graph.inputs
+        assert "out" in program.graph.outputs
+
+    def test_mixing_programs_rejected(self):
+        p1 = EvaProgram("p1", vec_size=8)
+        p2 = EvaProgram("p2", vec_size=8)
+        with p1:
+            x1 = input_encrypted("x")
+        with p2:
+            x2 = input_encrypted("x")
+            with pytest.raises(CompilationError):
+                _ = x1 + x2
+
+
+class TestExprOperators:
+    def run(self, build, inputs, vec_size=8):
+        program = EvaProgram("t", vec_size=vec_size, default_scale=25)
+        with program:
+            x = input_encrypted("x", 25)
+            output("out", build(x), 25)
+        return execute_reference(program.graph, inputs)["out"]
+
+    def test_add_sub_mul_with_literals(self):
+        xv = np.linspace(-1, 1, 8)
+        np.testing.assert_allclose(self.run(lambda x: x + 1.0, {"x": xv}), xv + 1.0)
+        np.testing.assert_allclose(self.run(lambda x: 1.0 + x, {"x": xv}), xv + 1.0)
+        np.testing.assert_allclose(self.run(lambda x: x - 0.5, {"x": xv}), xv - 0.5)
+        np.testing.assert_allclose(self.run(lambda x: 2.0 - x, {"x": xv}), 2.0 - xv)
+        np.testing.assert_allclose(self.run(lambda x: x * 3.0, {"x": xv}), xv * 3.0)
+        np.testing.assert_allclose(self.run(lambda x: 3.0 * x, {"x": xv}), xv * 3.0)
+
+    def test_negation(self):
+        xv = np.linspace(-1, 1, 8)
+        np.testing.assert_allclose(self.run(lambda x: -x, {"x": xv}), -xv)
+
+    def test_vector_literal_operand(self):
+        xv = np.linspace(-1, 1, 8)
+        mask = np.arange(8, dtype=float)
+        np.testing.assert_allclose(
+            self.run(lambda x: x * mask.tolist(), {"x": xv}), xv * mask
+        )
+
+    @pytest.mark.parametrize("exponent", [1, 2, 3, 4, 5, 8])
+    def test_power(self, exponent):
+        xv = np.linspace(0.1, 1, 8)
+        np.testing.assert_allclose(
+            self.run(lambda x: x**exponent, {"x": xv}), xv**exponent, rtol=1e-12
+        )
+
+    def test_power_uses_logarithmic_depth(self):
+        program = EvaProgram("pow", vec_size=8, default_scale=25)
+        with program:
+            x = input_encrypted("x", 25)
+            output("out", x**8, 25)
+        assert program.graph.multiplicative_depth() == 3
+
+    def test_invalid_power_rejected(self):
+        program = EvaProgram("pow", vec_size=8)
+        with program:
+            x = input_encrypted("x")
+            with pytest.raises(CompilationError):
+                _ = x**0
+            with pytest.raises(CompilationError):
+                _ = x**1.5
+
+    def test_rotations(self):
+        xv = np.arange(8, dtype=float)
+        np.testing.assert_allclose(self.run(lambda x: (x << 2) * 1.0, {"x": xv}), np.roll(xv, -2))
+        np.testing.assert_allclose(self.run(lambda x: (x >> 1) * 1.0, {"x": xv}), np.roll(xv, 1))
+
+    def test_sum_helper(self):
+        xv = np.arange(8, dtype=float)
+        program = EvaProgram("s", vec_size=8, default_scale=25)
+        with program:
+            x = input_encrypted("x", 25)
+            output("out", sum_slots(x), 25)
+        out = execute_reference(program.graph, {"x": xv})["out"]
+        np.testing.assert_allclose(out, np.full(8, xv.sum()))
+
+
+class TestProgramBuilding:
+    def test_default_scale_applied(self):
+        program = EvaProgram("p", vec_size=8, default_scale=33)
+        with program:
+            x = input_encrypted("x")
+            output("out", x * 1.0)
+        assert program.graph.inputs["x"].scale == 33
+        assert program.graph.output_scales["out"] == 33
+
+    def test_kernel_scope_labels_terms(self):
+        program = EvaProgram("p", vec_size=8, default_scale=20)
+        with program:
+            x = input_encrypted("x")
+            with program.kernel("conv1"):
+                y = x * x
+            z = y + 1.0
+            output("out", z)
+        labels = {t.kernel for t in program.graph.terms() if t.op is Op.MULTIPLY}
+        assert labels == {"conv1"}
+        add_labels = {t.kernel for t in program.graph.terms() if t.op is Op.ADD}
+        assert add_labels == {None}
+
+    def test_compile_produces_result(self):
+        program = EvaProgram("p", vec_size=8, default_scale=25)
+        with program:
+            x = input_encrypted("x", 25)
+            output("out", x * x, 25)
+        result = program.compile()
+        assert result.parameters.poly_modulus_degree >= 16
+        assert result.options.policy == "eva"
+
+    def test_sum_figure6_sobel_shape(self):
+        # A miniature of the paper's Figure 6 program compiles cleanly.
+        size = 8
+        program = EvaProgram("sobel", vec_size=size * size, default_scale=30)
+        filt = [[-1, 0, 1], [-2, 0, 2], [-1, 0, 1]]
+        with program:
+            image = input_encrypted("image", 30)
+            ix = None
+            for i in range(3):
+                for j in range(3):
+                    rot = image << (i * size + j)
+                    h = rot * constant(float(filt[i][j]), 30)
+                    ix = h if ix is None else ix + h
+            d = ix**2
+            output("d", d, 30)
+        result = program.compile()
+        assert len(result.rotation_steps) > 0

@@ -1,0 +1,213 @@
+"""Unit tests for the term-graph IR (Program, Term, GraphEditor)."""
+
+import numpy as np
+import pytest
+
+from repro.core.ir import GraphEditor, Program, Term
+from repro.core.types import Op, ValueType
+from repro.errors import CompilationError
+
+
+def build_chain(depth: int = 3) -> Program:
+    program = Program("chain", vec_size=8)
+    x = program.input("x", ValueType.CIPHER, scale=30)
+    node = x
+    for _ in range(depth):
+        node = program.make_term(Op.MULTIPLY, [node, node])
+    program.set_output("out", node, scale=30)
+    return program
+
+
+class TestProgramConstruction:
+    def test_vec_size_must_be_power_of_two(self):
+        with pytest.raises(CompilationError):
+            Program("bad", vec_size=12)
+
+    def test_duplicate_input_names_rejected(self):
+        program = Program("p", vec_size=4)
+        program.input("x")
+        with pytest.raises(CompilationError):
+            program.input("x")
+
+    def test_cipher_constants_rejected(self):
+        program = Program("p", vec_size=4)
+        with pytest.raises(CompilationError):
+            program.constant([1.0, 2.0], value_type=ValueType.CIPHER)
+
+    def test_constant_value_types_inferred(self):
+        program = Program("p", vec_size=4)
+        assert program.constant(1.5).value_type is ValueType.SCALAR
+        assert program.constant([1.0, 2.0]).value_type is ValueType.VECTOR
+
+    def test_make_term_infers_cipher(self):
+        program = Program("p", vec_size=4)
+        x = program.input("x", ValueType.CIPHER)
+        c = program.constant(2.0)
+        assert program.make_term(Op.MULTIPLY, [x, c]).value_type is ValueType.CIPHER
+        assert program.make_term(Op.MULTIPLY, [c, c]).value_type is ValueType.VECTOR
+
+    def test_make_term_rejects_root_opcode(self):
+        program = Program("p", vec_size=4)
+        with pytest.raises(CompilationError):
+            program.make_term(Op.INPUT, [])
+
+
+class TestGraphQueries:
+    def test_terms_topological_order(self):
+        program = build_chain(4)
+        terms = program.terms()
+        positions = {t.id: i for i, t in enumerate(terms)}
+        for term in terms:
+            for arg in term.args:
+                assert positions[arg.id] < positions[term.id]
+
+    def test_uses_map(self):
+        program = Program("p", vec_size=4)
+        x = program.input("x", ValueType.CIPHER)
+        square = program.make_term(Op.MULTIPLY, [x, x])
+        program.set_output("out", square)
+        uses = program.uses()
+        assert len(uses[x.id]) == 2  # both operand slots of the square
+        assert uses[square.id] == []
+
+    def test_multiplicative_depth(self):
+        assert build_chain(1).multiplicative_depth() == 1
+        assert build_chain(5).multiplicative_depth() == 5
+
+    def test_additions_do_not_count_toward_depth(self):
+        program = Program("p", vec_size=4)
+        x = program.input("x", ValueType.CIPHER)
+        node = x
+        for _ in range(4):
+            node = program.make_term(Op.ADD, [node, x])
+        program.set_output("out", node)
+        assert program.multiplicative_depth() == 0
+
+    def test_op_counts(self):
+        program = build_chain(3)
+        counts = program.op_counts()
+        assert counts[Op.MULTIPLY] == 3
+        assert counts[Op.INPUT] == 1
+
+    def test_len_counts_reachable_terms(self):
+        assert len(build_chain(3)) == 4  # input + 3 multiplies
+
+    def test_unreachable_terms_excluded(self):
+        program = Program("p", vec_size=4)
+        x = program.input("x", ValueType.CIPHER)
+        program.make_term(Op.NEGATE, [x])  # dead
+        out = program.make_term(Op.MULTIPLY, [x, x])
+        program.set_output("out", out)
+        ops = [t.op for t in program.terms()]
+        assert Op.NEGATE not in ops
+
+
+class TestStructureValidation:
+    def test_missing_outputs_rejected(self):
+        program = Program("p", vec_size=4)
+        program.input("x", ValueType.CIPHER)
+        with pytest.raises(CompilationError):
+            program.check_structure()
+
+    def test_frontend_only_rejects_fhe_ops(self):
+        program = Program("p", vec_size=4)
+        x = program.input("x", ValueType.CIPHER)
+        relin = program.make_term(Op.RELINEARIZE, [x])
+        program.set_output("out", relin)
+        with pytest.raises(CompilationError):
+            program.check_structure(frontend_only=True)
+        program.check_structure(frontend_only=False)
+
+    def test_arity_checked(self):
+        program = Program("p", vec_size=4)
+        x = program.input("x", ValueType.CIPHER)
+        bad = Term(Op.ADD, [x], ValueType.CIPHER)
+        program.set_output("out", bad)
+        with pytest.raises(CompilationError):
+            program.check_structure()
+
+    def test_rotation_requires_step_attribute(self):
+        program = Program("p", vec_size=4)
+        x = program.input("x", ValueType.CIPHER)
+        rot = Term(Op.ROTATE_LEFT, [x], ValueType.CIPHER)
+        program.set_output("out", rot)
+        with pytest.raises(CompilationError):
+            program.check_structure()
+
+    def test_plain_output_rejected(self):
+        program = Program("p", vec_size=4)
+        c = program.constant([1.0, 2.0, 3.0, 4.0])
+        neg = program.make_term(Op.NEGATE, [c])
+        program.outputs["out"] = neg
+        with pytest.raises(CompilationError):
+            program.check_structure()
+
+    def test_cycle_detection(self):
+        program = Program("p", vec_size=4)
+        x = program.input("x", ValueType.CIPHER)
+        a = program.make_term(Op.NEGATE, [x])
+        b = program.make_term(Op.NEGATE, [a])
+        a.args[0] = b  # introduce a cycle
+        program.set_output("out", b)
+        with pytest.raises(CompilationError):
+            program.check_structure()
+
+
+class TestClone:
+    def test_clone_is_deep(self):
+        program = build_chain(3)
+        clone = program.clone()
+        assert len(clone) == len(program)
+        original_ids = {t.id for t in program.terms()}
+        cloned_ids = {t.id for t in clone.terms()}
+        assert original_ids.isdisjoint(cloned_ids)
+
+    def test_clone_preserves_outputs_and_scales(self):
+        program = build_chain(2)
+        program.output_scales["out"] = 25.0
+        clone = program.clone()
+        assert list(clone.outputs) == ["out"]
+        assert clone.output_scales == {"out": 25.0}
+
+    def test_clone_keeps_unused_inputs_declared(self):
+        program = Program("p", vec_size=4)
+        x = program.input("x", ValueType.CIPHER)
+        program.input("unused", ValueType.CIPHER)
+        program.set_output("out", program.make_term(Op.MULTIPLY, [x, x]))
+        clone = program.clone()
+        assert "unused" in clone.inputs
+
+
+class TestGraphEditor:
+    def test_insert_after_rewires_consumers(self):
+        program = Program("p", vec_size=4)
+        x = program.input("x", ValueType.CIPHER)
+        square = program.make_term(Op.MULTIPLY, [x, x])
+        consumer = program.make_term(Op.NEGATE, [square])
+        program.set_output("out", consumer)
+        editor = GraphEditor(program)
+        relin = Term(Op.RELINEARIZE, [square], ValueType.CIPHER)
+        editor.insert_after(square, relin)
+        assert consumer.args[0] is relin
+        assert relin.args[0] is square
+
+    def test_insert_after_redirects_outputs(self):
+        program = Program("p", vec_size=4)
+        x = program.input("x", ValueType.CIPHER)
+        square = program.make_term(Op.MULTIPLY, [x, x])
+        program.set_output("out", square)
+        editor = GraphEditor(program)
+        relin = Term(Op.RELINEARIZE, [square], ValueType.CIPHER)
+        editor.insert_after(square, relin)
+        assert program.outputs["out"] is relin
+
+    def test_replace_term(self):
+        program = Program("p", vec_size=4)
+        x = program.input("x", ValueType.CIPHER)
+        a = program.make_term(Op.NEGATE, [x])
+        b = program.make_term(Op.NEGATE, [x])
+        consumer = program.make_term(Op.ADD, [a, b])
+        program.set_output("out", consumer)
+        editor = GraphEditor(program)
+        editor.replace_term(b, a)
+        assert consumer.args[0] is a and consumer.args[1] is a

@@ -1,0 +1,145 @@
+"""Tests for the metadata-exact mock CKKS backend (constraint enforcement)."""
+
+import numpy as np
+import pytest
+
+from repro.backend import MockBackend
+from repro.core.analysis.parameters import EncryptionParameters
+from repro.errors import (
+    LevelMismatchError,
+    ModulusExhaustedError,
+    PolynomialCountError,
+    ScaleMismatchError,
+)
+
+
+@pytest.fixture
+def context():
+    params = EncryptionParameters(
+        poly_modulus_degree=2048,
+        coeff_modulus_bits=[30, 30, 30, 30],
+        rotation_steps=[1, 2],
+    )
+    ctx = MockBackend(error_model="none").create_context(params)
+    ctx.generate_keys()
+    return ctx
+
+
+class TestMockCiphertextMetadata:
+    def test_encrypt_decrypt_roundtrip(self, context):
+        values = np.linspace(-1, 1, context.slot_count)
+        cipher = context.encrypt(values, 25)
+        np.testing.assert_allclose(context.decrypt(cipher), values)
+
+    def test_replication_of_short_inputs(self, context):
+        cipher = context.encrypt([1.0, 2.0], 25)
+        decoded = context.decrypt(cipher)
+        assert decoded.shape == (context.slot_count,)
+        np.testing.assert_allclose(decoded[:4], [1.0, 2.0, 1.0, 2.0])
+
+    def test_multiply_scales_add(self, context):
+        a = context.encrypt(np.ones(4), 25)
+        b = context.encrypt(np.ones(4), 20)
+        product = context.multiply(a, b)
+        assert context.scale_bits(product) == 45
+        assert product.num_polys == 3
+
+    def test_relinearize_restores_two_polys(self, context):
+        a = context.encrypt(np.ones(4), 25)
+        product = context.multiply(a, a)
+        assert context.relinearize(product).num_polys == 2
+
+    def test_rescale_consumes_level_and_scale(self, context):
+        a = context.encrypt(np.ones(4), 25)
+        b = context.multiply(a, a)
+        rescaled = context.rescale(b, 30)
+        assert context.level(rescaled) == 1
+        assert context.scale_bits(rescaled) == 20
+
+    def test_mod_switch_keeps_scale(self, context):
+        a = context.encrypt(np.ones(4), 25)
+        switched = context.mod_switch(a)
+        assert context.level(switched) == 1
+        assert context.scale_bits(switched) == 25
+
+    def test_rotation(self, context):
+        values = np.arange(context.slot_count, dtype=float)
+        cipher = context.encrypt(values, 25)
+        rotated = context.rotate(cipher, 3)
+        np.testing.assert_allclose(context.decrypt(rotated), np.roll(values, -3))
+
+
+class TestMockConstraintEnforcement:
+    def test_add_level_mismatch_raises(self, context):
+        a = context.encrypt(np.ones(4), 25)
+        b = context.mod_switch(context.encrypt(np.ones(4), 25))
+        with pytest.raises(LevelMismatchError):
+            context.add(a, b)
+
+    def test_add_scale_mismatch_raises(self, context):
+        a = context.encrypt(np.ones(4), 25)
+        b = context.encrypt(np.ones(4), 20)
+        with pytest.raises(ScaleMismatchError):
+            context.add(a, b)
+
+    def test_add_plain_scale_mismatch_raises(self, context):
+        a = context.encrypt(np.ones(4), 25)
+        plain = context.encode(np.ones(4), 15)
+        with pytest.raises(ScaleMismatchError):
+            context.add_plain(a, plain)
+
+    def test_multiply_without_relinearization_raises(self, context):
+        a = context.encrypt(np.ones(4), 10)
+        three_polys = context.multiply(a, a)
+        with pytest.raises(PolynomialCountError):
+            context.multiply(three_polys, a)
+
+    def test_multiply_overflowing_modulus_raises(self, context):
+        a = context.encrypt(np.ones(4), 60)
+        b = context.encrypt(np.ones(4), 65)
+        with pytest.raises(ModulusExhaustedError):
+            context.multiply(a, b)
+
+    def test_rescale_on_last_level_raises(self, context):
+        a = context.encrypt(np.ones(4), 25)
+        for _ in range(2):
+            a = context.mod_switch(a)
+        with pytest.raises(ModulusExhaustedError):
+            context.rescale(a, 30)
+
+    def test_mod_switch_on_last_level_raises(self, context):
+        a = context.encrypt(np.ones(4), 25)
+        for _ in range(2):
+            a = context.mod_switch(a)
+        with pytest.raises(ModulusExhaustedError):
+            context.mod_switch(a)
+
+    def test_rescale_with_wrong_divisor_raises(self, context):
+        a = context.encrypt(np.ones(4), 50)
+        with pytest.raises(ModulusExhaustedError):
+            context.rescale(a, 20)
+
+    def test_release_tracks_live_count(self, context):
+        a = context.encrypt(np.ones(4), 25)
+        b = context.encrypt(np.ones(4), 25)
+        assert context.live_ciphertexts == 2
+        context.release(a)
+        assert context.live_ciphertexts == 1
+        context.release(a)  # double release is a no-op
+        assert context.live_ciphertexts == 1
+        context.release(b)
+        assert context.live_ciphertexts == 0
+
+    def test_error_model_validation(self):
+        with pytest.raises(ValueError):
+            MockBackend(error_model="bogus").create_context(
+                EncryptionParameters(2048, [30, 30])
+            )
+
+    def test_gaussian_noise_is_small(self):
+        params = EncryptionParameters(4096, [30, 30, 30])
+        ctx = MockBackend(error_model="gaussian", seed=0).create_context(params)
+        ctx.generate_keys()
+        values = np.linspace(-1, 1, ctx.slot_count)
+        decoded = ctx.decrypt(ctx.encrypt(values, 30))
+        assert np.max(np.abs(decoded - values)) < 1e-6

@@ -1,0 +1,119 @@
+"""Unit tests for the opcode and type enumerations."""
+
+import pytest
+
+from repro.core.types import (
+    ObjectType,
+    Op,
+    ValueType,
+    is_power_of_two,
+    object_type_for,
+    result_type,
+    value_type_for,
+)
+
+
+class TestOp:
+    def test_fhe_specific_ops_are_not_frontend_ops(self):
+        for op in (Op.RELINEARIZE, Op.MOD_SWITCH, Op.RESCALE, Op.NORMALIZE_SCALE):
+            assert op.is_fhe_specific
+            assert not op.is_frontend
+
+    def test_frontend_ops(self):
+        for op in (Op.NEGATE, Op.ADD, Op.SUB, Op.MULTIPLY, Op.ROTATE_LEFT, Op.ROTATE_RIGHT, Op.SUM):
+            assert op.is_frontend
+            assert op.is_instruction
+
+    def test_roots_are_not_instructions(self):
+        assert not Op.INPUT.is_instruction
+        assert not Op.CONSTANT.is_instruction
+
+    def test_rotation_classification(self):
+        assert Op.ROTATE_LEFT.is_rotation
+        assert Op.ROTATE_RIGHT.is_rotation
+        assert not Op.ADD.is_rotation
+
+    def test_additive_and_binary(self):
+        assert Op.ADD.is_additive and Op.SUB.is_additive
+        assert not Op.MULTIPLY.is_additive
+        assert Op.MULTIPLY.is_binary_arith
+
+    def test_modulus_changing_ops(self):
+        assert Op.RESCALE.changes_modulus
+        assert Op.MOD_SWITCH.changes_modulus
+        assert not Op.RELINEARIZE.changes_modulus
+
+    def test_opcode_values_match_proto_schema(self):
+        # Field numbers from Figure 1 of the paper.
+        assert Op.NEGATE == 1
+        assert Op.ADD == 2
+        assert Op.SUB == 3
+        assert Op.MULTIPLY == 4
+        assert Op.SUM == 5
+        assert Op.COPY == 6
+        assert Op.ROTATE_LEFT == 7
+        assert Op.ROTATE_RIGHT == 8
+        assert Op.RELINEARIZE == 9
+        assert Op.MOD_SWITCH == 10
+        assert Op.RESCALE == 11
+
+
+class TestValueType:
+    def test_cipher_is_encrypted(self):
+        assert ValueType.CIPHER.is_encrypted
+        assert not ValueType.VECTOR.is_encrypted
+
+    def test_vector_types(self):
+        assert ValueType.CIPHER.is_vector
+        assert ValueType.VECTOR.is_vector
+        assert not ValueType.SCALAR.is_vector
+
+    @pytest.mark.parametrize(
+        "types,expected",
+        [
+            ([ValueType.CIPHER, ValueType.VECTOR], ValueType.CIPHER),
+            ([ValueType.VECTOR, ValueType.SCALAR], ValueType.VECTOR),
+            ([ValueType.CIPHER, ValueType.CIPHER], ValueType.CIPHER),
+        ],
+    )
+    def test_result_type(self, types, expected):
+        assert result_type(Op.ADD, types) is expected
+
+
+class TestObjectTypeMapping:
+    @pytest.mark.parametrize(
+        "value_type,is_constant,expected",
+        [
+            (ValueType.CIPHER, False, ObjectType.VECTOR_CIPHER),
+            (ValueType.VECTOR, True, ObjectType.VECTOR_CONST),
+            (ValueType.VECTOR, False, ObjectType.VECTOR_PLAIN),
+            (ValueType.SCALAR, True, ObjectType.SCALAR_CONST),
+        ],
+    )
+    def test_object_type_for(self, value_type, is_constant, expected):
+        assert object_type_for(value_type, is_constant) is expected
+
+    @pytest.mark.parametrize(
+        "object_type,expected",
+        [
+            (ObjectType.VECTOR_CIPHER, ValueType.CIPHER),
+            (ObjectType.VECTOR_CONST, ValueType.VECTOR),
+            (ObjectType.SCALAR_PLAIN, ValueType.SCALAR),
+        ],
+    )
+    def test_value_type_for(self, object_type, expected):
+        assert value_type_for(object_type) is expected
+
+    def test_round_trip(self):
+        for value_type in (ValueType.CIPHER, ValueType.VECTOR):
+            assert value_type_for(object_type_for(value_type, False)) is value_type
+
+
+class TestPowerOfTwo:
+    @pytest.mark.parametrize("n", [1, 2, 4, 1024, 65536])
+    def test_powers(self, n):
+        assert is_power_of_two(n)
+
+    @pytest.mark.parametrize("n", [0, -2, 3, 6, 1000])
+    def test_non_powers(self, n):
+        assert not is_power_of_two(n)
