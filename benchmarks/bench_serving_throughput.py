@@ -1,0 +1,134 @@
+"""Amortized serving throughput: warm cached path vs the naive one-shot path.
+
+The paper's deployment story compiles a program once and serves many requests
+against it; the one-shot ``Executor.execute`` workflow instead pays
+compilation, context creation, and key generation on *every* request.  This
+benchmark quantifies the gap on the mock backend:
+
+* **naive** — per request: compile the program, build a fresh context and
+  keys, execute (exactly what ``repro.cli run`` does today);
+* **warm**  — the serving subsystem: the compilation comes from the program
+  registry, the context and keys from the session cache, and requests are
+  slot-batched into shared ciphertexts.
+
+Every served output is bit-compared against the ``ReferenceExecutor`` with
+the integration-test tolerance (atol=1e-3).  The acceptance bar is a >= 5x
+amortized speedup for the warm path.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.backend import MockBackend
+from repro.core import Executor, compile_program, execute_reference
+from repro.frontend import EvaProgram, input_encrypted, output
+from repro.serving import EvaServer
+
+from conftest import print_table
+
+#: Served requests per measured run.
+NUM_REQUESTS = 48
+#: Logical width of each client request (slots per lane).
+REQUEST_WIDTH = 16
+#: Ciphertext slot budget shared by the batched requests.
+VEC_SIZE = 2048
+#: Tolerance of tests/test_integration.py's reference comparisons.
+ATOL = 1e-3
+
+
+def build_program() -> EvaProgram:
+    program = EvaProgram("poly35", vec_size=VEC_SIZE, default_scale=25)
+    with program:
+        x = input_encrypted("x", 25)
+        # Depth-3 polynomial: enough compiler work (rescales, modswitches,
+        # parameter selection) to represent a realistic small workload.
+        output("y", (x ** 2 + x * 0.5) * (x ** 2 - 1.0) + x, 25)
+    return program
+
+
+def make_requests(count: int = NUM_REQUESTS):
+    rng = np.random.default_rng(42)
+    return [rng.uniform(-1.0, 1.0, REQUEST_WIDTH) for _ in range(count)]
+
+
+def run_naive(program: EvaProgram, requests) -> float:
+    """Per-request compile + fresh context/keys + execute (the status quo)."""
+    backend = MockBackend(seed=7)
+    start = time.perf_counter()
+    for xv in requests:
+        compilation = compile_program(program.graph)
+        result = Executor(compilation, backend).execute({"x": xv})
+        reference = execute_reference(program.graph, {"x": xv})
+        np.testing.assert_allclose(
+            result["y"][:REQUEST_WIDTH], reference["y"][:REQUEST_WIDTH], atol=ATOL
+        )
+    return time.perf_counter() - start
+
+
+def run_warm(server: EvaServer, program: EvaProgram, requests) -> float:
+    """Registry + session cache + slot batching through the job engine."""
+    start = time.perf_counter()
+    futures = [server.submit("poly35", {"x": xv}) for xv in requests]
+    responses = [future.result(120) for future in futures]
+    elapsed = time.perf_counter() - start
+    for xv, response in zip(requests, responses):
+        reference = execute_reference(program.graph, {"x": xv})
+        np.testing.assert_allclose(response["y"], reference["y"][:REQUEST_WIDTH], atol=ATOL)
+    return elapsed
+
+
+def test_serving_throughput(benchmark):
+    program = build_program()
+    requests = make_requests()
+
+    naive_seconds = run_naive(program, requests)
+
+    server = EvaServer(
+        backend=MockBackend(seed=7),
+        workers=2,
+        max_batch=64,
+        batch_window=0.001,
+    )
+    server.register("poly35", program)
+    # Prime the caches with one request: the steady state being measured is
+    # the warm path, not the first-ever compilation.
+    server.request("poly35", {"x": requests[0]})
+    warm_seconds = run_warm(server, program, requests)
+
+    stats = server.stats()
+    speedup = naive_seconds / max(warm_seconds, 1e-12)
+    per_request_naive = naive_seconds / NUM_REQUESTS
+    per_request_warm = warm_seconds / NUM_REQUESTS
+    print_table(
+        "Serving throughput: naive one-shot vs warm cached+batched path",
+        ["Path", "Total (s)", "Per request (ms)", "Speedup"],
+        [
+            ["naive (compile+keygen each)", f"{naive_seconds:.3f}", f"{per_request_naive * 1e3:.2f}", "1.0x"],
+            ["warm (registry+session+batch)", f"{warm_seconds:.3f}", f"{per_request_warm * 1e3:.2f}", f"{speedup:.1f}x"],
+        ],
+    )
+    print(
+        f"  engine: {stats['engine']['batches']} batches, largest "
+        f"{stats['engine']['largest_batch']}, registry hit rate "
+        f"{stats['registry']['hit_rate']}, session hit rate "
+        f"{stats['sessions']['hit_rate']}"
+    )
+
+    # Acceptance bar: amortized warm requests are at least 5x cheaper.
+    assert speedup >= 5.0, (
+        f"warm path only {speedup:.1f}x faster than naive "
+        f"({warm_seconds:.3f}s vs {naive_seconds:.3f}s)"
+    )
+    # The batcher actually packed multiple requests per execution.
+    assert stats["engine"]["largest_batch"] > 1
+
+    # Benchmark target: one warm request end to end.
+    benchmark.pedantic(
+        lambda: server.request("poly35", {"x": requests[0]}),
+        rounds=5,
+        iterations=1,
+    )
+    server.close()

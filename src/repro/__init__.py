@@ -15,6 +15,8 @@ The package is organized as follows:
   encrypted images.
 * :mod:`repro.apps` — the arithmetic, statistical-ML, and image-processing
   applications evaluated in the paper.
+* :mod:`repro.serving` — the serving subsystem: program registry, per-client
+  session cache, slot batching, async job engine, and a TCP front-end.
 """
 
 from .core import (

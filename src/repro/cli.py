@@ -11,6 +11,14 @@ and executed from the command line::
 
 ``inputs.json`` maps input names to numbers or lists of numbers; the decrypted
 outputs are printed as JSON.
+
+The serving subsystem is exposed as a command pair: ``serve`` registers one or
+more program files with an :class:`~repro.serving.EvaServer` and listens on a
+TCP port (newline-delimited JSON requests), and ``submit`` sends a request to
+a running server::
+
+    python -m repro.cli serve squares.evaproto --port 8587
+    python -m repro.cli submit squares --inputs inputs.json --port 8587
 """
 
 from __future__ import annotations
@@ -124,6 +132,67 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .serving import EvaServer, EvaTcpServer
+
+    options = CompilerOptions(
+        policy=args.policy,
+        max_rescale_bits=args.max_rescale_bits,
+        security_level=args.security,
+    )
+    # Load and validate everything before spinning up worker threads or
+    # binding the port, so a bad invocation fails fast and clean.
+    programs = {}
+    for path in args.programs:
+        name = Path(path).stem
+        if name in programs:
+            raise EvaError(
+                f"duplicate program name {name!r}: {path} would overwrite an "
+                "already-registered file with the same stem"
+            )
+        programs[name] = load(path)
+    server = EvaServer(
+        backend=_make_backend(args.backend, args.seed),
+        workers=args.workers,
+        max_batch=args.max_batch,
+        batch_window=args.batch_window,
+        executor_threads=args.threads,
+    )
+    for name, program in programs.items():
+        server.register(name, program, options=options)
+    tcp = EvaTcpServer(server, host=args.host, port=args.port)
+    host, port = tcp.address
+    print(
+        json.dumps({"serving": f"{host}:{port}", "programs": server.programs()}),
+        flush=True,
+    )
+    try:
+        tcp.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    finally:
+        tcp.shutdown()
+        server.close()
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from .serving import ServingClient
+
+    inputs = _load_inputs(args.inputs)
+    with ServingClient(args.host, args.port, timeout=args.timeout) as client:
+        outputs = client.submit(args.program, inputs, client_id=args.client)
+        payload = {
+            "outputs": {
+                name: np.asarray(values)[: args.head].tolist()
+                for name, values in outputs.items()
+            },
+            "stats": client.last_stats,
+        }
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli", description="Inspect, compile, and run serialized EVA programs."
@@ -154,6 +223,29 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--head", type=int, default=8, help="number of output slots to print")
     add_compile_options(run)
     run.set_defaults(func=cmd_run)
+
+    serve = sub.add_parser("serve", help="serve programs over TCP (JSON lines)")
+    serve.add_argument("programs", type=Path, nargs="+", help="program files; each is registered under its file stem")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8587, help="TCP port (0 picks a free port)")
+    serve.add_argument("--backend", default="mock", choices=["mock", "mock-exact", "ckks"])
+    serve.add_argument("--workers", type=int, default=2, help="job-engine worker threads")
+    serve.add_argument("--max-batch", type=int, default=8, help="max requests packed per execution")
+    serve.add_argument("--batch-window", type=float, default=0.005, help="seconds a worker lingers to fill a batch")
+    serve.add_argument("--threads", type=int, default=1, help="executor threads per evaluation")
+    serve.add_argument("--seed", type=int, default=0)
+    add_compile_options(serve)
+    serve.set_defaults(func=cmd_serve)
+
+    submit = sub.add_parser("submit", help="submit a request to a running server")
+    submit.add_argument("program", help="registered program name")
+    submit.add_argument("--inputs", required=True, help="JSON file mapping input names to values")
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, default=8587)
+    submit.add_argument("--client", default="default", help="client id (keys are cached per client)")
+    submit.add_argument("--timeout", type=float, default=30.0)
+    submit.add_argument("--head", type=int, default=8, help="number of output slots to print")
+    submit.set_defaults(func=cmd_submit)
     return parser
 
 

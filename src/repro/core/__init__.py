@@ -2,7 +2,13 @@
 
 from .types import Op, ValueType, DEFAULT_MAX_RESCALE_BITS, DEFAULT_SECURITY_LEVEL
 from .ir import Program, Term, GraphEditor
-from .compiler import CompilerOptions, CompilationResult, EvaCompiler, compile_program
+from .compiler import (
+    CompilerOptions,
+    CompilationResult,
+    EvaCompiler,
+    compile_program,
+    program_signature,
+)
 from .executor import Executor, ReferenceExecutor, ExecutionResult, execute_reference
 from .scheduling import simulate_schedule, ScheduleResult
 from .analysis.parameters import EncryptionParameters
@@ -19,6 +25,7 @@ __all__ = [
     "CompilationResult",
     "EvaCompiler",
     "compile_program",
+    "program_signature",
     "Executor",
     "ReferenceExecutor",
     "ExecutionResult",

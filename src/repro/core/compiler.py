@@ -20,6 +20,8 @@ the benchmark harness to reproduce the CHET-vs-EVA comparisons of Section 8.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -112,6 +114,45 @@ class CompilationResult:
             "rotations": len(self.rotation_steps),
             "compile_seconds": self.compile_seconds,
         }
+
+
+def program_signature(
+    program: Program,
+    options: Optional[CompilerOptions] = None,
+    input_scales: Optional[Dict[str, float]] = None,
+    output_scales: Optional[Dict[str, float]] = None,
+) -> str:
+    """Stable content hash of a (program, compilation policy) pair.
+
+    Two programs with identical graphs, compiler options, and scale overrides
+    produce the same signature even across processes, so the signature can key
+    a compilation cache (see :class:`repro.serving.ProgramRegistry`).  The
+    program name is deliberately excluded: renaming a program does not change
+    what the compiler produces.
+    """
+    from .serialization.json_format import program_to_dict
+
+    payload = program_to_dict(program)
+    payload.pop("name", None)
+    options = options or CompilerOptions()
+    payload["options"] = {
+        "policy": options.policy,
+        "max_rescale_bits": options.max_rescale_bits,
+        "rescale_bits": options.rescale_bits,
+        "waterline_bits": options.waterline_bits,
+        "security_level": options.security_level,
+        "lower_sum": options.lower_sum,
+        "remove_copies": options.remove_copies,
+        "cleanup": options.cleanup,
+    }
+    payload["input_scales"] = {
+        k: float(v) for k, v in sorted((input_scales or {}).items())
+    }
+    payload["output_scales"] = {
+        k: float(v) for k, v in sorted((output_scales or {}).items())
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 class EvaCompiler:

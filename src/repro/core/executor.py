@@ -131,15 +131,34 @@ class Executor:
         self._scales = compute_scales(self.program)
 
     # -- public API -------------------------------------------------------------
-    def execute(self, inputs: Dict[str, Any]) -> ExecutionResult:
-        """Encrypt ``inputs``, evaluate the program, and decrypt the outputs."""
+    def create_context(self) -> BackendContext:
+        """Build a backend context (with keys) for this compilation.
+
+        The returned context can be passed to :meth:`execute` repeatedly so a
+        serving layer amortizes context creation and key generation across
+        requests instead of paying them on every call.
+        """
+        context = self.backend.create_context(self.compilation.parameters)
+        context.generate_keys()
+        return context
+
+    def execute(
+        self, inputs: Dict[str, Any], context: Optional[BackendContext] = None
+    ) -> ExecutionResult:
+        """Encrypt ``inputs``, evaluate the program, and decrypt the outputs.
+
+        When ``context`` is given it must come from :meth:`create_context` (or
+        an equivalent backend context with keys already generated); context
+        creation and key generation are then skipped entirely and
+        ``stats.context_seconds`` stays zero.
+        """
         stats = ExecutionStats(threads=self.threads)
         start_all = time.perf_counter()
 
-        t0 = time.perf_counter()
-        context = self.backend.create_context(self.compilation.parameters)
-        context.generate_keys()
-        stats.context_seconds = time.perf_counter() - t0
+        if context is None:
+            t0 = time.perf_counter()
+            context = self.create_context()
+            stats.context_seconds = time.perf_counter() - t0
 
         t0 = time.perf_counter()
         cipher_values, plain_values = self._prepare_roots(context, inputs)
@@ -228,11 +247,21 @@ class Executor:
         Active (ready) instructions are dispatched to a thread pool as soon as
         all their parents have produced values, mirroring the asynchronous
         scheduling of the paper's Galois-based executor.
+
+        Once any instruction fails, no newly-ready consumers are dispatched;
+        already-dispatched instructions (which never depend on the failed one)
+        drain, and the error of the topologically-earliest *recorded* failure
+        is re-raised.  When a single instruction can fail this makes the
+        surfaced exception independent of thread interleaving; with several
+        independently-failing instructions the winner is biased to (but not
+        guaranteed to be) the earliest, since a failure may suppress dispatch
+        of another failing instruction entirely.
         """
         import threading
 
         lock = threading.Lock()
         terms_by_id = {t.id: t for t in terms}
+        order = {t.id: i for i, t in enumerate(terms)}
         pending_args: Dict[int, int] = {}
         consumers: Dict[int, List[int]] = {t.id: [] for t in terms}
         for term in terms:
@@ -249,28 +278,34 @@ class Executor:
             if t.is_instruction and pending_args[t.id] == 0
         ]
         done_count = 0
+        inflight = 0
         total = sum(1 for t in terms if t.is_instruction)
         done_event = threading.Event()
-        errors: List[BaseException] = []
+        errors: List[Tuple[int, BaseException]] = []
 
         def run_term(term: Term) -> None:
-            nonlocal done_count
+            nonlocal done_count, inflight
             try:
                 self._execute_term(context, term, cipher_values, plain_values)
             except BaseException as exc:  # propagate to the caller
                 with lock:
-                    errors.append(exc)
-                    done_event.set()
+                    errors.append((order[term.id], exc))
+                    inflight -= 1
+                    if inflight == 0:
+                        done_event.set()
                 return
             newly_ready: List[Term] = []
             with lock:
                 self._retire_args(context, term, remaining_uses, output_ids, cipher_values)
                 done_count += 1
-                for consumer_id in consumers[term.id]:
-                    pending_args[consumer_id] -= 1
-                    if pending_args[consumer_id] == 0:
-                        newly_ready.append(terms_by_id[consumer_id])
-                if done_count == total:
+                inflight -= 1
+                if not errors:
+                    for consumer_id in consumers[term.id]:
+                        pending_args[consumer_id] -= 1
+                        if pending_args[consumer_id] == 0:
+                            newly_ready.append(terms_by_id[consumer_id])
+                    inflight += len(newly_ready)
+                if done_count == total or inflight == 0:
                     done_event.set()
             for nxt in newly_ready:
                 pool.submit(run_term, nxt)
@@ -278,11 +313,13 @@ class Executor:
         with ThreadPoolExecutor(max_workers=self.threads) as pool:
             if total == 0:
                 return
+            with lock:
+                inflight = len(ready)
             for term in ready:
                 pool.submit(run_term, term)
             done_event.wait()
         if errors:
-            raise errors[0]
+            raise min(errors, key=lambda entry: entry[0])[1]
 
     def _execute_term(
         self,

@@ -7,10 +7,10 @@ from typing import Union
 
 from ...errors import SerializationError
 from ..ir import Program
-from . import json_format, proto
+from . import json_format, messages, proto
 from .proto import deserialize, serialize
 
-__all__ = ["serialize", "deserialize", "save", "load", "proto", "json_format"]
+__all__ = ["serialize", "deserialize", "save", "load", "proto", "json_format", "messages"]
 
 
 def save(program: Program, path: Union[str, Path]) -> None:

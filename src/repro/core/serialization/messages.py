@@ -1,0 +1,138 @@
+"""JSON wire messages for the serving layer (request/response framing).
+
+The program interchange formats (:mod:`.proto`, :mod:`.json_format`) describe
+*programs*; this module describes the *requests and responses* exchanged
+between a serving client and server.  Messages are JSON objects transported as
+newline-delimited UTF-8 over a byte stream — the same human-readable wire the
+JSON program format uses, so a request can be assembled with nothing more
+than ``json.dumps`` on the client side.
+
+A request looks like::
+
+    {"op": "submit", "program": "squares", "inputs": {"x": [1.0, 2.0]},
+     "client_id": "alice"}
+
+and a response like::
+
+    {"ok": true, "outputs": {"y": [1.0, 4.0]}, "stats": {...}}
+
+Errors travel as ``{"ok": false, "error": "...", "kind": "ServingError"}``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ...errors import SerializationError
+
+#: Operations a client may request.
+REQUEST_OPS = ("submit", "stats", "list", "ping")
+
+
+def encode_values(values: Dict[str, Any]) -> Dict[str, list]:
+    """Convert a name -> vector mapping into plain JSON-serializable lists."""
+    encoded = {}
+    for name, value in values.items():
+        array = np.atleast_1d(np.asarray(value, dtype=np.float64)).ravel()
+        encoded[str(name)] = [float(v) for v in array]
+    return encoded
+
+
+def decode_values(values: Dict[str, Any]) -> Dict[str, np.ndarray]:
+    """Inverse of :func:`encode_values`."""
+    if not isinstance(values, dict):
+        raise SerializationError("'inputs' must be an object mapping names to values")
+    decoded = {}
+    for name, value in values.items():
+        try:
+            decoded[str(name)] = np.atleast_1d(
+                np.asarray(value, dtype=np.float64)
+            ).ravel()
+        except (TypeError, ValueError) as exc:
+            raise SerializationError(f"input {name!r} is not numeric: {exc}") from exc
+    return decoded
+
+
+def encode_request(
+    op: str,
+    program: Optional[str] = None,
+    inputs: Optional[Dict[str, Any]] = None,
+    client_id: str = "default",
+    output_size: Optional[int] = None,
+) -> str:
+    """Build one wire line for a client request."""
+    if op not in REQUEST_OPS:
+        raise SerializationError(f"unknown request op {op!r}")
+    message: Dict[str, Any] = {"op": op}
+    if program is not None:
+        message["program"] = program
+    if inputs is not None:
+        message["inputs"] = encode_values(inputs)
+    if client_id != "default":
+        message["client_id"] = client_id
+    if output_size is not None:
+        message["output_size"] = int(output_size)
+    return json.dumps(message, separators=(",", ":")) + "\n"
+
+
+def decode_request(line: str) -> Dict[str, Any]:
+    """Parse and validate one request line."""
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"malformed request JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise SerializationError("request must be a JSON object")
+    op = message.get("op")
+    if op not in REQUEST_OPS:
+        raise SerializationError(f"unknown request op {op!r}")
+    if op == "submit":
+        if not isinstance(message.get("program"), str):
+            raise SerializationError("submit requests need a 'program' name")
+        message["inputs"] = decode_values(message.get("inputs", {}))
+        output_size = message.get("output_size")
+        if output_size is not None:
+            if not isinstance(output_size, int) or isinstance(output_size, bool) or output_size < 1:
+                raise SerializationError(
+                    f"'output_size' must be a positive integer, got {output_size!r}"
+                )
+    message.setdefault("client_id", "default")
+    return message
+
+
+def encode_response(
+    outputs: Optional[Dict[str, Any]] = None,
+    stats: Optional[Dict[str, Any]] = None,
+    payload: Optional[Dict[str, Any]] = None,
+) -> str:
+    """Build one wire line for a successful response."""
+    message: Dict[str, Any] = {"ok": True}
+    if outputs is not None:
+        message["outputs"] = encode_values(outputs)
+    if stats is not None:
+        message["stats"] = stats
+    if payload is not None:
+        message.update(payload)
+    return json.dumps(message, separators=(",", ":")) + "\n"
+
+
+def encode_error(error: BaseException) -> str:
+    """Build one wire line reporting a failed request."""
+    message = {"ok": False, "error": str(error), "kind": type(error).__name__}
+    return json.dumps(message, separators=(",", ":")) + "\n"
+
+
+def decode_response(line: str) -> Dict[str, Any]:
+    """Parse one response line; outputs come back as numpy arrays."""
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"malformed response JSON: {exc}") from exc
+    if not isinstance(message, dict) or "ok" not in message:
+        raise SerializationError("response must be a JSON object with an 'ok' field")
+    if message["ok"] and "outputs" in message:
+        message["outputs"] = decode_values(message["outputs"])
+    return message

@@ -74,3 +74,15 @@ class EncodingError(EvaError):
 
 class NoiseBudgetExhaustedError(ExecutionError):
     """The accumulated approximation error exceeds the message magnitude."""
+
+
+class ServingError(EvaError):
+    """A failure in the encrypted-computation serving layer."""
+
+
+class QueueFullError(ServingError):
+    """The serving job queue is at capacity and the submit deadline expired."""
+
+
+class UnknownProgramError(ServingError):
+    """A request referenced a program name the server has not registered."""

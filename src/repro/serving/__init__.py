@@ -1,0 +1,50 @@
+"""Encrypted-computation serving subsystem (compile once, serve many).
+
+Turns the one-shot compiler + executor into a serving stack:
+
+* :class:`ProgramRegistry` — compile each (program, policy) once, LRU-cached.
+* :class:`SessionManager` — cache backend contexts and keys per client.
+* :class:`SlotBatcher` — pack independent small requests into spare CKKS slots.
+* :class:`JobEngine` — bounded-queue worker pool with a futures API.
+* :class:`EvaServer` — the in-process front door combining all of the above.
+* :class:`EvaTcpServer` / :class:`ServingClient` — newline-JSON TCP transport
+  (also exposed as ``repro.cli serve`` / ``repro.cli submit``).
+"""
+
+from .batching import (
+    BatchInfo,
+    BatchPlan,
+    SlotBatcher,
+    is_slotwise,
+    min_lane_width,
+    request_width,
+)
+from .jobs import EngineMetrics, Job, JobEngine
+from .netserver import EvaTcpServer, ServingClient
+from .registry import CacheStats, ProgramRegistry, RegistryEntry
+from .server import EvaServer, ProgramSpec, ServeRequest, ServeResponse
+from .sessions import Session, SessionManager, session_key
+
+__all__ = [
+    "BatchInfo",
+    "BatchPlan",
+    "SlotBatcher",
+    "is_slotwise",
+    "min_lane_width",
+    "request_width",
+    "EngineMetrics",
+    "Job",
+    "JobEngine",
+    "EvaTcpServer",
+    "ServingClient",
+    "CacheStats",
+    "ProgramRegistry",
+    "RegistryEntry",
+    "EvaServer",
+    "ProgramSpec",
+    "ServeRequest",
+    "ServeResponse",
+    "Session",
+    "SessionManager",
+    "session_key",
+]

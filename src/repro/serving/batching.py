@@ -1,0 +1,224 @@
+"""Slot batching: pack independent small requests into one ciphertext.
+
+A CKKS ciphertext carries ``vec_size`` slots, but many workloads (Section 8's
+statistical/ML examples) use vectors far smaller than the slot count the
+security level forces.  One-shot execution wastes the spare slots by
+replicating the input.  The batcher instead splits the slots into *lanes* of a
+common power-of-two width, places one request per lane, executes the program
+once, and demultiplexes each lane back out — k requests for one ciphertext's
+worth of homomorphic work.
+
+Packing is only sound for *slotwise* programs: rotations and SUM move data
+across lane boundaries, so any program containing them (before or after
+lowering) falls back to per-request execution.  Program constants are also
+lane-constrained: a constant vector tiles with its own period during encoding,
+so every constant's length must divide the lane width for each lane to see
+the same constant a solo run would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.compiler import CompilationResult
+from ..core.ir import Program
+from ..core.types import Op
+from ..errors import ServingError
+
+#: Opcodes that read or write across slot boundaries.
+_CROSS_SLOT_OPS = (Op.ROTATE_LEFT, Op.ROTATE_RIGHT, Op.SUM)
+
+
+def _pow2_ceil(value: int) -> int:
+    result = 1
+    while result < value:
+        result <<= 1
+    return result
+
+
+def _value_width(value: Any) -> int:
+    return int(np.atleast_1d(np.asarray(value, dtype=np.float64)).size)
+
+
+def is_slotwise(program: Program) -> bool:
+    """True when every instruction operates slot-by-slot (batchable)."""
+    return not any(term.op in _CROSS_SLOT_OPS for term in program.terms())
+
+
+def min_lane_width(program: Program) -> int:
+    """Smallest lane width the program's constants allow."""
+    width = 1
+    for term in program.terms():
+        if term.is_constant:
+            width = max(width, _pow2_ceil(_value_width(term.value)))
+    return width
+
+
+def request_width(inputs: Dict[str, Any]) -> int:
+    """Logical vector width of one request (its widest input, at least 1)."""
+    width = 1
+    for value in inputs.values():
+        width = max(width, _value_width(value))
+    return _pow2_ceil(width)
+
+
+@dataclass(frozen=True)
+class BatchInfo:
+    """Batch-relevant facts of a compiled program (pure function of the graph).
+
+    Computing these walks the whole term graph, so servers cache one
+    ``BatchInfo`` per compilation signature instead of re-scanning per batch.
+    """
+
+    slotwise: bool
+    min_lane: int
+    vec_size: int
+
+    @property
+    def batchable(self) -> bool:
+        return self.slotwise and self.min_lane < self.vec_size
+
+
+@dataclass
+class BatchPlan:
+    """Placement of a group of requests into the lanes of one ciphertext."""
+
+    vec_size: int
+    lane_width: int
+    input_names: List[str]
+    #: Per-request output width (defaults to the request's own width).
+    output_widths: List[int] = field(default_factory=list)
+
+    @property
+    def capacity(self) -> int:
+        return self.vec_size // self.lane_width
+
+    @property
+    def lanes(self) -> int:
+        return len(self.output_widths)
+
+
+class SlotBatcher:
+    """Plans, packs, and unpacks slot-level request batches."""
+
+    def inspect(self, compilation: CompilationResult) -> BatchInfo:
+        """Scan the compiled program once for its batch-relevant facts."""
+        program = compilation.program
+        return BatchInfo(
+            slotwise=is_slotwise(program),
+            min_lane=min_lane_width(program),
+            vec_size=program.vec_size,
+        )
+
+    def batchable(self, compilation: CompilationResult) -> bool:
+        """Whether the compiled program admits slot batching at all."""
+        return self.inspect(compilation).batchable
+
+    def plan(
+        self,
+        compilation: CompilationResult,
+        requests: Sequence[Dict[str, Any]],
+        output_widths: Optional[Sequence[Optional[int]]] = None,
+        info: Optional[BatchInfo] = None,
+    ) -> Optional[BatchPlan]:
+        """Fit ``requests`` into one execution, or None when batching loses.
+
+        Returns a plan only when at least two requests fit; callers fall back
+        to per-request execution otherwise.  ``info`` lets a server pass the
+        cached :meth:`inspect` result instead of re-scanning the graph.
+        """
+        if info is None:
+            info = self.inspect(compilation)
+        if len(requests) < 2 or not info.batchable:
+            return None
+        program = compilation.program
+        lane = info.min_lane
+        widths = [request_width(inputs) for inputs in requests]
+        lane = max([lane] + widths)
+        if lane > program.vec_size or program.vec_size % lane:
+            return None
+        capacity = program.vec_size // lane
+        if capacity < 2 or len(requests) > capacity:
+            return None
+        names = sorted({name for inputs in requests for name in inputs})
+        for inputs in requests:
+            if sorted(inputs) != names:
+                return None  # heterogeneous requests cannot share lanes
+            # Every value must tile its lane exactly; a request that cannot
+            # (e.g. a size-3 vector) must fail alone on the solo path, not
+            # poison the whole batch from inside pack().
+            if any(lane % _value_width(value) for value in inputs.values()):
+                return None
+        resolved: List[int] = []
+        for index, width in enumerate(widths):
+            requested = None if output_widths is None else output_widths[index]
+            if requested is not None and (
+                not isinstance(requested, int) or requested < 1
+            ):
+                return None
+            resolved.append(requested if requested else width)
+        if any(w > lane for w in resolved):
+            return None
+        return BatchPlan(
+            vec_size=program.vec_size,
+            lane_width=lane,
+            input_names=names,
+            output_widths=resolved,
+        )
+
+    def pack(
+        self, plan: BatchPlan, requests: Sequence[Dict[str, Any]]
+    ) -> Dict[str, np.ndarray]:
+        """Assemble the lane-packed input vectors for one execution."""
+        if len(requests) != plan.lanes:
+            raise ServingError(
+                f"plan covers {plan.lanes} requests, got {len(requests)}"
+            )
+        packed: Dict[str, np.ndarray] = {}
+        for name in plan.input_names:
+            vector = np.empty(plan.vec_size, dtype=np.float64)
+            for index, inputs in enumerate(requests):
+                start = index * plan.lane_width
+                vector[start : start + plan.lane_width] = self._fill_lane(
+                    inputs[name], plan.lane_width
+                )
+            # Unused lanes repeat lane 0: slotwise programs never read across
+            # lanes, so the filler only has to be *some* well-scaled value.
+            for index in range(len(requests), plan.capacity):
+                start = index * plan.lane_width
+                vector[start : start + plan.lane_width] = vector[: plan.lane_width]
+            packed[name] = vector
+        return packed
+
+    def unpack(
+        self, plan: BatchPlan, outputs: Dict[str, np.ndarray]
+    ) -> List[Dict[str, np.ndarray]]:
+        """Split packed outputs back into one result dict per request."""
+        results: List[Dict[str, np.ndarray]] = []
+        for index, width in enumerate(plan.output_widths):
+            start = index * plan.lane_width
+            results.append(
+                {
+                    name: np.asarray(values)[start : start + width].copy()
+                    for name, values in outputs.items()
+                }
+            )
+        return results
+
+    @staticmethod
+    def _fill_lane(value: Any, lane_width: int) -> np.ndarray:
+        """Replicate one request's value into its lane (solo-run semantics)."""
+        array = np.atleast_1d(np.asarray(value, dtype=np.float64)).ravel()
+        if array.size == lane_width:
+            return array
+        if array.size == 1:
+            return np.full(lane_width, float(array[0]))
+        if lane_width % array.size:
+            raise ServingError(
+                f"request value of size {array.size} does not divide "
+                f"the lane width {lane_width}"
+            )
+        return np.tile(array, lane_width // array.size)

@@ -1,0 +1,258 @@
+"""Futures-based async job engine: bounded queue, worker pool, group batching.
+
+The engine decouples request admission from execution.  ``submit`` enqueues a
+:class:`Job` onto a bounded queue (applying back-pressure when full) and
+returns a :class:`concurrent.futures.Future`; worker threads pull jobs off
+the queue and hand them to the server's handler.  Jobs carry a *group key*
+(program name + client) and a worker drains every queued job of the group it
+picked up — optionally lingering ``batch_window`` seconds for stragglers — so
+the slot batcher downstream sees whole batches, not single requests.
+
+Per-stage latency (queue wait, execution) and throughput are accumulated in
+:class:`EngineMetrics`; the serving benchmarks read them to report amortized
+request cost.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, List, Optional
+
+from ..errors import QueueFullError, ServingError
+
+
+@dataclass
+class Job:
+    """One queued unit of serving work."""
+
+    id: int
+    group: Hashable
+    payload: Any
+    future: "Future[Any]"
+    submitted_at: float
+    started_at: float = 0.0
+    finished_at: float = 0.0
+
+    @property
+    def queue_seconds(self) -> float:
+        return max(self.started_at - self.submitted_at, 0.0)
+
+
+@dataclass
+class EngineMetrics:
+    """Counters and per-stage latency totals, updated under the engine lock."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    rejected: int = 0
+    batches: int = 0
+    largest_batch: int = 0
+    queue_seconds_total: float = 0.0
+    execute_seconds_total: float = 0.0
+    first_submit_at: Optional[float] = None
+    last_finish_at: Optional[float] = None
+    batch_size_counts: Dict[int, int] = field(default_factory=dict)
+
+    def summary(self) -> Dict[str, object]:
+        finished = self.completed + self.failed
+        elapsed = (
+            (self.last_finish_at - self.first_submit_at)
+            if self.first_submit_at is not None and self.last_finish_at is not None
+            else 0.0
+        )
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "rejected": self.rejected,
+            "batches": self.batches,
+            "largest_batch": self.largest_batch,
+            "mean_batch_size": round(finished / self.batches, 3) if self.batches else 0.0,
+            "mean_queue_seconds": (
+                round(self.queue_seconds_total / finished, 6) if finished else 0.0
+            ),
+            "mean_execute_seconds": (
+                round(self.execute_seconds_total / self.batches, 6) if self.batches else 0.0
+            ),
+            "throughput_per_second": (
+                round(finished / elapsed, 3) if elapsed > 0 else 0.0
+            ),
+            "batch_size_counts": dict(sorted(self.batch_size_counts.items())),
+        }
+
+
+class JobEngine:
+    """Bounded-queue worker pool executing grouped jobs through a handler.
+
+    ``handler(jobs)`` receives a non-empty list of jobs sharing one group key
+    and returns one result per job (an item may be an exception to fail just
+    that job); if the handler itself raises, the whole batch fails.
+    """
+
+    def __init__(
+        self,
+        handler: Callable[[List[Job]], List[Any]],
+        workers: int = 2,
+        queue_size: int = 256,
+        max_batch: int = 8,
+        batch_window: float = 0.0,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("the engine needs at least one worker")
+        if queue_size < 1:
+            raise ValueError("queue size must be at least 1")
+        self.handler = handler
+        self.queue_size = queue_size
+        self.max_batch = max(int(max_batch), 1)
+        self.batch_window = max(float(batch_window), 0.0)
+        self.metrics = EngineMetrics()
+        self._queue: "deque[Job]" = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+        self._ids = itertools.count()
+        self._workers = [
+            threading.Thread(target=self._worker_loop, name=f"eva-serve-{i}", daemon=True)
+            for i in range(workers)
+        ]
+        for thread in self._workers:
+            thread.start()
+
+    # -- submission --------------------------------------------------------------
+    def submit(
+        self, group: Hashable, payload: Any, timeout: Optional[float] = None
+    ) -> "Future[Any]":
+        """Enqueue a job and return its future.
+
+        Blocks while the queue is full; with a ``timeout``, raises
+        :class:`~repro.errors.QueueFullError` when space does not free up in
+        time (the back-pressure signal a front-end turns into "try later").
+        """
+        future: "Future[Any]" = Future()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while len(self._queue) >= self.queue_size and not self._closed:
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    self.metrics.rejected += 1
+                    raise QueueFullError(
+                        f"job queue is full ({self.queue_size} jobs) and the "
+                        f"submit deadline of {timeout:g}s expired"
+                    )
+                self._cond.wait(remaining)
+            if self._closed:
+                raise ServingError("the job engine has been shut down")
+            now = time.monotonic()
+            job = Job(
+                id=next(self._ids),
+                group=group,
+                payload=payload,
+                future=future,
+                submitted_at=now,
+            )
+            self._queue.append(job)
+            self.metrics.submitted += 1
+            if self.metrics.first_submit_at is None:
+                self.metrics.first_submit_at = now
+            self._cond.notify_all()
+        return future
+
+    # -- worker side -------------------------------------------------------------
+    def _take_batch(self) -> Optional[List[Job]]:
+        """Pop the next job plus queued same-group jobs (None on shutdown)."""
+        with self._cond:
+            while not self._queue and not self._closed:
+                self._cond.wait()
+            if not self._queue:
+                return None
+            first = self._queue.popleft()
+            batch = [first]
+            self._drain_group(batch)
+            deadline = time.monotonic() + self.batch_window
+            while (
+                len(batch) < self.max_batch
+                and self.batch_window > 0
+                and not self._closed
+            ):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._cond.wait(remaining)
+                self._drain_group(batch)
+            self._cond.notify_all()
+            return batch
+
+    def _drain_group(self, batch: List[Job]) -> None:
+        group = batch[0].group
+        kept: "deque[Job]" = deque()
+        while self._queue and len(batch) < self.max_batch:
+            job = self._queue.popleft()
+            if job.group == group:
+                batch.append(job)
+            else:
+                kept.append(job)
+        kept.extend(self._queue)
+        self._queue.clear()
+        self._queue.extend(kept)
+
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self._take_batch()
+            if batch is None:
+                return
+            started = time.monotonic()
+            for job in batch:
+                job.started_at = started
+            try:
+                results: List[Any] = list(self.handler(batch))
+                if len(results) != len(batch):
+                    raise ServingError(
+                        f"handler returned {len(results)} results for "
+                        f"{len(batch)} jobs"
+                    )
+            except BaseException as exc:
+                results = [exc] * len(batch)
+            finished = time.monotonic()
+            execute_seconds = finished - started
+            with self._cond:
+                self.metrics.batches += 1
+                self.metrics.largest_batch = max(self.metrics.largest_batch, len(batch))
+                size_counts = self.metrics.batch_size_counts
+                size_counts[len(batch)] = size_counts.get(len(batch), 0) + 1
+                self.metrics.execute_seconds_total += execute_seconds
+                self.metrics.last_finish_at = finished
+                for job in batch:
+                    job.finished_at = finished
+                    self.metrics.queue_seconds_total += job.queue_seconds
+            for job, result in zip(batch, results):
+                if isinstance(result, BaseException):
+                    with self._cond:
+                        self.metrics.failed += 1
+                    job.future.set_exception(result)
+                else:
+                    with self._cond:
+                        self.metrics.completed += 1
+                    job.future.set_result(result)
+
+    # -- lifecycle ---------------------------------------------------------------
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting jobs; drain the queue, then stop the workers."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._cond.notify_all()
+        if wait:
+            for thread in self._workers:
+                thread.join()
+
+    def __enter__(self) -> "JobEngine":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()

@@ -1,0 +1,151 @@
+"""TCP front-end for :class:`~repro.serving.server.EvaServer`.
+
+Transport is deliberately simple — newline-delimited JSON messages (see
+:mod:`repro.core.serialization.messages`) over a threading TCP server — so a
+client can be a five-line script or ``repro.cli submit``.  Each connection may
+pipeline any number of requests; responses come back in order.  Connection
+threads block on the server's futures, so concurrency across connections is
+bounded by the job engine, not by the socket layer.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..core.serialization import messages
+from ..errors import EvaError, ServingError
+from .server import EvaServer
+
+
+class _RequestHandler(socketserver.StreamRequestHandler):
+    """One connection: read request lines, write response lines."""
+
+    server: "EvaTcpServer"
+
+    def handle(self) -> None:
+        while True:
+            line = self.rfile.readline()
+            if not line:
+                return
+            text = line.decode("utf-8").strip()
+            if not text:
+                continue
+            try:
+                reply = self._dispatch(messages.decode_request(text))
+            except EvaError as error:
+                reply = messages.encode_error(error)
+            except Exception as error:  # never let a request kill the connection
+                reply = messages.encode_error(ServingError(str(error)))
+            self.wfile.write(reply.encode("utf-8"))
+            self.wfile.flush()
+
+    def _dispatch(self, request: Dict[str, Any]) -> str:
+        eva = self.server.eva_server
+        op = request["op"]
+        if op == "ping":
+            return messages.encode_response(payload={"pong": True})
+        if op == "list":
+            return messages.encode_response(payload={"programs": eva.programs()})
+        if op == "stats":
+            return messages.encode_response(payload={"stats": eva.stats()})
+        response = eva.request(
+            request["program"],
+            request["inputs"],
+            client_id=request.get("client_id", "default"),
+            output_size=request.get("output_size"),
+        )
+        return messages.encode_response(
+            outputs=response.outputs, stats=response.stats_dict()
+        )
+
+
+class EvaTcpServer(socketserver.ThreadingTCPServer):
+    """Threaded TCP server wrapping an :class:`EvaServer`."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(
+        self, eva_server: EvaServer, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.eva_server = eva_server
+        super().__init__((host, port), _RequestHandler)
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.server_address[0], self.server_address[1]
+
+    def start_background(self) -> threading.Thread:
+        """Serve on a daemon thread; returns the (started) thread."""
+        thread = threading.Thread(
+            target=self.serve_forever, name="eva-tcp-server", daemon=True
+        )
+        thread.start()
+        return thread
+
+
+class ServingClient:
+    """Minimal line-protocol client for :class:`EvaTcpServer`."""
+
+    def __init__(self, host: str, port: int, timeout: Optional[float] = 30.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    def _roundtrip(self, line: str) -> Dict[str, Any]:
+        self._file.write(line.encode("utf-8"))
+        self._file.flush()
+        reply = self._file.readline()
+        if not reply:
+            raise ServingError("connection closed by server")
+        response = messages.decode_response(reply.decode("utf-8"))
+        if not response.get("ok"):
+            raise ServingError(
+                f"{response.get('kind', 'ServingError')}: {response.get('error')}"
+            )
+        return response
+
+    def submit(
+        self,
+        program: str,
+        inputs: Dict[str, Any],
+        client_id: str = "default",
+        output_size: Optional[int] = None,
+    ) -> Dict[str, np.ndarray]:
+        """Execute ``program`` on the server; returns decrypted outputs."""
+        response = self._roundtrip(
+            messages.encode_request(
+                "submit",
+                program=program,
+                inputs=inputs,
+                client_id=client_id,
+                output_size=output_size,
+            )
+        )
+        self.last_stats: Dict[str, Any] = response.get("stats", {})
+        return response.get("outputs", {})
+
+    def programs(self) -> list:
+        return self._roundtrip(messages.encode_request("list")).get("programs", [])
+
+    def stats(self) -> Dict[str, Any]:
+        return self._roundtrip(messages.encode_request("stats")).get("stats", {})
+
+    def ping(self) -> bool:
+        return bool(self._roundtrip(messages.encode_request("ping")).get("pong"))
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServingClient":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()

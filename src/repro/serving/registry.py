@@ -1,0 +1,148 @@
+"""Compile-once program registry with LRU eviction and hit/miss accounting.
+
+The serving layer compiles every distinct (program graph, compiler options,
+scale overrides) combination exactly once: :func:`repro.core.program_signature`
+gives a stable content hash for the combination, and the registry caches the
+resulting :class:`~repro.core.compiler.CompilationResult` under it.  Repeat
+requests therefore skip the whole Transform/Validate/DetermineParameters
+pipeline, which dominates cold-request latency for small programs.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..core.compiler import (
+    CompilationResult,
+    CompilerOptions,
+    EvaCompiler,
+    program_signature,
+)
+from ..core.ir import Program
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters shared by the serving caches."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+@dataclass
+class RegistryEntry:
+    """A cached compilation plus its bookkeeping."""
+
+    signature: str
+    compilation: CompilationResult
+    hits: int = 0
+    compile_seconds: float = field(default=0.0)
+
+
+class ProgramRegistry:
+    """LRU cache of compiled programs keyed by content signature.
+
+    ``capacity`` bounds the number of distinct compilations kept alive;
+    the least-recently-used entry is evicted when a new compilation would
+    exceed it.  All methods are thread-safe: concurrent workers serving
+    the same program race to compile only on the very first request (the
+    compile itself runs outside the lock, and the first finisher wins).
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError("registry capacity must be at least 1")
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[str, RegistryEntry]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, signature: str) -> bool:
+        with self._lock:
+            return signature in self._entries
+
+    def lookup(self, signature: str) -> Optional[CompilationResult]:
+        """Return the cached compilation for ``signature`` or None (counts)."""
+        with self._lock:
+            entry = self._entries.get(signature)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(signature)
+            self.stats.hits += 1
+            entry.hits += 1
+            return entry.compilation
+
+    def get_or_compile(
+        self,
+        program: Program,
+        options: Optional[CompilerOptions] = None,
+        input_scales: Optional[Dict[str, float]] = None,
+        output_scales: Optional[Dict[str, float]] = None,
+        signature: Optional[str] = None,
+    ) -> CompilationResult:
+        """Return the compilation of ``program``, compiling at most once.
+
+        ``signature`` lets callers that computed the content hash up front
+        (e.g. at registration time) skip re-hashing the graph per request.
+        """
+        if signature is None:
+            signature = program_signature(program, options, input_scales, output_scales)
+        cached = self.lookup(signature)
+        if cached is not None:
+            return cached
+        compilation = EvaCompiler(options).compile(program, input_scales, output_scales)
+        self._insert(signature, compilation)
+        return compilation
+
+    def _insert(self, signature: str, compilation: CompilationResult) -> None:
+        with self._lock:
+            if signature in self._entries:
+                # A concurrent worker compiled the same program first; keep
+                # the existing entry so cached identity stays stable.
+                self._entries.move_to_end(signature)
+                return
+            self._entries[signature] = RegistryEntry(
+                signature=signature,
+                compilation=compilation,
+                compile_seconds=compilation.compile_seconds,
+            )
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def summary(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "entries": len(self._entries),
+                **self.stats.summary(),
+            }

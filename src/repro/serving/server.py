@@ -1,0 +1,328 @@
+"""The EVA serving front door: registered programs, cached sessions, batching.
+
+:class:`EvaServer` is the in-process serving subsystem.  Programs are
+registered once under a name; clients then submit named requests and receive
+futures.  Per request the server
+
+1. resolves the program's cached compilation (:class:`ProgramRegistry` — the
+   signature is precomputed at registration, so the warm path never hashes),
+2. resolves the client's cached backend context and keys
+   (:class:`SessionManager`),
+3. packs concurrently queued requests of the same (program, client) group
+   into the unused CKKS slots (:class:`SlotBatcher`) when the program is
+   slotwise, and
+4. executes once per batch through the ordinary :class:`~repro.core.Executor`
+   with the injected context.
+
+The result is the amortized serving path the paper's deployment story
+implies: compile once, keygen once per client, and pay one homomorphic
+evaluation for up to ``vec_size / lane`` requests.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..backend.hisa import HomomorphicBackend
+from ..core.compiler import CompilationResult, CompilerOptions, program_signature
+from ..core.executor import Executor
+from ..core.ir import Program
+from ..errors import ServingError, UnknownProgramError
+from .batching import BatchInfo, SlotBatcher, request_width
+from .jobs import Job, JobEngine
+from .registry import ProgramRegistry
+from .sessions import SessionManager
+
+
+@dataclass
+class ProgramSpec:
+    """A named program as registered with the server."""
+
+    name: str
+    program: Program
+    options: Optional[CompilerOptions]
+    input_scales: Optional[Dict[str, float]]
+    output_scales: Optional[Dict[str, float]]
+    signature: str
+
+
+@dataclass
+class ServeRequest:
+    """Payload of one queued job."""
+
+    inputs: Dict[str, Any]
+    output_size: Optional[int] = None
+
+
+@dataclass
+class ServeResponse:
+    """Decrypted outputs plus the serving metadata of one request."""
+
+    outputs: Dict[str, np.ndarray]
+    program: str
+    client_id: str
+    batch_size: int = 1
+    cached_program: bool = False
+    cached_session: bool = False
+    queue_seconds: float = 0.0
+    execute_seconds: float = 0.0
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.outputs[name]
+
+    def stats_dict(self) -> Dict[str, object]:
+        return {
+            "program": self.program,
+            "client_id": self.client_id,
+            "batch_size": self.batch_size,
+            "cached_program": self.cached_program,
+            "cached_session": self.cached_session,
+            "queue_seconds": round(self.queue_seconds, 6),
+            "execute_seconds": round(self.execute_seconds, 6),
+        }
+
+
+class EvaServer:
+    """In-process encrypted-computation server over a homomorphic backend."""
+
+    def __init__(
+        self,
+        backend: Optional[HomomorphicBackend] = None,
+        registry_capacity: int = 64,
+        session_capacity: int = 32,
+        workers: int = 2,
+        queue_size: int = 256,
+        max_batch: int = 8,
+        batch_window: float = 0.0,
+        executor_threads: int = 1,
+    ) -> None:
+        if backend is None:
+            from ..backend.mock_backend import MockBackend
+
+            backend = MockBackend()
+        self.backend = backend
+        self.registry = ProgramRegistry(capacity=registry_capacity)
+        self.sessions = SessionManager(backend, capacity=session_capacity)
+        self.batcher = SlotBatcher()
+        self.executor_threads = max(int(executor_threads), 1)
+        self._programs: Dict[str, ProgramSpec] = {}
+        self._executors: Dict[str, Executor] = {}
+        self._batch_infos: Dict[str, BatchInfo] = {}
+        self._lock = threading.Lock()
+        self.engine = JobEngine(
+            self._handle_batch,
+            workers=workers,
+            queue_size=queue_size,
+            max_batch=max_batch,
+            batch_window=batch_window,
+        )
+
+    # -- registration ------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        program: Any,
+        options: Optional[CompilerOptions] = None,
+        input_scales: Optional[Dict[str, float]] = None,
+        output_scales: Optional[Dict[str, float]] = None,
+    ) -> ProgramSpec:
+        """Register a frontend program (or its graph) under ``name``.
+
+        Accepts either a :class:`~repro.core.ir.Program` or a PyEVA
+        :class:`~repro.frontend.EvaProgram` (its ``graph`` is used).
+        Registration is cheap — compilation happens lazily on first request
+        and is shared through the registry afterwards.
+        """
+        graph = getattr(program, "graph", program)
+        if not isinstance(graph, Program):
+            raise ServingError(f"cannot register {type(program).__name__} as a program")
+        spec = ProgramSpec(
+            name=name,
+            program=graph,
+            options=options,
+            input_scales=input_scales,
+            output_scales=output_scales,
+            signature=program_signature(graph, options, input_scales, output_scales),
+        )
+        with self._lock:
+            self._programs[name] = spec
+        return spec
+
+    def programs(self) -> List[str]:
+        with self._lock:
+            return sorted(self._programs)
+
+    # -- request path ------------------------------------------------------------
+    def submit(
+        self,
+        name: str,
+        inputs: Dict[str, Any],
+        client_id: str = "default",
+        output_size: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> "Future[ServeResponse]":
+        """Queue one request; the future resolves to a :class:`ServeResponse`."""
+        with self._lock:
+            if name not in self._programs:
+                raise UnknownProgramError(
+                    f"no program registered under {name!r}; "
+                    f"known programs: {sorted(self._programs)}"
+                )
+        if output_size is not None:
+            # Reject here, at admission: a bad value surfacing inside the
+            # worker would fail co-batched requests along with this one.
+            try:
+                output_size = int(output_size)
+            except (TypeError, ValueError):
+                raise ServingError(
+                    f"output_size must be a positive integer, got {output_size!r}"
+                ) from None
+            if output_size < 1:
+                raise ServingError(f"output_size must be positive, got {output_size}")
+        payload = ServeRequest(inputs=dict(inputs), output_size=output_size)
+        return self.engine.submit((name, str(client_id)), payload, timeout=timeout)
+
+    def request(
+        self,
+        name: str,
+        inputs: Dict[str, Any],
+        client_id: str = "default",
+        output_size: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> ServeResponse:
+        """Synchronous convenience wrapper around :meth:`submit`."""
+        return self.submit(
+            name, inputs, client_id=client_id, output_size=output_size
+        ).result(timeout)
+
+    # -- execution (worker side) -------------------------------------------------
+    def _resolve(self, name: str) -> Tuple[ProgramSpec, CompilationResult, bool]:
+        with self._lock:
+            spec = self._programs.get(name)
+        if spec is None:
+            raise UnknownProgramError(f"program {name!r} was unregistered mid-flight")
+        cached = spec.signature in self.registry
+        compilation = self.registry.get_or_compile(
+            spec.program,
+            spec.options,
+            spec.input_scales,
+            spec.output_scales,
+            signature=spec.signature,
+        )
+        return spec, compilation, cached
+
+    def _executor_for(
+        self, signature: str, compilation: CompilationResult
+    ) -> Tuple[Executor, BatchInfo]:
+        with self._lock:
+            executor = self._executors.get(signature)
+            info = self._batch_infos.get(signature)
+            if executor is None:
+                executor = Executor(
+                    compilation, self.backend, threads=self.executor_threads
+                )
+                self._executors[signature] = executor
+                # Keep the side caches bounded alongside the registry.
+                while len(self._executors) > 2 * self.registry.capacity:
+                    self._executors.pop(next(iter(self._executors)))
+            if info is None:
+                info = self.batcher.inspect(compilation)
+                self._batch_infos[signature] = info
+                while len(self._batch_infos) > 2 * self.registry.capacity:
+                    self._batch_infos.pop(next(iter(self._batch_infos)))
+            return executor, info
+
+    def _handle_batch(self, jobs: List[Job]) -> List[Any]:
+        name, client_id = jobs[0].group
+        spec, compilation, cached_program = self._resolve(name)
+        session = self.sessions.get_session(compilation, client_id)
+        cached_session = session.hits > 0
+        executor, batch_info = self._executor_for(spec.signature, compilation)
+        requests = [job.payload for job in jobs]
+
+        plan = self.batcher.plan(
+            compilation,
+            [request.inputs for request in requests],
+            [request.output_size for request in requests],
+            info=batch_info,
+        )
+        responses: List[Any] = []
+        with session.lock:
+            if plan is not None:
+                packed = self.batcher.pack(plan, [r.inputs for r in requests])
+                result = executor.execute(packed, context=session.context)
+                per_request = self.batcher.unpack(plan, result.outputs)
+                for outputs in per_request:
+                    responses.append(
+                        ServeResponse(
+                            outputs=outputs,
+                            program=name,
+                            client_id=client_id,
+                            batch_size=len(jobs),
+                            cached_program=cached_program,
+                            cached_session=cached_session,
+                            execute_seconds=result.stats.evaluate_seconds,
+                        )
+                    )
+            else:
+                # Slotwise programs answer with the request's own width (the
+                # same view a batched execution yields); cross-slot programs
+                # return the full vector.
+                slotwise = batch_info.batchable
+                for request in requests:
+                    try:
+                        result = executor.execute(
+                            request.inputs, context=session.context
+                        )
+                        width = request.output_size or (
+                            request_width(request.inputs)
+                            if slotwise
+                            else compilation.program.vec_size
+                        )
+                        responses.append(
+                            ServeResponse(
+                                outputs={
+                                    key: np.asarray(value)[:width].copy()
+                                    for key, value in result.outputs.items()
+                                },
+                                program=name,
+                                client_id=client_id,
+                                batch_size=1,
+                                cached_program=cached_program,
+                                cached_session=cached_session,
+                                execute_seconds=result.stats.evaluate_seconds,
+                            )
+                        )
+                    except Exception as exc:  # fail this job, not the batch
+                        responses.append(exc)
+        for job, response in zip(jobs, responses):
+            if isinstance(response, ServeResponse):
+                response.queue_seconds = job.queue_seconds
+        return responses
+
+    # -- introspection / lifecycle ----------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        return {
+            "backend": getattr(self.backend, "name", "unknown"),
+            "programs": self.programs(),
+            "registry": self.registry.summary(),
+            "sessions": self.sessions.summary(),
+            "engine": self.engine.metrics.summary(),
+        }
+
+    def close(self, wait: bool = True) -> None:
+        self.engine.close(wait=wait)
+
+    def __enter__(self) -> "EvaServer":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+
+__all__ = ["EvaServer", "ServeRequest", "ServeResponse", "ProgramSpec"]

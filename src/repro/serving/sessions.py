@@ -1,0 +1,141 @@
+"""Per-client session cache of backend contexts and generated keys.
+
+Creating a backend context and generating its secret/public/relinearization/
+Galois keys is the other per-request cost a one-shot ``Executor.execute``
+pays besides compilation.  A *session* pins that work to a
+``(client, encryption parameters, rotation steps)`` triple: the first request
+of a session builds the context and keys, every later request reuses them.
+Distinct clients never share a session — in a real deployment each client
+owns its own secret key, so contexts must not leak across clients even when
+their encryption parameters coincide.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from ..backend.hisa import BackendContext, HomomorphicBackend
+from ..core.compiler import CompilationResult
+from .registry import CacheStats
+
+SessionKey = Tuple[str, int, Tuple[int, ...], Tuple[int, ...]]
+
+
+def session_key(compilation: CompilationResult, client_id: str = "default") -> SessionKey:
+    """The cache key of a session: client plus everything keygen depends on."""
+    parameters = compilation.parameters
+    return (
+        str(client_id),
+        parameters.poly_modulus_degree,
+        tuple(parameters.coeff_modulus_bits),
+        tuple(sorted(compilation.rotation_steps)),
+    )
+
+
+@dataclass
+class Session:
+    """A cached context (with keys) and its bookkeeping."""
+
+    key: SessionKey
+    context: BackendContext
+    created_at: float
+    keygen_seconds: float
+    hits: int = 0
+    #: Serializes executions sharing this context: backend contexts (RNG state,
+    #: op counters, real key material) are not safe for concurrent evaluation.
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+    @property
+    def client_id(self) -> str:
+        return self.key[0]
+
+
+class SessionManager:
+    """LRU cache of live backend sessions keyed by :func:`session_key`.
+
+    ``capacity`` bounds the number of concurrently cached sessions (each one
+    holds key material and, for real backends, sizeable Galois keys); the
+    least-recently-used session is dropped when the bound is exceeded.
+    """
+
+    def __init__(self, backend: HomomorphicBackend, capacity: int = 32) -> None:
+        if capacity < 1:
+            raise ValueError("session capacity must be at least 1")
+        self.backend = backend
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._sessions: "OrderedDict[SessionKey, Session]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    def get(
+        self, compilation: CompilationResult, client_id: str = "default"
+    ) -> BackendContext:
+        """Return a keyed context for ``(compilation, client)``, reusing if cached."""
+        return self.get_session(compilation, client_id).context
+
+    def get_session(
+        self, compilation: CompilationResult, client_id: str = "default"
+    ) -> Session:
+        key = session_key(compilation, client_id)
+        with self._lock:
+            session = self._sessions.get(key)
+            if session is not None:
+                self._sessions.move_to_end(key)
+                self.stats.hits += 1
+                session.hits += 1
+                return session
+            self.stats.misses += 1
+        # Keygen runs outside the lock: it is the expensive part and other
+        # sessions should not stall behind it.
+        start = time.perf_counter()
+        context = self.backend.create_context(compilation.parameters)
+        context.generate_keys()
+        keygen_seconds = time.perf_counter() - start
+        session = Session(
+            key=key,
+            context=context,
+            created_at=time.time(),
+            keygen_seconds=keygen_seconds,
+        )
+        with self._lock:
+            existing = self._sessions.get(key)
+            if existing is not None:
+                # A concurrent request built the same session first; reuse it
+                # so every caller sees one context per session.
+                self._sessions.move_to_end(key)
+                existing.hits += 1
+                return existing
+            self._sessions[key] = session
+            while len(self._sessions) > self.capacity:
+                self._sessions.popitem(last=False)
+                self.stats.evictions += 1
+        return session
+
+    def invalidate(self, client_id: str) -> int:
+        """Drop every session of ``client_id`` (e.g. on key rotation)."""
+        with self._lock:
+            doomed = [k for k in self._sessions if k[0] == str(client_id)]
+            for key in doomed:
+                del self._sessions[key]
+            return len(doomed)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._sessions.clear()
+
+    def summary(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "sessions": len(self._sessions),
+                "clients": len({k[0] for k in self._sessions}),
+                **self.stats.summary(),
+            }

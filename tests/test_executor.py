@@ -1,5 +1,7 @@
 """Tests for the reference executor and the backend executor (incl. memory reuse)."""
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -159,3 +161,118 @@ class TestBackendExecutor:
         compiled = simple_pyeva_program.compile()
         result = Executor(compiled).execute(simple_inputs)
         assert "w" in result.outputs
+
+    def test_injected_context_skips_context_stage(self, simple_pyeva_program, simple_inputs):
+        compiled = simple_pyeva_program.compile()
+        executor = Executor(compiled, MockBackend(error_model="none"))
+        context = executor.create_context()
+        warm = executor.execute(simple_inputs, context=context)
+        cold = executor.execute(simple_inputs)
+        assert warm.stats.context_seconds == 0.0
+        assert cold.stats.context_seconds > 0.0
+        np.testing.assert_allclose(warm["w"], cold["w"], rtol=1e-9)
+
+
+class _SentinelFailingContext(MockContext):
+    """Noiseless mock context that fails the multiply of a sentinel operand.
+
+    Detection is by operand *value*, so exactly one term of the test programs
+    fails no matter how threads interleave.  With ``block_others`` set, every
+    other multiply parks until the failure has happened — which makes "was a
+    consumer dispatched after the error?" a deterministic question instead of
+    a timing-dependent one.
+    """
+
+    SENTINEL = 7.0
+
+    def __init__(self, parameters, block_others: bool = False):
+        super().__init__(parameters, error_model="none")
+        self.block_others = block_others
+        self.error_event = threading.Event()
+        self.survivor_multiplies = 0
+
+    def multiply(self, a, b):
+        if a.values[0] == self.SENTINEL and b.values[0] == self.SENTINEL:
+            self.error_event.set()
+            raise ExecutionError("injected failure on the sentinel operand")
+        if self.block_others:
+            self.error_event.wait(5.0)
+        self.survivor_multiplies += 1
+        return super().multiply(a, b)
+
+
+class _SentinelFailingBackend(MockBackend):
+    def __init__(self, block_others: bool = False):
+        super().__init__(error_model="none")
+        self.block_others = block_others
+        self.last_context = None
+
+    def create_context(self, parameters):
+        self.last_context = _SentinelFailingContext(parameters, self.block_others)
+        return self.last_context
+
+
+class TestParallelErrorPath:
+    """The parallel executor must stop dispatching and re-raise deterministically."""
+
+    CHAIN_LENGTH = 6
+
+    @classmethod
+    def _two_branch_program(cls) -> EvaProgram:
+        # Output "a" fails at its one multiply (x is the 7.0 sentinel);
+        # output "b" is an independent chain of multiplies on y.
+        program = EvaProgram("twobranch", vec_size=8, default_scale=25)
+        with program:
+            x = input_encrypted("x", 25)
+            y = input_encrypted("y", 25)
+            output("a", x * x, 25)
+            node = y
+            for _ in range(cls.CHAIN_LENGTH):
+                node = node * y
+            output("b", node, 25)
+        return program
+
+    @classmethod
+    def _inputs(cls):
+        return {
+            "x": np.full(8, _SentinelFailingContext.SENTINEL),
+            "y": np.full(8, 1.01),
+        }
+
+    def test_error_is_reraised(self):
+        compiled = self._two_branch_program().compile()
+        with pytest.raises(ExecutionError, match="injected failure"):
+            Executor(compiled, _SentinelFailingBackend(), threads=4).execute(self._inputs())
+
+    def test_error_is_deterministic_across_runs(self):
+        compiled = self._two_branch_program().compile()
+        seen = set()
+        for _ in range(5):
+            with pytest.raises(ExecutionError) as excinfo:
+                Executor(compiled, _SentinelFailingBackend(), threads=4).execute(
+                    self._inputs()
+                )
+            seen.add((type(excinfo.value), str(excinfo.value)))
+        assert len(seen) == 1
+
+    def test_no_consumers_dispatched_after_error(self):
+        # Non-failing multiplies block until the failure happens, so only the
+        # already-dispatched first chain link may complete; if the executor
+        # kept dispatching newly-ready consumers after the error, the whole
+        # y-chain would run and survivor_multiplies would reach CHAIN_LENGTH.
+        compiled = self._two_branch_program().compile()
+        backend = _SentinelFailingBackend(block_others=True)
+        with pytest.raises(ExecutionError):
+            Executor(compiled, backend, threads=2).execute(self._inputs())
+        assert backend.last_context.survivor_multiplies <= 1
+
+    def test_serial_and_parallel_raise_same_error(self):
+        compiled = self._two_branch_program().compile()
+        serial_backend = _SentinelFailingBackend()
+        with pytest.raises(ExecutionError) as serial_exc:
+            Executor(compiled, serial_backend, threads=1).execute(self._inputs())
+        parallel_backend = _SentinelFailingBackend()
+        with pytest.raises(ExecutionError) as parallel_exc:
+            Executor(compiled, parallel_backend, threads=4).execute(self._inputs())
+        assert str(serial_exc.value) == str(parallel_exc.value)
+        assert type(serial_exc.value) is type(parallel_exc.value)

@@ -1,0 +1,614 @@
+"""Tests for the serving subsystem: registry, sessions, batching, engine, wire."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.backend import MockBackend
+from repro.core import CompilerOptions, Executor, compile_program, execute_reference, program_signature
+from repro.core.serialization import messages
+from repro.errors import (
+    QueueFullError,
+    SerializationError,
+    ServingError,
+    UnknownProgramError,
+)
+from repro.frontend import EvaProgram, input_encrypted, output
+from repro.serving import (
+    EvaServer,
+    EvaTcpServer,
+    JobEngine,
+    ProgramRegistry,
+    ServingClient,
+    SessionManager,
+    SlotBatcher,
+    is_slotwise,
+)
+
+
+def make_poly_program(name="poly", vec_size=64, coeff=1.0):
+    program = EvaProgram(name, vec_size=vec_size, default_scale=25)
+    with program:
+        x = input_encrypted("x", 25)
+        output("y", x * x + x * coeff + 1.0, 25)
+    return program
+
+
+def make_rotation_program(vec_size=16):
+    program = EvaProgram("rot", vec_size=vec_size, default_scale=25)
+    with program:
+        x = input_encrypted("x", 25)
+        output("y", (x << 1) * x, 25)
+    return program
+
+
+class TestProgramSignature:
+    def test_stable_across_clones(self):
+        program = make_poly_program().graph
+        assert program_signature(program) == program_signature(program.clone())
+
+    def test_name_does_not_matter(self):
+        a = make_poly_program(name="a").graph
+        b = make_poly_program(name="b").graph
+        assert program_signature(a) == program_signature(b)
+
+    def test_graph_changes_matter(self):
+        a = make_poly_program(coeff=1.0).graph
+        b = make_poly_program(coeff=2.0).graph
+        assert program_signature(a) != program_signature(b)
+
+    def test_options_matter(self):
+        program = make_poly_program().graph
+        assert program_signature(program, CompilerOptions(policy="eva")) != program_signature(
+            program, CompilerOptions(policy="chet")
+        )
+
+
+class TestProgramRegistry:
+    def test_hit_miss_accounting(self):
+        registry = ProgramRegistry(capacity=4)
+        program = make_poly_program().graph
+        first = registry.get_or_compile(program)
+        second = registry.get_or_compile(program)
+        assert first is second
+        assert registry.stats.misses == 1
+        assert registry.stats.hits == 1
+        assert registry.stats.hit_rate == 0.5
+
+    def test_clone_hits_same_entry(self):
+        registry = ProgramRegistry(capacity=4)
+        program = make_poly_program().graph
+        first = registry.get_or_compile(program)
+        second = registry.get_or_compile(program.clone())
+        assert first is second
+
+    def test_lru_eviction(self):
+        registry = ProgramRegistry(capacity=2)
+        programs = [make_poly_program(coeff=float(i)).graph for i in range(3)]
+        compiled = [registry.get_or_compile(p) for p in programs]
+        assert len(registry) == 2
+        assert registry.stats.evictions == 1
+        # The oldest entry (coeff=0) was evicted: recompiling misses...
+        assert registry.get_or_compile(programs[0]) is not compiled[0]
+        # ...while the most recent entry is still cached.
+        assert registry.get_or_compile(programs[2]) is compiled[2]
+
+    def test_lru_order_refreshed_by_hits(self):
+        registry = ProgramRegistry(capacity=2)
+        a, b, c = [make_poly_program(coeff=float(i)).graph for i in range(3)]
+        ca = registry.get_or_compile(a)
+        registry.get_or_compile(b)
+        registry.get_or_compile(a)  # refresh a; b is now least recent
+        registry.get_or_compile(c)  # evicts b
+        assert registry.get_or_compile(a) is ca
+        assert registry.stats.evictions == 1
+
+
+class TestSessionManager:
+    def test_context_reused_per_client(self):
+        compilation = compile_program(make_poly_program().graph)
+        sessions = SessionManager(MockBackend(seed=0), capacity=4)
+        first = sessions.get(compilation, client_id="alice")
+        second = sessions.get(compilation, client_id="alice")
+        assert first is second
+        assert sessions.stats.hits == 1
+        assert sessions.stats.misses == 1
+
+    def test_clients_never_share_contexts(self):
+        compilation = compile_program(make_poly_program().graph)
+        sessions = SessionManager(MockBackend(seed=0), capacity=4)
+        assert sessions.get(compilation, "alice") is not sessions.get(compilation, "bob")
+
+    def test_lru_eviction_and_keys_generated(self):
+        compilation = compile_program(make_poly_program().graph)
+        sessions = SessionManager(MockBackend(seed=0), capacity=2)
+        contexts = [sessions.get(compilation, f"client{i}") for i in range(3)]
+        assert all(ctx.keys_generated for ctx in contexts)
+        assert len(sessions) == 2
+        assert sessions.stats.evictions == 1
+        # client0 was evicted; a repeat request rebuilds its session.
+        assert sessions.get(compilation, "client0") is not contexts[0]
+
+    def test_invalidate_client(self):
+        compilation = compile_program(make_poly_program().graph)
+        sessions = SessionManager(MockBackend(seed=0), capacity=8)
+        sessions.get(compilation, "alice")
+        sessions.get(compilation, "bob")
+        assert sessions.invalidate("alice") == 1
+        assert len(sessions) == 1
+
+
+class TestExecutorContextReuse:
+    def test_context_param_skips_keygen(self, noiseless_backend):
+        program = make_poly_program(vec_size=16)
+        compilation = compile_program(program.graph)
+        executor = Executor(compilation, noiseless_backend)
+        context = executor.create_context()
+        xv = np.linspace(-1, 1, 16)
+        warm = executor.execute({"x": xv}, context=context)
+        cold = executor.execute({"x": xv})
+        assert warm.stats.context_seconds == 0.0
+        assert cold.stats.context_seconds > 0.0
+        np.testing.assert_allclose(warm["y"], cold["y"], rtol=1e-9)
+
+    def test_repeated_reuse_matches_reference(self, noiseless_backend):
+        program = make_poly_program(vec_size=16)
+        compilation = compile_program(program.graph)
+        executor = Executor(compilation, noiseless_backend)
+        context = executor.create_context()
+        for seed in range(3):
+            xv = np.random.default_rng(seed).uniform(-1, 1, 16)
+            result = executor.execute({"x": xv}, context=context)
+            reference = execute_reference(program.graph, {"x": xv})
+            np.testing.assert_allclose(result["y"], reference["y"], rtol=1e-9)
+
+
+class TestSlotBatcher:
+    def test_slotwise_detection(self):
+        assert is_slotwise(make_poly_program().graph)
+        assert not is_slotwise(make_rotation_program().graph)
+
+    def test_rotation_program_not_batchable(self):
+        compilation = compile_program(make_rotation_program().graph)
+        assert not SlotBatcher().batchable(compilation)
+
+    def test_pack_execute_unpack_matches_reference(self, noiseless_backend):
+        program = make_poly_program(vec_size=64)
+        compilation = compile_program(program.graph)
+        batcher = SlotBatcher()
+        rng = np.random.default_rng(3)
+        requests = [{"x": rng.uniform(-1, 1, 8)} for _ in range(5)]
+        plan = batcher.plan(compilation, requests)
+        assert plan is not None
+        assert plan.lane_width == 8
+        assert plan.capacity == 8
+        packed = batcher.pack(plan, requests)
+        result = Executor(compilation, noiseless_backend).execute(packed)
+        per_request = batcher.unpack(plan, result.outputs)
+        for request, outputs in zip(requests, per_request):
+            reference = execute_reference(program.graph, request)
+            np.testing.assert_allclose(outputs["y"], reference["y"][:8], rtol=1e-9)
+
+    def test_single_request_not_planned(self):
+        compilation = compile_program(make_poly_program().graph)
+        assert SlotBatcher().plan(compilation, [{"x": np.ones(4)}]) is None
+
+    def test_overflowing_batch_not_planned(self):
+        compilation = compile_program(make_poly_program(vec_size=8).graph)
+        requests = [{"x": np.ones(4)} for _ in range(3)]  # capacity is 2
+        assert SlotBatcher().plan(compilation, requests) is None
+
+    def test_mixed_widths_use_widest_lane(self):
+        compilation = compile_program(make_poly_program(vec_size=64).graph)
+        requests = [{"x": np.ones(4)}, {"x": np.ones(16)}]
+        plan = SlotBatcher().plan(compilation, requests)
+        assert plan is not None
+        assert plan.lane_width == 16
+
+    def test_non_dividing_request_not_planned(self):
+        # A size-3 vector cannot tile a power-of-two lane; planning must bail
+        # out so the bad request fails alone on the solo path instead of
+        # blowing up pack() for the whole batch.
+        compilation = compile_program(make_poly_program(vec_size=64).graph)
+        requests = [{"x": np.ones(16)}, {"x": np.ones(3)}]
+        assert SlotBatcher().plan(compilation, requests) is None
+
+    def test_invalid_output_width_not_planned(self):
+        compilation = compile_program(make_poly_program(vec_size=64).graph)
+        requests = [{"x": np.ones(8)}, {"x": np.ones(8)}]
+        assert SlotBatcher().plan(compilation, requests, ["oops", None]) is None
+        assert SlotBatcher().plan(compilation, requests, [-4, None]) is None
+
+    def test_cached_info_matches_fresh_scan(self):
+        batcher = SlotBatcher()
+        slotwise = compile_program(make_poly_program(vec_size=64).graph)
+        crossing = compile_program(make_rotation_program().graph)
+        assert batcher.inspect(slotwise).batchable
+        assert not batcher.inspect(crossing).batchable
+        requests = [{"x": np.ones(8)}, {"x": np.ones(8)}]
+        with_info = batcher.plan(slotwise, requests, info=batcher.inspect(slotwise))
+        without = batcher.plan(slotwise, requests)
+        assert with_info == without
+
+
+class TestJobEngine:
+    def test_futures_resolve(self):
+        with JobEngine(lambda jobs: [job.payload * 2 for job in jobs], workers=2) as engine:
+            futures = [engine.submit("g", i) for i in range(10)]
+            assert [f.result(10) for f in futures] == [i * 2 for i in range(10)]
+        assert engine.metrics.completed == 10
+
+    def test_handler_exception_fails_batch(self):
+        def boom(jobs):
+            raise RuntimeError("kaput")
+
+        with JobEngine(boom, workers=1) as engine:
+            future = engine.submit("g", None)
+            with pytest.raises(RuntimeError, match="kaput"):
+                future.result(10)
+        assert engine.metrics.failed == 1
+
+    def test_bounded_queue_rejects_on_timeout(self):
+        release = threading.Event()
+
+        def slow(jobs):
+            release.wait(10)
+            return [None] * len(jobs)
+
+        engine = JobEngine(slow, workers=1, queue_size=1, max_batch=1)
+        try:
+            engine.submit("g", 0)  # picked up by the worker, then blocks
+            time.sleep(0.05)
+            engine.submit("g", 1)  # fills the queue
+            with pytest.raises(QueueFullError):
+                engine.submit("g", 2, timeout=0.01)
+            assert engine.metrics.rejected == 1
+        finally:
+            release.set()
+            engine.close()
+
+    def test_groups_are_batched_together(self):
+        release = threading.Event()
+        batches = []
+
+        def handler(jobs):
+            if jobs[0].payload == "block":
+                release.wait(10)
+            else:
+                batches.append([job.payload for job in jobs])
+            return [None] * len(jobs)
+
+        engine = JobEngine(handler, workers=1, queue_size=32, max_batch=8)
+        try:
+            blocker = engine.submit("warmup", "block")
+            time.sleep(0.05)  # worker is now busy; the queue accumulates
+            futures = [engine.submit("a", f"a{i}") for i in range(3)]
+            futures += [engine.submit("b", "b0")]
+            futures += [engine.submit("a", "a3")]
+            release.set()
+            for future in futures + [blocker]:
+                future.result(10)
+        finally:
+            engine.close()
+        assert ["a0", "a1", "a2", "a3"] in batches
+        assert ["b0"] in batches
+        assert engine.metrics.largest_batch == 4
+
+    def test_submit_after_close_raises(self):
+        engine = JobEngine(lambda jobs: [None] * len(jobs), workers=1)
+        engine.close()
+        with pytest.raises(ServingError):
+            engine.submit("g", 0)
+
+
+class TestEvaServer:
+    def test_unknown_program_rejected_at_submit(self):
+        with EvaServer(backend=MockBackend(seed=0), workers=1) as server:
+            with pytest.raises(UnknownProgramError):
+                server.submit("nope", {"x": [1.0]})
+
+    def test_bad_output_size_rejected_at_submit(self):
+        with EvaServer(backend=MockBackend(seed=0), workers=1) as server:
+            server.register("poly", make_poly_program())
+            with pytest.raises(ServingError):
+                server.submit("poly", {"x": [1.0]}, output_size="oops")
+            with pytest.raises(ServingError):
+                server.submit("poly", {"x": [1.0]}, output_size=-4)
+
+    def test_malformed_request_fails_alone_in_batch(self):
+        # One non-dividing request forces the batch onto the solo path; the
+        # good requests still succeed and only the bad one errors.
+        program = make_poly_program(vec_size=64)
+        with EvaServer(
+            backend=MockBackend(error_model="none"),
+            workers=1,
+            max_batch=8,
+            batch_window=0.05,
+        ) as server:
+            server.register("poly", program)
+            good = [server.submit("poly", {"x": [0.5] * 8}) for _ in range(2)]
+            bad = server.submit("poly", {"x": [1.0, 2.0, 3.0]})
+            for future in good:
+                response = future.result(30)
+                reference = execute_reference(program.graph, {"x": [0.5] * 8})
+                np.testing.assert_allclose(response["y"], reference["y"][:8], rtol=1e-9)
+            with pytest.raises(Exception):
+                bad.result(30)
+
+    def test_batched_outputs_match_reference_per_request(self):
+        program = make_poly_program(vec_size=64)
+        with EvaServer(
+            backend=MockBackend(seed=0), workers=1, max_batch=8, batch_window=0.05
+        ) as server:
+            server.register("poly", program)
+            rng = np.random.default_rng(11)
+            request_inputs = [rng.uniform(-1, 1, 8) for _ in range(6)]
+            futures = [server.submit("poly", {"x": xv}) for xv in request_inputs]
+            responses = [future.result(30) for future in futures]
+        assert any(response.batch_size > 1 for response in responses)
+        for xv, response in zip(request_inputs, responses):
+            reference = execute_reference(program.graph, {"x": xv})
+            np.testing.assert_allclose(response["y"], reference["y"][:8], atol=1e-3)
+
+    def test_concurrent_clients_against_one_server(self):
+        program = make_poly_program(vec_size=64)
+        server = EvaServer(
+            backend=MockBackend(error_model="none"),
+            workers=4,
+            max_batch=4,
+            batch_window=0.01,
+        )
+        server.register("poly", program)
+        errors = []
+        checked = threading.Event()
+
+        def client(client_id: str, seed: int) -> None:
+            try:
+                rng = np.random.default_rng(seed)
+                for _ in range(5):
+                    xv = rng.uniform(-1, 1, 8)
+                    response = server.request("poly", {"x": xv}, client_id=client_id)
+                    reference = execute_reference(program.graph, {"x": xv})
+                    np.testing.assert_allclose(response["y"], reference["y"][:8], atol=1e-3)
+                    assert response.client_id == client_id
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append((client_id, exc))
+
+        threads = [
+            threading.Thread(target=client, args=(f"client{i}", i)) for i in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(60)
+        server.close()
+        assert not errors, errors
+        stats = server.stats()
+        assert stats["engine"]["completed"] == 30
+        # One compilation for 30 requests; every request after the first hit.
+        assert stats["registry"]["misses"] == 1
+        assert stats["registry"]["hits"] == stats["engine"]["batches"] - 1
+        # One session per client, reused across each client's requests.
+        assert stats["sessions"]["sessions"] == 6
+        assert stats["sessions"]["misses"] == 6
+
+    def test_warm_requests_hit_all_caches(self):
+        program = make_poly_program(vec_size=32)
+        with EvaServer(backend=MockBackend(seed=0), workers=1) as server:
+            server.register("poly", program)
+            cold = server.request("poly", {"x": [0.5] * 8})
+            warm = server.request("poly", {"x": [0.25] * 8})
+        assert not cold.cached_program and not cold.cached_session
+        assert warm.cached_program and warm.cached_session
+
+    def test_rotation_program_served_unbatched(self):
+        program = make_rotation_program(vec_size=16)
+        with EvaServer(
+            backend=MockBackend(error_model="none"), workers=1, batch_window=0.05
+        ) as server:
+            server.register("rot", program)
+            xv = np.arange(16, dtype=float) / 16.0
+            futures = [server.submit("rot", {"x": xv}) for _ in range(3)]
+            responses = [future.result(30) for future in futures]
+        reference = execute_reference(program.graph, {"x": xv})
+        for response in responses:
+            assert response.batch_size == 1
+            np.testing.assert_allclose(response["y"], reference["y"], rtol=1e-9)
+
+    def test_per_client_batches_are_isolated(self):
+        program = make_poly_program(vec_size=64)
+        with EvaServer(
+            backend=MockBackend(error_model="none"),
+            workers=1,
+            max_batch=8,
+            batch_window=0.05,
+        ) as server:
+            server.register("poly", program)
+            futures = [
+                server.submit("poly", {"x": [float(i)] * 4}, client_id=f"c{i % 2}")
+                for i in range(4)
+            ]
+            responses = [future.result(30) for future in futures]
+        for i, response in enumerate(responses):
+            reference = execute_reference(program.graph, {"x": [float(i)] * 4})
+            np.testing.assert_allclose(response["y"], reference["y"][:4], rtol=1e-9)
+            # Groups are (program, client): batches never span clients.
+            assert response.batch_size <= 2
+
+
+class TestWireMessages:
+    def test_request_roundtrip(self):
+        line = messages.encode_request(
+            "submit", program="poly", inputs={"x": [1.0, 2.0]}, client_id="alice"
+        )
+        decoded = messages.decode_request(line)
+        assert decoded["op"] == "submit"
+        assert decoded["program"] == "poly"
+        assert decoded["client_id"] == "alice"
+        np.testing.assert_allclose(decoded["inputs"]["x"], [1.0, 2.0])
+
+    def test_response_roundtrip(self):
+        line = messages.encode_response(outputs={"y": np.array([1.5, 2.5])})
+        decoded = messages.decode_response(line)
+        assert decoded["ok"]
+        np.testing.assert_allclose(decoded["outputs"]["y"], [1.5, 2.5])
+
+    def test_error_roundtrip(self):
+        line = messages.encode_error(ServingError("nope"))
+        decoded = messages.decode_response(line)
+        assert not decoded["ok"]
+        assert decoded["kind"] == "ServingError"
+
+    def test_malformed_request_rejected(self):
+        with pytest.raises(SerializationError):
+            messages.decode_request("not json")
+        with pytest.raises(SerializationError):
+            messages.decode_request('{"op": "explode"}')
+        with pytest.raises(SerializationError):
+            messages.decode_request('{"op": "submit"}')
+
+    def test_bad_output_size_rejected_at_decode(self):
+        for bad in ('"oops"', "-4", "0", "true", "1.5"):
+            line = (
+                '{"op": "submit", "program": "p", "inputs": {"x": [1.0]}, '
+                f'"output_size": {bad}}}'
+            )
+            with pytest.raises(SerializationError):
+                messages.decode_request(line)
+
+
+class TestTcpServing:
+    @pytest.fixture()
+    def tcp_server(self):
+        program = make_poly_program(vec_size=32)
+        eva = EvaServer(backend=MockBackend(seed=5), workers=2, batch_window=0.0)
+        eva.register("poly", program)
+        tcp = EvaTcpServer(eva, port=0)
+        tcp.start_background()
+        yield tcp, program
+        tcp.shutdown()
+        tcp.server_close()
+        eva.close()
+
+    def test_submit_over_tcp(self, tcp_server):
+        tcp, program = tcp_server
+        host, port = tcp.address
+        xv = np.linspace(-1, 1, 8)
+        with ServingClient(host, port) as client:
+            assert client.ping()
+            assert client.programs() == ["poly"]
+            outputs = client.submit("poly", {"x": xv})
+            stats = client.stats()
+        reference = execute_reference(program.graph, {"x": xv})
+        np.testing.assert_allclose(outputs["y"], reference["y"][:8], atol=1e-3)
+        assert stats["engine"]["completed"] == 1
+
+    def test_error_reported_not_fatal(self, tcp_server):
+        tcp, _ = tcp_server
+        host, port = tcp.address
+        with ServingClient(host, port) as client:
+            with pytest.raises(ServingError, match="UnknownProgramError"):
+                client.submit("missing", {"x": [1.0]})
+            # The connection survives a failed request.
+            assert client.ping()
+
+    def test_cli_serve_rejects_duplicate_stems(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.core.serialization import save
+
+        program = make_poly_program()
+        (tmp_path / "a").mkdir()
+        (tmp_path / "b").mkdir()
+        save(program.graph, tmp_path / "a" / "prog.evaproto")
+        save(program.graph, tmp_path / "b" / "prog.evaproto")
+        code = main(
+            [
+                "serve",
+                str(tmp_path / "a" / "prog.evaproto"),
+                str(tmp_path / "b" / "prog.evaproto"),
+                "--port",
+                "0",
+            ]
+        )
+        assert code == 1
+        assert "duplicate program name" in capsys.readouterr().err
+
+    def test_cli_serve_end_to_end(self, tmp_path):
+        """`repro.cli serve` in a subprocess answers a ServingClient request."""
+        import json
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        import repro
+        from repro.core.serialization import save
+
+        program = make_poly_program(vec_size=32)
+        path = tmp_path / "poly.evaproto"
+        save(program.graph, path)
+        env = dict(os.environ)
+        src_dir = str(Path(repro.__file__).resolve().parents[1])
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "serve",
+                str(path),
+                "--port",
+                "0",
+                "--backend",
+                "mock-exact",
+                "--batch-window",
+                "0",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        try:
+            banner = json.loads(process.stdout.readline())
+            assert banner["programs"] == ["poly"]
+            host, port = banner["serving"].rsplit(":", 1)
+            xv = np.linspace(-1, 1, 8)
+            with ServingClient(host, int(port)) as client:
+                outputs = client.submit("poly", {"x": xv})
+            reference = execute_reference(program.graph, {"x": xv})
+            np.testing.assert_allclose(outputs["y"], reference["y"][:8], rtol=1e-9)
+        finally:
+            process.terminate()
+            process.wait(10)
+
+    def test_cli_submit_against_server(self, tcp_server, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        tcp, program = tcp_server
+        host, port = tcp.address
+        inputs_path = tmp_path / "inputs.json"
+        inputs_path.write_text(json.dumps({"x": [0.5] * 8}))
+        code = main(
+            [
+                "submit",
+                "poly",
+                "--inputs",
+                str(inputs_path),
+                "--host",
+                host,
+                "--port",
+                str(port),
+                "--head",
+                "8",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        reference = execute_reference(program.graph, {"x": [0.5] * 8})
+        np.testing.assert_allclose(payload["outputs"]["y"], reference["y"][:8], atol=1e-3)
+        assert payload["stats"]["program"] == "poly"
