@@ -23,7 +23,7 @@ import time
 import numpy as np
 
 from repro.backend import MockBackend
-from repro.core import Executor, compile_program, execute_reference
+from repro.api import Executor, compile_program, execute_reference
 from repro.frontend import EvaProgram, input_encrypted, output
 from repro.serving import EvaServer
 

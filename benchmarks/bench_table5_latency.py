@@ -16,7 +16,8 @@ import time
 import numpy as np
 import pytest
 
-from repro.core import Executor, simulate_schedule
+from repro.api import Executor
+from repro.core import simulate_schedule
 from repro.nn import encrypted_inference
 
 from conftest import NETWORK_NAMES, print_table

@@ -15,7 +15,7 @@ import numpy as np
 import pytest
 
 from repro.backend import MockBackend
-from repro.core import CompilerOptions, Executor
+from repro.api import CompilerOptions, Executor
 from repro.nn import DnnCompiler
 
 from conftest import NETWORK_NAMES, NETWORK_SCALES, print_table

@@ -26,7 +26,7 @@ from repro.apps import (
 )
 from repro.apps import harris, path_length, regression, sobel
 from repro.backend import MockBackend
-from repro.core import Executor
+from repro.api import Executor
 
 from conftest import print_table
 

@@ -19,9 +19,9 @@ from repro.backend import MockBackend
 from repro.core import CompilerOptions, simulate_schedule
 from repro.nn import (
     DnnCompiler,
+    EncryptedInferenceSession,
     ScaleConfig,
     build_lenet_small,
-    encrypted_inference,
     synthetic_image_dataset,
     train_readout,
 )
@@ -53,12 +53,14 @@ def main() -> None:
         )
 
     # -- encrypted inference -------------------------------------------------------
-    backend = MockBackend(seed=5)
+    # One session = one client/server pair: the client keeps the keys, the
+    # server evaluates ciphertexts only, and keygen is paid once for all images.
+    session = EncryptedInferenceSession(compiled["eva"], backend=MockBackend(seed=5))
     matches, correct = 0, 0
     samples = 10
     print(f"\nrunning {samples} encrypted inferences (EVA policy, mock CKKS backend)")
     for image, label in zip(dataset.test_images[:samples], dataset.test_labels[:samples]):
-        logits = encrypted_inference(compiled["eva"], image, backend=backend)
+        logits = session.infer(image)
         encrypted_prediction = int(np.argmax(logits))
         matches += int(encrypted_prediction == network.predict(image))
         correct += int(encrypted_prediction == int(label))

@@ -14,6 +14,7 @@ import time
 
 import numpy as np
 
+from repro.api import ClientKit, CompiledProgram, ServerRuntime
 from repro.apps import (
     build_harris_program,
     build_sobel_program,
@@ -22,18 +23,20 @@ from repro.apps import (
     reference_sobel,
 )
 from repro.backend import MockBackend
-from repro.core import Executor
 
 
 def run(name, program, inputs, reference):
-    compiled = program.compile()
+    compiled = CompiledProgram.compile(program)
     summary = compiled.summary()
-    executor = Executor(compiled, backend=MockBackend(seed=7))
+    # Client encrypts, the server evaluates blindly, the client decrypts.
+    client = ClientKit(compiled, backend=MockBackend(seed=7))
+    server = ServerRuntime(compiled, backend=client.backend)
+    server.attach_client(client.client_id, client.evaluation_context())
     start = time.perf_counter()
-    result = executor.execute(inputs)
+    outputs = client.decrypt_outputs(server.evaluate(client.encrypt_inputs(inputs)))
     elapsed = time.perf_counter() - start
-    output_name = next(iter(result.outputs))
-    error = np.max(np.abs(result[output_name] - reference.reshape(-1)))
+    output_name = next(iter(outputs))
+    error = np.max(np.abs(outputs[output_name] - reference.reshape(-1)))
     print(
         f"{name:>24}: logN=2^{summary['log_n']} logQ={summary['log_q']} r={summary['r']} "
         f"| {elapsed:5.2f}s on 1 thread | max error {error:.2e}"

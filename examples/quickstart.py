@@ -1,12 +1,18 @@
-"""Quickstart: write, compile, and run your first EVA program.
+"""Quickstart: the three-artifact flow — compile, encrypt, evaluate, decrypt.
 
-This example mirrors the workflow of the paper (Sections 3-6):
+This example mirrors the deployment model of the paper: the *client* owns the
+keys and the data, the *server* owns the compiled program and evaluates on
+ciphertexts only.  The workflow is:
 
-1. write a program in PyEVA (no FHE-specific operations — no rescaling, no
-   modulus switching, no relinearization);
-2. compile it: the EVA compiler inserts the FHE-specific operations, validates
-   the result, and selects encryption parameters and rotation keys;
-3. execute it on encrypted data and compare against the plaintext reference.
+1. write the program — here with the ``@eva_program`` decorator, which traces
+   a plain Python function into a family of programs parameterized by
+   ``vec_size`` (the classic ``with program:`` block still works too);
+2. compile it into a ``CompiledProgram`` artifact (the EVA compiler inserts
+   the FHE-specific operations, validates the result, and selects encryption
+   parameters and rotation keys);
+3. split the execution across the trust boundary: a ``ClientKit`` generates
+   keys and encrypts, a ``ServerRuntime`` — which never receives the secret
+   key — evaluates the ciphertext bundle, and the client decrypts.
 
 Run with::
 
@@ -15,43 +21,54 @@ Run with::
 
 import numpy as np
 
+from repro.api import ClientKit, ServerRuntime, eva_program
 from repro.backend import MockBackend
-from repro.core import CompilerOptions, Executor, execute_reference
-from repro.frontend import EvaProgram, input_encrypted, output
+
+
+# -- 1. write the program as a traced function --------------------------------
+@eva_program(vec_size=1024, default_scale=30)
+def kernel(x, y):
+    # An arbitrary arithmetic kernel: note the rotation (x << 1), the free
+    # mixing of ciphertext and plaintext operands, and plaintext division.
+    return (x * y + (x << 1)) ** 2 + x / 2 + 1.0
 
 
 def main() -> None:
-    # -- 1. write the program -------------------------------------------------
-    program = EvaProgram("quickstart", vec_size=1024, default_scale=30)
-    with program:
-        x = input_encrypted("x", scale=30)
-        y = input_encrypted("y", scale=30)
-        # An arbitrary arithmetic kernel: note the rotation (x << 1) and the
-        # free mixing of ciphertext and plaintext operands.
-        result = (x * y + (x << 1)) ** 2 + 0.5 * x + 1.0
-        output("result", result, scale=30)
-
-    # -- 2. compile ------------------------------------------------------------
-    compiled = program.compile(options=CompilerOptions(policy="eva"))
+    # -- 2. compile into the shared artifact ----------------------------------
+    compiled = kernel.compile()
     print("compiled program:")
     for key, value in compiled.summary().items():
         print(f"  {key:>18}: {value}")
     print(f"  coeff modulus bits: {compiled.parameters.coeff_modulus_bits}")
     print(f"  rotation steps    : {compiled.rotation_steps}")
 
-    # -- 3. execute on encrypted data ------------------------------------------
+    # -- 3. client: keygen + encrypt ------------------------------------------
     rng = np.random.default_rng(0)
     inputs = {"x": rng.uniform(-1, 1, 1024), "y": rng.uniform(-1, 1, 1024)}
 
-    executor = Executor(compiled, backend=MockBackend(seed=1))
-    encrypted_result = executor.execute(inputs)
-    reference = execute_reference(program.graph, inputs)
+    client = ClientKit(compiled, backend=MockBackend(seed=1))
+    bundle = client.encrypt_inputs(inputs)
 
-    error = np.max(np.abs(encrypted_result["result"] - reference["result"]))
+    # -- 4. server: blind evaluation ------------------------------------------
+    # The server receives only the compiled program, the client's *evaluation*
+    # keys, and ciphertexts.  Handing it a context holding a secret key is an
+    # error; decryption on its context raises.
+    server = ServerRuntime(compiled, backend=client.backend)
+    server.attach_client(client.client_id, client.evaluation_context())
+    encrypted = server.evaluate(bundle)
+
+    # -- 5. client: decrypt and check vs the plaintext reference --------------
+    outputs = client.decrypt_outputs(encrypted)
+    reference = compiled.execute_reference(inputs)
+
+    error = np.max(np.abs(outputs["out"] - reference["out"]))
     print(f"\nmax |encrypted - plaintext| = {error:.2e}")
-    print(f"executed {encrypted_result.stats.op_count} homomorphic operations "
-          f"in {encrypted_result.stats.wall_seconds:.3f}s "
-          f"(peak live ciphertexts: {encrypted_result.stats.peak_live_ciphertexts})")
+    server_context = server.client_context(client.client_id)
+    print(
+        f"server evaluated {server_context.op_count} homomorphic operations "
+        f"in {encrypted.evaluate_seconds:.3f}s without the secret key "
+        f"(has_secret_key={server_context.has_secret_key})"
+    )
 
 
 if __name__ == "__main__":

@@ -14,6 +14,7 @@ import time
 
 import numpy as np
 
+from repro.api import ClientKit, CompiledProgram, ServerRuntime
 from repro.apps import (
     build_linear_regression_program,
     build_multivariate_regression_program,
@@ -26,16 +27,17 @@ from repro.apps import (
     reference_polynomial_regression,
 )
 from repro.backend import MockBackend
-from repro.core import Executor
 
 
 def run(name, program, inputs, reference):
-    compiled = program.compile()
-    executor = Executor(compiled, backend=MockBackend(seed=11))
+    compiled = CompiledProgram.compile(program)
+    client = ClientKit(compiled, backend=MockBackend(seed=11))
+    server = ServerRuntime(compiled, backend=client.backend)
+    server.attach_client(client.client_id, client.evaluation_context())
     start = time.perf_counter()
-    result = executor.execute(inputs)
+    outputs = client.decrypt_outputs(server.evaluate(client.encrypt_inputs(inputs)))
     elapsed = time.perf_counter() - start
-    prediction = result[next(iter(result.outputs))]
+    prediction = outputs[next(iter(outputs))]
     reference = np.atleast_1d(np.asarray(reference, dtype=np.float64))
     error = np.max(np.abs(prediction[: reference.size] - reference))
     print(f"{name:>26}: vec_size={program.vec_size:5d} | {elapsed:5.3f}s | max error {error:.2e}")

@@ -1,7 +1,16 @@
 """Reproduction of EVA: an Encrypted Vector Arithmetic language and compiler.
 
+The public API lives in :mod:`repro.api`, organized around the paper's
+asymmetric deployment model (client encrypts, server evaluates, client
+decrypts)::
+
+    from repro.api import ClientKit, CompiledProgram, ServerRuntime, eva_program
+
 The package is organized as follows:
 
+* :mod:`repro.api` — the public client/server API: ``CompiledProgram``,
+  ``ClientKit``, ``ServerRuntime``, cipher bundles, and the ``@eva_program``
+  tracing decorator.
 * :mod:`repro.core` — the EVA language (term-graph IR), the optimizing
   compiler (rescale / modswitch / relinearize insertion, scale matching,
   validation, parameter and rotation-key selection), executors, and a
@@ -16,33 +25,60 @@ The package is organized as follows:
 * :mod:`repro.apps` — the arithmetic, statistical-ML, and image-processing
   applications evaluated in the paper.
 * :mod:`repro.serving` — the serving subsystem: program registry, per-client
-  session cache, slot batching, async job engine, and a TCP front-end.
+  session cache, slot batching, async job engine, and a TCP front-end that
+  accepts pre-encrypted input bundles (client-held keys).
+
+Importing the old one-shot names from the top level (``repro.Executor`` and
+friends) still works but emits a :class:`DeprecationWarning`; import them
+from :mod:`repro.api` (or their home modules) instead.
 """
 
-from .core import (
-    CompilationResult,
-    CompilerOptions,
-    EvaCompiler,
-    Executor,
-    Program,
-    ReferenceExecutor,
-    compile_program,
-    execute_reference,
-)
+from __future__ import annotations
+
+import warnings
+from typing import Any
+
 from .frontend import EvaProgram, Expr
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+#: Legacy top-level names, lazily resolved with a deprecation warning.  The
+#: same names imported from their home modules (repro.core, repro.api) stay
+#: warning-free.
+_DEPRECATED_EXPORTS = {
+    "CompilationResult": "repro.core",
+    "CompilerOptions": "repro.core",
+    "EvaCompiler": "repro.core",
+    "Executor": "repro.core",
+    "Program": "repro.core",
+    "ReferenceExecutor": "repro.core",
+    "compile_program": "repro.core",
+    "execute_reference": "repro.core",
+}
 
 __all__ = [
-    "CompilationResult",
-    "CompilerOptions",
-    "EvaCompiler",
-    "Executor",
-    "Program",
-    "ReferenceExecutor",
-    "compile_program",
-    "execute_reference",
     "EvaProgram",
     "Expr",
+    "api",
     "__version__",
+    *sorted(_DEPRECATED_EXPORTS),
 ]
+
+
+def __getattr__(name: str) -> Any:
+    if name == "api":
+        import importlib
+
+        return importlib.import_module("repro.api")
+    home = _DEPRECATED_EXPORTS.get(name)
+    if home is not None:
+        warnings.warn(
+            f"importing {name!r} from the top-level 'repro' namespace is "
+            f"deprecated; import it from 'repro.api' (or {home!r}) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        import importlib
+
+        return getattr(importlib.import_module(home), name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

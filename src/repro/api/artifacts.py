@@ -1,0 +1,222 @@
+"""The compiled-program artifact shared by clients and servers.
+
+:class:`CompiledProgram` is the first of the three public artifacts of the
+client/server API (the others are :class:`~repro.api.client.ClientKit` and
+:class:`~repro.api.runtime.ServerRuntime`).  It wraps a
+:class:`~repro.core.compiler.CompilationResult` together with the stable
+content signature (:func:`repro.core.compiler.program_signature`) that keys
+every cache in the serving layer, and it can be saved to and loaded from disk
+through the existing serialization layer, so a server can host a program its
+operator compiled once, offline.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+import numpy as np
+
+from ..core.analysis import select_parameters, select_rotation_steps
+from ..core.analysis.parameters import EncryptionParameters
+from ..core.compiler import (
+    CompilationResult,
+    CompilerOptions,
+    EvaCompiler,
+    program_signature,
+)
+from ..core.executor import execute_reference
+from ..core.ir import Program
+from ..core.serialization.json_format import dict_to_program, program_to_dict
+from ..errors import SerializationError
+
+#: Format marker of the on-disk artifact.
+_ARTIFACT_FORMAT = "eva-compiled-program"
+_ARTIFACT_VERSION = 1
+
+
+class CompiledProgram:
+    """A compiled EVA program plus its routing signature.
+
+    Build one with :meth:`compile` (from a PyEVA :class:`~repro.frontend.EvaProgram`
+    or a core :class:`~repro.core.ir.Program`) or by wrapping an existing
+    :class:`CompilationResult`.  The ``signature`` is the content hash of the
+    *source* program and compilation policy — the same value
+    :class:`repro.serving.ProgramRegistry` keys its cache by — so a client and
+    a server that compiled the same source agree on it without coordination.
+    """
+
+    def __init__(
+        self,
+        compilation: CompilationResult,
+        signature: Optional[str] = None,
+        source: Optional[Program] = None,
+    ) -> None:
+        self.compilation = compilation
+        self.source = source
+        if signature is None:
+            # Prefer the signature the compiler stamped on the result: the
+            # hash of the *source* program, options, and scale overrides —
+            # identical to what the serving registry keys by, whichever path
+            # produced this compilation.  Only hand-assembled results (e.g.
+            # reloaded from an already-compiled graph) lack it; for those the
+            # source (or, failing that, the compiled graph) is hashed, which
+            # is stable but only matches peers that derived it the same way.
+            signature = compilation.signature
+        if signature is None:
+            graph = source if source is not None else compilation.program
+            signature = program_signature(graph, compilation.options)
+        self.signature = signature
+
+    # -- construction ------------------------------------------------------------
+    @classmethod
+    def compile(
+        cls,
+        program: Any,
+        options: Optional[CompilerOptions] = None,
+        input_scales: Optional[Dict[str, float]] = None,
+        output_scales: Optional[Dict[str, float]] = None,
+    ) -> "CompiledProgram":
+        """Compile a frontend program (or core graph) into an artifact.
+
+        Accepts a PyEVA :class:`~repro.frontend.EvaProgram` (its ``graph`` is
+        used) or a :class:`~repro.core.ir.Program`.
+        """
+        graph = getattr(program, "graph", program)
+        if not isinstance(graph, Program):
+            raise SerializationError(
+                f"cannot compile {type(program).__name__} as an EVA program"
+            )
+        compilation = EvaCompiler(options).compile(graph, input_scales, output_scales)
+        return cls(compilation, source=graph)
+
+    # -- delegation --------------------------------------------------------------
+    @property
+    def program(self) -> Program:
+        """The compiled (executable) program graph."""
+        return self.compilation.program
+
+    @property
+    def parameters(self) -> EncryptionParameters:
+        return self.compilation.parameters
+
+    @property
+    def rotation_steps(self) -> List[int]:
+        return self.compilation.rotation_steps
+
+    @property
+    def options(self) -> CompilerOptions:
+        return self.compilation.options
+
+    @property
+    def name(self) -> str:
+        return self.compilation.program.name
+
+    @property
+    def vec_size(self) -> int:
+        return self.compilation.program.vec_size
+
+    @property
+    def input_scales(self) -> Dict[str, float]:
+        return self.compilation.input_scales
+
+    @property
+    def output_scales(self) -> Dict[str, float]:
+        return self.compilation.output_scales
+
+    def summary(self) -> Dict[str, object]:
+        summary = dict(self.compilation.summary())
+        summary["signature"] = self.signature[:16]
+        return summary
+
+    def execute_reference(self, inputs: Dict[str, Any]) -> Dict[str, np.ndarray]:
+        """Run the plaintext reference semantics (identity scheme)."""
+        graph = self.source if self.source is not None else self.compilation.program
+        return execute_reference(graph, inputs)
+
+    # -- persistence -------------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> None:
+        """Save the artifact (source + compiled graphs, policy, signature).
+
+        The file is a JSON document built on the existing program
+        serialization (:mod:`repro.core.serialization.json_format`); encryption
+        parameters are *not* stored — they are re-derived deterministically at
+        load time, exactly as the compiler derived them.
+        """
+        document: Dict[str, Any] = {
+            "format": _ARTIFACT_FORMAT,
+            "version": _ARTIFACT_VERSION,
+            "signature": self.signature,
+            "options": self.compilation.options.to_dict(),
+            "input_scales": {k: float(v) for k, v in self.compilation.input_scales.items()},
+            "output_scales": {k: float(v) for k, v in self.compilation.output_scales.items()},
+            "program": program_to_dict(self.compilation.program),
+        }
+        if self.source is not None:
+            document["source"] = program_to_dict(self.source)
+        Path(path).write_text(json.dumps(document))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "CompiledProgram":
+        """Load an artifact saved with :meth:`save`."""
+        path = Path(path)
+        if not path.exists():
+            raise SerializationError(f"no such compiled program file: {path}")
+        try:
+            document = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise SerializationError(f"malformed compiled program file: {exc}") from exc
+        if not isinstance(document, dict) or document.get("format") != _ARTIFACT_FORMAT:
+            raise SerializationError(
+                f"{path} is not a compiled program artifact (save a CompiledProgram "
+                "with .save(), or load raw programs with repro.core.serialization.load)"
+            )
+        options = CompilerOptions.from_dict(document.get("options", {}))
+        program = dict_to_program(document["program"])
+        output_scales = {
+            k: float(v) for k, v in document.get("output_scales", {}).items()
+        }
+        rotation_steps = select_rotation_steps(program)
+        parameters = select_parameters(
+            program,
+            desired_output_scales=output_scales,
+            max_rescale_bits=options.max_rescale_bits,
+            security_level=options.security_level,
+            rotation_steps=rotation_steps,
+        )
+        compilation = CompilationResult(
+            program=program,
+            parameters=parameters,
+            rotation_steps=rotation_steps,
+            options=options,
+            input_scales={
+                k: float(v) for k, v in document.get("input_scales", {}).items()
+            },
+            output_scales=output_scales,
+        )
+        source = (
+            dict_to_program(document["source"]) if "source" in document else None
+        )
+        return cls(
+            compilation,
+            signature=str(document.get("signature")),
+            source=source,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<CompiledProgram {self.name!r} vec_size={self.vec_size} "
+            f"signature={self.signature[:12]}...>"
+        )
+
+
+def as_compiled_program(compiled: Any) -> CompiledProgram:
+    """Coerce a CompilationResult (or CompiledProgram) to a CompiledProgram."""
+    if isinstance(compiled, CompiledProgram):
+        return compiled
+    if isinstance(compiled, CompilationResult):
+        return CompiledProgram(compiled)
+    raise SerializationError(
+        f"expected a CompiledProgram or CompilationResult, got {type(compiled).__name__}"
+    )

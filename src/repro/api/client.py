@@ -1,0 +1,165 @@
+"""The client half of the paper's deployment model: keys, encrypt, decrypt.
+
+A :class:`ClientKit` owns everything the server must never see — the backend
+context with its secret key — and performs the client-side duties around one
+compiled program: encrypting inputs into :class:`~repro.api.bundles.CipherBundle`
+objects, decrypting the server's :class:`~repro.api.bundles.EncryptedOutputs`,
+and exporting the public/evaluation key material a server needs to compute on
+the client's ciphertexts.
+
+The kit can also pack several small requests into the lanes of a single
+bundle (client-side slot batching) so one homomorphic evaluation answers many
+requests, mirroring what the serving layer's :class:`~repro.serving.SlotBatcher`
+does for plaintext inputs — but with the packing done *before* encryption,
+where the data is still visible to its owner.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..backend.hisa import BackendContext, HomomorphicBackend
+from ..core.executor import EvaluationEngine
+from ..errors import ExecutionError
+from .artifacts import CompiledProgram, as_compiled_program
+from .bundles import (
+    CipherBundle,
+    EncryptedOutputs,
+    bundle_to_wire,
+    outputs_from_wire,
+)
+
+
+class ClientKit:
+    """Key owner and encrypt/decrypt endpoint for one compiled program.
+
+    Parameters
+    ----------
+    compiled:
+        The :class:`CompiledProgram` (or raw ``CompilationResult``) the kit
+        encrypts for; encryption scales and levels are read from it.
+    backend:
+        Homomorphic backend; defaults to the mock simulator.
+    client_id:
+        Identity stamped on every bundle; servers key sessions by it.
+    """
+
+    def __init__(
+        self,
+        compiled: Any,
+        backend: Optional[HomomorphicBackend] = None,
+        client_id: str = "default",
+    ) -> None:
+        if backend is None:
+            from ..backend.mock_backend import MockBackend
+
+            backend = MockBackend()
+        self.compiled: CompiledProgram = as_compiled_program(compiled)
+        self.backend = backend
+        self.client_id = str(client_id)
+        self.context: BackendContext = backend.create_context(self.compiled.parameters)
+        self.context.generate_keys()
+        self._program = self.compiled.program
+        # The engine's encrypt_inputs is the single implementation of the
+        # client-side encryption duty (shared with the compat Executor):
+        # which inputs are live, which are Cipher, and at what scale each
+        # must be encrypted.
+        self._engine = EvaluationEngine(self.compiled.compilation, backend=backend)
+
+    # -- key material ------------------------------------------------------------
+    def evaluation_context(self) -> BackendContext:
+        """A context with public/evaluation keys only — hand this to a server."""
+        return self.context.evaluation_context()
+
+    def export_evaluation_keys(self) -> Dict[str, Any]:
+        """JSON-able public/evaluation key blob (never contains the secret key)."""
+        return self.context.export_evaluation_keys()
+
+    # -- encryption --------------------------------------------------------------
+    def encrypt_inputs(self, inputs: Dict[str, Any]) -> CipherBundle:
+        """Encrypt ``inputs`` into a bundle a server can evaluate blindly.
+
+        Cipher inputs are encrypted at the scale the compiled program
+        requires; Vector inputs (declared unencrypted by the program) travel
+        as plain vectors.  A missing live input raises; extra names —
+        including declared-but-dead inputs the compiler pruned, which the
+        serialization layer may drop entirely — are ignored, matching the
+        compat :class:`~repro.core.Executor`.
+        """
+        ciphertexts, plain = self._engine.encrypt_inputs(self.context, inputs)
+        return CipherBundle(
+            program_signature=self.compiled.signature,
+            vec_size=self.compiled.vec_size,
+            ciphertexts=ciphertexts,
+            plain=plain,
+            client_id=self.client_id,
+        )
+
+    # -- decryption --------------------------------------------------------------
+    def decrypt_outputs(self, outputs: Any) -> Dict[str, np.ndarray]:
+        """Decrypt an :class:`EncryptedOutputs` (or name -> handle dict)."""
+        handles = (
+            outputs.ciphertexts if isinstance(outputs, EncryptedOutputs) else outputs
+        )
+        if isinstance(outputs, EncryptedOutputs) and outputs.program_signature:
+            if outputs.program_signature != self.compiled.signature:
+                raise ExecutionError(
+                    "encrypted outputs come from a different compilation "
+                    f"({outputs.program_signature[:12]}... vs "
+                    f"{self.compiled.signature[:12]}...)"
+                )
+        vec_size = self.compiled.vec_size
+        return {
+            name: self.context.decrypt(handle)[:vec_size].copy()
+            for name, handle in handles.items()
+        }
+
+    # -- wire helpers ------------------------------------------------------------
+    def bundle_to_wire(self, bundle: CipherBundle) -> Dict[str, Any]:
+        """Serialize a bundle with this client's cipher codec."""
+        return bundle_to_wire(bundle, self.context)
+
+    def outputs_from_wire(self, data: Dict[str, Any]) -> EncryptedOutputs:
+        """Deserialize the server's encrypted outputs with this client's codec."""
+        return outputs_from_wire(data, self.context)
+
+    # -- client-side slot batching -------------------------------------------------
+    def encrypt_packed(
+        self, requests: Sequence[Dict[str, Any]]
+    ) -> Tuple[CipherBundle, Any]:
+        """Pack several requests into one bundle (one evaluation serves all).
+
+        Returns ``(bundle, plan)``; decrypt the server's reply with
+        :meth:`decrypt_packed` and the same plan.  Raises
+        :class:`~repro.errors.ExecutionError` when the program is not
+        slotwise or the requests do not fit the lanes — fall back to one
+        bundle per request in that case.
+        """
+        from ..serving.batching import SlotBatcher
+
+        plan = SlotBatcher().plan(self.compiled.compilation, list(requests))
+        if plan is None:
+            raise ExecutionError(
+                "requests cannot be slot-packed for this program (not slotwise, "
+                "or they do not fit the lanes); encrypt them individually"
+            )
+        packed = SlotBatcher().pack(plan, list(requests))
+        bundle = self.encrypt_inputs(packed)
+        return bundle, plan
+
+    def decrypt_packed(
+        self, plan: Any, outputs: Any
+    ) -> List[Dict[str, np.ndarray]]:
+        """Decrypt and de-multiplex a packed evaluation back into per-request results."""
+        from ..serving.batching import SlotBatcher
+
+        decrypted = self.decrypt_outputs(outputs)
+        return SlotBatcher().unpack(plan, decrypted)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ClientKit client_id={self.client_id!r} program={self.compiled.name!r} "
+            f"backend={getattr(self.backend, 'name', '?')!r}>"
+        )

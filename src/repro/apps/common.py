@@ -2,13 +2,14 @@
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Dict, Optional
 
 import numpy as np
 
 from ..backend.hisa import HomomorphicBackend
 from ..core.compiler import CompilationResult, CompilerOptions
-from ..core.executor import ExecutionResult, Executor
+from ..core.executor import ExecutionResult, ExecutionStats
 from ..frontend.pyeva import EvaProgram, Expr, constant
 
 
@@ -38,7 +39,45 @@ def run_application(
     options: Optional[CompilerOptions] = None,
     threads: int = 1,
 ) -> ExecutionResult:
-    """Compile a PyEVA application and execute it on encrypted inputs."""
-    compilation = program.compile(options=options)
-    executor = Executor(compilation, backend=backend, threads=threads)
-    return executor.execute(inputs)
+    """Compile a PyEVA application and run it through the client/server split.
+
+    The flow is the three-artifact API of :mod:`repro.api`: compile to a
+    :class:`~repro.api.CompiledProgram`, encrypt with a
+    :class:`~repro.api.ClientKit`, evaluate blindly on a
+    :class:`~repro.api.ServerRuntime` (which never sees the secret key), and
+    decrypt client-side.  The result is packaged as an
+    :class:`~repro.core.executor.ExecutionResult` for the benchmark harness.
+    """
+    from ..api import ClientKit, CompiledProgram, ServerRuntime
+
+    start_all = time.perf_counter()
+    compiled = CompiledProgram.compile(program, options=options)
+
+    t0 = time.perf_counter()
+    client = ClientKit(compiled, backend=backend)
+    context_seconds = time.perf_counter() - t0
+    server = ServerRuntime(compiled, backend=client.backend, threads=threads)
+    server.attach_client(client.client_id, client.evaluation_context())
+
+    t0 = time.perf_counter()
+    bundle = client.encrypt_inputs(inputs)
+    encrypt_seconds = time.perf_counter() - t0
+
+    encrypted = server.evaluate(bundle)
+
+    t0 = time.perf_counter()
+    outputs = client.decrypt_outputs(encrypted)
+    decrypt_seconds = time.perf_counter() - t0
+
+    server_context = server.client_context(client.client_id)
+    stats = ExecutionStats(
+        wall_seconds=time.perf_counter() - start_all,
+        context_seconds=context_seconds,
+        encrypt_seconds=encrypt_seconds,
+        evaluate_seconds=encrypted.evaluate_seconds,
+        decrypt_seconds=decrypt_seconds,
+        op_count=getattr(server_context, "op_count", 0),
+        peak_live_ciphertexts=getattr(server_context, "peak_live_ciphertexts", 0),
+        threads=threads,
+    )
+    return ExecutionResult(outputs=outputs, stats=stats)

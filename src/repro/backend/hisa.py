@@ -15,7 +15,7 @@ objects.
 from __future__ import annotations
 
 import abc
-from typing import Any, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -27,6 +27,10 @@ PlainHandle = Any
 
 class BackendContext(abc.ABC):
     """Per-program execution context of a homomorphic backend."""
+
+    #: Whether this context holds secret-key material (i.e. can decrypt).
+    #: Evaluation-only contexts derived for a server set this to ``False``.
+    has_secret_key: bool = True
 
     def __init__(self, parameters: EncryptionParameters) -> None:
         self.parameters = parameters
@@ -100,6 +104,48 @@ class BackendContext(abc.ABC):
     def release(self, handle: CipherHandle) -> None:
         """Hint that ``handle`` will no longer be used (memory reuse)."""
 
+    # -- client/server split -----------------------------------------------------
+    # These hooks realize the paper's asymmetric deployment model: the client
+    # generates keys and derives an *evaluation context* — public and
+    # evaluation (relinearization/Galois) key material only — which is what a
+    # server needs to compute on ciphertexts it cannot read.  The cipher codec
+    # turns backend-specific handles into JSON-compatible dictionaries so
+    # encrypted inputs and outputs can cross a process or network boundary.
+
+    def evaluation_context(self) -> "BackendContext":
+        """Derive a context holding only public/evaluation key material.
+
+        The derived context can encode plaintext operands and perform every
+        homomorphic evaluation operation, but ``has_secret_key`` is ``False``
+        and :meth:`decrypt` raises.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support evaluation-only contexts"
+        )
+
+    def export_evaluation_keys(self) -> Dict[str, Any]:
+        """Serialize the public/evaluation key material to a JSON-able dict.
+
+        The blob never contains the secret key; feed it to
+        :meth:`HomomorphicBackend.create_evaluation_context` on the server
+        side to rebuild an evaluation context for this client.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support key export"
+        )
+
+    def encode_cipher(self, handle: CipherHandle) -> Dict[str, Any]:
+        """Serialize one ciphertext handle to a JSON-able dict."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support ciphertext serialization"
+        )
+
+    def decode_cipher(self, data: Dict[str, Any]) -> CipherHandle:
+        """Inverse of :meth:`encode_cipher`."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support ciphertext serialization"
+        )
+
 
 class HomomorphicBackend(abc.ABC):
     """Factory for :class:`BackendContext` objects."""
@@ -109,6 +155,18 @@ class HomomorphicBackend(abc.ABC):
     @abc.abstractmethod
     def create_context(self, parameters: EncryptionParameters) -> BackendContext:
         """Build an execution context for the given encryption parameters."""
+
+    def create_evaluation_context(
+        self, parameters: EncryptionParameters, evaluation_keys: Dict[str, Any]
+    ) -> BackendContext:
+        """Rebuild an evaluation-only context from exported key material.
+
+        ``evaluation_keys`` is the dict produced by
+        :meth:`BackendContext.export_evaluation_keys` on the client side.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support imported evaluation contexts"
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name!r}>"

@@ -17,16 +17,18 @@ encrypted-vs-unencrypted accuracy comparisons (Table 4) are meaningful.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
 from ..core.analysis.parameters import EncryptionParameters
 from ..errors import (
+    ExecutionError,
     LevelMismatchError,
     ModulusExhaustedError,
     PolynomialCountError,
     ScaleMismatchError,
+    SerializationError,
 )
 from .hisa import BackendContext, HomomorphicBackend, replicate_to_slots
 
@@ -115,6 +117,62 @@ class MockContext(BackendContext):
     def generate_keys(self) -> None:
         self.keys_generated = True
 
+    # -- client/server split -----------------------------------------------------
+    def evaluation_context(self) -> "MockContext":
+        """A context with the (notional) secret key stripped.
+
+        The simulator has no real key material, but the derived context
+        faithfully models the trust boundary: ``has_secret_key`` is ``False``
+        and :meth:`decrypt` refuses to run, so executing through it proves a
+        code path never needed the secret key.
+        """
+        derived = MockContext(
+            self.parameters,
+            error_model=self.error_model,
+            seed=int(self._rng.integers(0, 2**31)),
+        )
+        derived.keys_generated = self.keys_generated
+        derived.has_secret_key = False
+        return derived
+
+    def export_evaluation_keys(self) -> Dict[str, Any]:
+        return {"scheme": "mock", "error_model": self.error_model}
+
+    def encode_cipher(self, handle: MockCiphertext) -> Dict[str, Any]:
+        if handle.released:
+            raise SerializationError("cannot serialize a released ciphertext")
+        return {
+            "scheme": "mock",
+            "values": [float(v) for v in handle.values],
+            "scale_bits": float(handle.scale_bits),
+            "level": int(handle.level),
+            "num_polys": int(handle.num_polys),
+        }
+
+    def decode_cipher(self, data: Dict[str, Any]) -> MockCiphertext:
+        if not isinstance(data, dict) or data.get("scheme") != "mock":
+            raise SerializationError("not a mock-backend ciphertext")
+        try:
+            values = np.asarray(data["values"], dtype=np.float64)
+            cipher = MockCiphertext(
+                values=values,
+                scale_bits=float(data["scale_bits"]),
+                level=int(data["level"]),
+                num_polys=int(data.get("num_polys", 2)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SerializationError(f"malformed mock ciphertext: {exc}") from exc
+        if values.size != self.slot_count:
+            raise SerializationError(
+                f"ciphertext carries {values.size} slots, context expects "
+                f"{self.slot_count}"
+            )
+        self.live_ciphertexts += 1
+        self.peak_live_ciphertexts = max(
+            self.peak_live_ciphertexts, self.live_ciphertexts
+        )
+        return cipher
+
     def encode(self, values, scale_bits: float, level: int = 0) -> MockPlaintext:
         return MockPlaintext(
             values=replicate_to_slots(values, self.slot_count),
@@ -130,6 +188,11 @@ class MockContext(BackendContext):
         )
 
     def decrypt(self, handle: MockCiphertext) -> np.ndarray:
+        if not self.has_secret_key:
+            raise ExecutionError(
+                "this context holds no secret key: decryption is a client-side "
+                "operation (use the ClientKit that generated the keys)"
+            )
         return handle.values.copy()
 
     def negate(self, a: MockCiphertext) -> MockCiphertext:
@@ -273,3 +336,17 @@ class MockBackend(HomomorphicBackend):
 
     def create_context(self, parameters: EncryptionParameters) -> MockContext:
         return MockContext(parameters, error_model=self.error_model, seed=self.seed)
+
+    def create_evaluation_context(
+        self, parameters: EncryptionParameters, evaluation_keys: Dict[str, Any]
+    ) -> MockContext:
+        if not isinstance(evaluation_keys, dict) or evaluation_keys.get("scheme") != "mock":
+            raise SerializationError("not a mock-backend evaluation key blob")
+        context = MockContext(
+            parameters,
+            error_model=str(evaluation_keys.get("error_model", self.error_model)),
+            seed=self.seed,
+        )
+        context.keys_generated = True
+        context.has_secret_key = False
+        return context

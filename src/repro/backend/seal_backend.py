@@ -16,7 +16,7 @@ scale drift.
 from __future__ import annotations
 
 import math
-from typing import Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -29,9 +29,45 @@ from ..ckks import (
     KeyGenerator,
     Plaintext,
 )
+from ..ckks.keys import GaloisKeys, KeySwitchingKey, PublicKey, RelinearizationKey
+from ..ckks.rns import RnsBasis, RnsPolynomial
 from ..core.analysis.parameters import EncryptionParameters
-from ..errors import ParameterError
+from ..errors import ExecutionError, ParameterError, SerializationError
 from .hisa import BackendContext, HomomorphicBackend, replicate_to_slots
+
+
+def _poly_to_rows(poly: RnsPolynomial) -> List[List[int]]:
+    return poly.residues.tolist()
+
+
+def _poly_from_rows(basis: RnsBasis, rows: List[List[int]]) -> RnsPolynomial:
+    residues = np.asarray(rows, dtype=np.int64)
+    if residues.ndim != 2 or residues.shape != (
+        len(basis),
+        basis.poly_modulus_degree,
+    ):
+        raise SerializationError(
+            f"polynomial rows have shape {residues.shape}, basis expects "
+            f"({len(basis)}, {basis.poly_modulus_degree})"
+        )
+    return RnsPolynomial(basis, residues)
+
+
+def _keyswitch_to_dict(key: KeySwitchingKey) -> Dict[str, Any]:
+    return {
+        str(prime): [_poly_to_rows(b), _poly_to_rows(a)]
+        for prime, (b, a) in key.pairs.items()
+    }
+
+
+def _keyswitch_from_dict(basis: RnsBasis, data: Dict[str, Any]) -> KeySwitchingKey:
+    pairs: Dict[int, Tuple[RnsPolynomial, RnsPolynomial]] = {}
+    for prime, (b_rows, a_rows) in data.items():
+        pairs[int(prime)] = (
+            _poly_from_rows(basis, b_rows),
+            _poly_from_rows(basis, a_rows),
+        )
+    return KeySwitchingKey(pairs)
 
 
 class CkksBackendContext(BackendContext):
@@ -65,6 +101,7 @@ class CkksBackendContext(BackendContext):
         self.op_count = 0
         self.live_ciphertexts = 0
         self.peak_live_ciphertexts = 0
+        self.has_secret_key = False
 
     # -- setup -----------------------------------------------------------------------
     def generate_keys(self) -> None:
@@ -75,10 +112,120 @@ class CkksBackendContext(BackendContext):
         self.encryptor = Encryptor(self.context, public_key, seed=self.seed)
         self.decryptor = Decryptor(self.context, self.keygen.secret_key)
         self.evaluator = Evaluator(self.context, relin_key, galois_keys)
+        self.has_secret_key = True
 
     def _require_keys(self) -> None:
         if self.evaluator is None or self.encryptor is None:
             raise ParameterError("generate_keys() must be called before execution")
+
+    # -- client/server split -----------------------------------------------------------
+    def evaluation_context(self) -> "CkksBackendContext":
+        """Derive a server-side context: public + evaluation keys, no secret key.
+
+        The derived context shares this context's validated :class:`CkksContext`
+        and its public, relinearization, and Galois keys; the key generator and
+        decryptor are absent, so decryption is impossible by construction.
+        """
+        self._require_keys()
+        derived = CkksBackendContext.__new__(CkksBackendContext)
+        BackendContext.__init__(derived, self.parameters)
+        derived.seed = self.seed
+        derived.enforce_security = self.enforce_security
+        derived.context = self.context
+        derived.keygen = None
+        derived.encryptor = Encryptor(
+            self.context, self.encryptor.public_key, seed=self.seed
+        )
+        derived.decryptor = None
+        derived.evaluator = Evaluator(
+            self.context, self.evaluator.relin_key, self.evaluator.galois_keys
+        )
+        derived.op_count = 0
+        derived.live_ciphertexts = 0
+        derived.peak_live_ciphertexts = 0
+        derived.has_secret_key = False
+        return derived
+
+    def export_evaluation_keys(self) -> Dict[str, Any]:
+        """Serialize public + evaluation keys (never the secret key)."""
+        self._require_keys()
+        public = self.encryptor.public_key
+        blob: Dict[str, Any] = {
+            "scheme": "ckks",
+            "poly_modulus_degree": self.context.poly_modulus_degree,
+            "public_key": [_poly_to_rows(public.b), _poly_to_rows(public.a)],
+        }
+        relin = self.evaluator.relin_key
+        if relin is not None:
+            blob["relin_key"] = _keyswitch_to_dict(relin.key)
+        galois = self.evaluator.galois_keys
+        if galois is not None:
+            blob["galois_keys"] = {
+                str(element): _keyswitch_to_dict(key)
+                for element, key in galois.keys.items()
+            }
+        return blob
+
+    def import_evaluation_keys(self, blob: Dict[str, Any]) -> None:
+        """Install exported key material, making this an evaluation context."""
+        if not isinstance(blob, dict) or blob.get("scheme") != "ckks":
+            raise SerializationError("not a CKKS evaluation key blob")
+        if int(blob.get("poly_modulus_degree", 0)) != self.context.poly_modulus_degree:
+            raise SerializationError(
+                "evaluation keys were generated for a different polynomial "
+                "modulus degree"
+            )
+        try:
+            data_basis = self.context.data_basis(0)
+            key_basis = self.context.key_basis(0)
+            b_rows, a_rows = blob["public_key"]
+            public = PublicKey(
+                b=_poly_from_rows(data_basis, b_rows),
+                a=_poly_from_rows(data_basis, a_rows),
+            )
+            relin = None
+            if "relin_key" in blob:
+                relin = RelinearizationKey(
+                    _keyswitch_from_dict(key_basis, blob["relin_key"])
+                )
+            galois = GaloisKeys()
+            for element, key_data in blob.get("galois_keys", {}).items():
+                galois.keys[int(element)] = _keyswitch_from_dict(key_basis, key_data)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SerializationError(f"malformed CKKS key blob: {exc}") from exc
+        self.keygen = None
+        self.decryptor = None
+        self.encryptor = Encryptor(self.context, public, seed=self.seed)
+        self.evaluator = Evaluator(self.context, relin, galois)
+        self.has_secret_key = False
+
+    def encode_cipher(self, handle: Ciphertext) -> Dict[str, Any]:
+        if not handle.polys:
+            raise SerializationError("cannot serialize a released ciphertext")
+        return {
+            "scheme": "ckks",
+            "scale": float(handle.scale),
+            "level": int(handle.level),
+            "polys": [_poly_to_rows(poly) for poly in handle.polys],
+        }
+
+    def decode_cipher(self, data: Dict[str, Any]) -> Ciphertext:
+        if not isinstance(data, dict) or data.get("scheme") != "ckks":
+            raise SerializationError("not a CKKS ciphertext")
+        try:
+            level = int(data["level"])
+            basis = self.context.data_basis(level)
+            polys = [_poly_from_rows(basis, rows) for rows in data["polys"]]
+            cipher = Ciphertext(polys=polys, scale=float(data["scale"]), level=level)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SerializationError(f"malformed CKKS ciphertext: {exc}") from exc
+        if not polys:
+            raise SerializationError("CKKS ciphertext carries no polynomials")
+        self.live_ciphertexts += 1
+        self.peak_live_ciphertexts = max(
+            self.peak_live_ciphertexts, self.live_ciphertexts
+        )
+        return cipher
 
     def _track(self, cipher: Ciphertext) -> Ciphertext:
         self.op_count += 1
@@ -107,6 +254,11 @@ class CkksBackendContext(BackendContext):
 
     def decrypt(self, handle: Ciphertext) -> np.ndarray:
         self._require_keys()
+        if self.decryptor is None:
+            raise ExecutionError(
+                "this context holds no secret key: decryption is a client-side "
+                "operation (use the ClientKit that generated the keys)"
+            )
         return self.decryptor.decrypt(handle)
 
     # -- evaluation ----------------------------------------------------------------------
@@ -180,3 +332,10 @@ class CkksBackend(HomomorphicBackend):
         return CkksBackendContext(
             parameters, seed=self.seed, enforce_security=self.enforce_security
         )
+
+    def create_evaluation_context(
+        self, parameters: EncryptionParameters, evaluation_keys: Dict[str, Any]
+    ) -> CkksBackendContext:
+        context = self.create_context(parameters)
+        context.import_evaluation_keys(evaluation_keys)
+        return context

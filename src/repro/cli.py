@@ -19,6 +19,15 @@ a running server::
 
     python -m repro.cli serve squares.evaproto --port 8587
     python -m repro.cli submit squares --inputs inputs.json --port 8587
+
+With ``--encrypt``, ``submit`` keeps the keys client-side: it compiles the
+program locally (``--program-file`` must name the same file the server
+serves, with the same compile options), registers its evaluation keys as a
+session, sends *encrypted* inputs, and decrypts the ciphertext reply
+locally — the server never sees plaintext or the secret key::
+
+    python -m repro.cli submit squares --inputs inputs.json --port 8587 \\
+        --encrypt --program-file squares.evaproto
 """
 
 from __future__ import annotations
@@ -150,7 +159,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 f"duplicate program name {name!r}: {path} would overwrite an "
                 "already-registered file with the same stem"
             )
-        programs[name] = load(path)
+        program = load(path)
+        if any(term.op.is_fhe_specific for term in program.terms()):
+            raise EvaError(
+                f"{path} is an already-compiled program (contains FHE-specific "
+                "instructions); the server compiles on registration, so serve "
+                "the source program instead"
+            )
+        programs[name] = program
     server = EvaServer(
         backend=_make_backend(args.backend, args.seed),
         workers=args.workers,
@@ -181,7 +197,29 @@ def cmd_submit(args: argparse.Namespace) -> int:
 
     inputs = _load_inputs(args.inputs)
     with ServingClient(args.host, args.port, timeout=args.timeout) as client:
-        outputs = client.submit(args.program, inputs, client_id=args.client)
+        if args.encrypt:
+            if not args.program_file:
+                raise EvaError(
+                    "--encrypt needs --program-file (the same program file the "
+                    "server serves) to compile locally and derive keys"
+                )
+            from .api import ClientKit, CompiledProgram
+
+            options = CompilerOptions(
+                policy=args.policy,
+                max_rescale_bits=args.max_rescale_bits,
+                security_level=args.security,
+            )
+            compiled = CompiledProgram.compile(load(args.program_file), options=options)
+            kit = ClientKit(
+                compiled,
+                backend=_make_backend(args.backend, args.seed),
+                client_id=args.client,
+            )
+            client.create_session(args.program, kit)
+            outputs = client.submit_encrypted(args.program, kit, inputs)
+        else:
+            outputs = client.submit(args.program, inputs, client_id=args.client)
         payload = {
             "outputs": {
                 name: np.asarray(values)[: args.head].tolist()
@@ -245,6 +283,25 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--client", default="default", help="client id (keys are cached per client)")
     submit.add_argument("--timeout", type=float, default=30.0)
     submit.add_argument("--head", type=int, default=8, help="number of output slots to print")
+    submit.add_argument(
+        "--encrypt",
+        action="store_true",
+        help="encrypt inputs client-side; the server evaluates ciphertexts only",
+    )
+    submit.add_argument(
+        "--program-file",
+        type=Path,
+        default=None,
+        help="program file for --encrypt (must match what the server serves)",
+    )
+    submit.add_argument(
+        "--backend",
+        default="mock",
+        choices=["mock", "mock-exact", "ckks"],
+        help="client-side backend for --encrypt (must match the server's)",
+    )
+    submit.add_argument("--seed", type=int, default=0)
+    add_compile_options(submit)
     submit.set_defaults(func=cmd_submit)
     return parser
 

@@ -9,7 +9,14 @@ from .compiler import (
     compile_program,
     program_signature,
 )
-from .executor import Executor, ReferenceExecutor, ExecutionResult, execute_reference
+from .executor import (
+    EvaluationEngine,
+    ExecutionResult,
+    ExecutionStats,
+    Executor,
+    ReferenceExecutor,
+    execute_reference,
+)
 from .scheduling import simulate_schedule, ScheduleResult
 from .analysis.parameters import EncryptionParameters
 
@@ -27,8 +34,10 @@ __all__ = [
     "compile_program",
     "program_signature",
     "Executor",
+    "EvaluationEngine",
     "ReferenceExecutor",
     "ExecutionResult",
+    "ExecutionStats",
     "execute_reference",
     "simulate_schedule",
     "ScheduleResult",

@@ -23,8 +23,8 @@ from __future__ import annotations
 import hashlib
 import json
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import asdict, dataclass, field, fields
+from typing import Any, Dict, List, Optional
 
 from ..errors import CompilationError
 from .analysis import select_parameters, select_rotation_steps, validate
@@ -81,6 +81,19 @@ class CompilerOptions:
         if self.policy not in ("eva", "chet"):
             raise CompilationError(f"unknown compiler policy {self.policy!r}")
 
+    def to_dict(self) -> Dict[str, Any]:
+        """All option fields as a JSON-able dict (signature and artifact use)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CompilerOptions":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected, missing ones default."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise CompilationError(f"unknown compiler options: {sorted(unknown)}")
+        return cls(**data)
+
 
 @dataclass
 class CompilationResult:
@@ -94,6 +107,12 @@ class CompilationResult:
     output_scales: Dict[str, float]
     pass_reports: List[PassReport] = field(default_factory=list)
     compile_seconds: float = 0.0
+    #: Content hash of the *source* (pre-transform) program plus the options
+    #: and scale overrides it was compiled with — the same value
+    #: :func:`program_signature` yields for those arguments, so every party
+    #: that compiled the same source agrees on it.  ``None`` only for results
+    #: assembled by hand (e.g. reloaded from an already-compiled graph).
+    signature: Optional[str] = None
 
     @property
     def poly_modulus_degree(self) -> int:
@@ -135,16 +154,7 @@ def program_signature(
     payload = program_to_dict(program)
     payload.pop("name", None)
     options = options or CompilerOptions()
-    payload["options"] = {
-        "policy": options.policy,
-        "max_rescale_bits": options.max_rescale_bits,
-        "rescale_bits": options.rescale_bits,
-        "waterline_bits": options.waterline_bits,
-        "security_level": options.security_level,
-        "lower_sum": options.lower_sum,
-        "remove_copies": options.remove_copies,
-        "cleanup": options.cleanup,
-    }
+    payload["options"] = options.to_dict()
     payload["input_scales"] = {
         k: float(v) for k, v in sorted((input_scales or {}).items())
     }
@@ -200,6 +210,7 @@ class EvaCompiler:
         """
         start = time.perf_counter()
         program.check_structure(frontend_only=True)
+        signature = program_signature(program, self.options, input_scales, output_scales)
 
         working = program.clone()
         if input_scales:
@@ -260,6 +271,7 @@ class EvaCompiler:
             output_scales=resolved_outputs,
             pass_reports=reports,
             compile_seconds=elapsed,
+            signature=signature,
         )
 
 

@@ -1,16 +1,24 @@
 """Executors for EVA programs (Section 6.1).
 
-Two executors are provided:
+Three layers are provided, mirroring the paper's asymmetric deployment model
+(the client owns the keys and data, the server owns the compiled program):
 
 * :class:`ReferenceExecutor` runs a program under the *identity scheme* of
   Section 3's execution semantics: Cipher values are ordinary vectors and the
   FHE-specific instructions are identities.  It defines the reference output
   every backend execution is compared against.
-* :class:`Executor` runs a *compiled* program against a homomorphic backend
-  (the mock simulator or the real RNS-CKKS implementation).  It performs the
-  executor duties described in the paper: encoding plaintext operands at the
-  level and scale their consumers require, scheduling the DAG, and recycling
-  ciphertext memory as soon as a value is dead (retired).
+* :class:`EvaluationEngine` is the server half of execution: it schedules the
+  instruction DAG of a *compiled* program over ciphertext handles, encoding
+  plaintext operands at the level and scale their consumers require and
+  recycling ciphertext memory as soon as a value is dead (retired).  It never
+  encrypts and never decrypts — it only needs a backend context holding
+  evaluation keys (see :meth:`repro.backend.hisa.BackendContext.evaluation_context`).
+* :class:`Executor` is the one-process convenience wrapper kept for
+  compatibility: ``execute(inputs)`` performs keygen, encryption, evaluation,
+  and decryption in one call by pairing the client-side duties with an
+  :class:`EvaluationEngine`.  New code targeting the client/server split
+  should use :class:`repro.api.ClientKit` and :class:`repro.api.ServerRuntime`
+  instead.
 """
 
 from __future__ import annotations
@@ -111,14 +119,22 @@ class ExecutionResult:
         return self.outputs[name]
 
 
-class Executor:
-    """Execute a compiled EVA program on a homomorphic backend."""
+class EvaluationEngine:
+    """Schedule a compiled program's DAG over ciphertext handles.
+
+    The engine holds everything evaluation needs that is *independent of key
+    material*: the compiled program, the per-term scale analysis, and the
+    thread count.  Ciphertext inputs arrive as backend handles keyed by input
+    name; the engine returns output handles without ever touching a secret
+    key, which is what lets a server evaluate on data it cannot read.
+    """
 
     def __init__(
         self,
         compilation: CompilationResult,
         backend: Optional[HomomorphicBackend] = None,
         threads: int = 1,
+        retire_inputs: bool = True,
     ) -> None:
         if backend is None:
             from ..backend.mock_backend import MockBackend
@@ -127,81 +143,101 @@ class Executor:
         self.compilation = compilation
         self.backend = backend
         self.threads = max(int(threads), 1)
+        #: Whether input ciphertexts may be released after their last use.
+        #: A server evaluating a client's bundle does not own those handles
+        #: (the client may re-submit or re-serialize them), so it keeps them.
+        self.retire_inputs = retire_inputs
         self.program = compilation.program
         self._scales = compute_scales(self.program)
 
     # -- public API -------------------------------------------------------------
-    def create_context(self) -> BackendContext:
-        """Build a backend context (with keys) for this compilation.
+    # Input classification walks terms() rather than the inputs dict: an
+    # input that became unreachable (dead) during compilation is absent from
+    # the traversal, has no scale assignment, and needs no value.
+    def input_scales(self) -> Dict[str, float]:
+        """Scale (bits) at which each live Cipher input must be encrypted (level 0)."""
+        return {
+            term.name: float(self._scales[term.id])
+            for term in self.program.terms()
+            if term.is_input and term.value_type is ValueType.CIPHER
+        }
 
-        The returned context can be passed to :meth:`execute` repeatedly so a
-        serving layer amortizes context creation and key generation across
-        requests instead of paying them on every call.
-        """
-        context = self.backend.create_context(self.compilation.parameters)
-        context.generate_keys()
-        return context
+    def cipher_input_names(self) -> List[str]:
+        return [
+            term.name
+            for term in self.program.terms()
+            if term.is_input and term.value_type is ValueType.CIPHER
+        ]
 
-    def execute(
-        self, inputs: Dict[str, Any], context: Optional[BackendContext] = None
-    ) -> ExecutionResult:
-        """Encrypt ``inputs``, evaluate the program, and decrypt the outputs.
+    def plain_input_names(self) -> List[str]:
+        return [
+            term.name
+            for term in self.program.terms()
+            if term.is_input and term.value_type is not ValueType.CIPHER
+        ]
 
-        When ``context`` is given it must come from :meth:`create_context` (or
-        an equivalent backend context with keys already generated); context
-        creation and key generation are then skipped entirely and
-        ``stats.context_seconds`` stays zero.
-        """
-        stats = ExecutionStats(threads=self.threads)
-        start_all = time.perf_counter()
-
-        if context is None:
-            t0 = time.perf_counter()
-            context = self.create_context()
-            stats.context_seconds = time.perf_counter() - t0
-
-        t0 = time.perf_counter()
-        cipher_values, plain_values = self._prepare_roots(context, inputs)
-        stats.encrypt_seconds = time.perf_counter() - t0
-
-        t0 = time.perf_counter()
-        output_handles = self._evaluate(context, cipher_values, plain_values)
-        stats.evaluate_seconds = time.perf_counter() - t0
-
-        t0 = time.perf_counter()
-        outputs = {}
-        for name, handle in output_handles.items():
-            decoded = context.decrypt(handle)
-            outputs[name] = decoded[: self.program.vec_size].copy()
-        stats.decrypt_seconds = time.perf_counter() - t0
-
-        stats.wall_seconds = time.perf_counter() - start_all
-        stats.op_count = getattr(context, "op_count", 0)
-        stats.peak_live_ciphertexts = getattr(context, "peak_live_ciphertexts", 0)
-        return ExecutionResult(outputs=outputs, stats=stats)
-
-    # -- internals ---------------------------------------------------------------
-    def _prepare_roots(
+    def encrypt_inputs(
         self, context: BackendContext, inputs: Dict[str, Any]
-    ) -> Tuple[Dict[int, Any], Dict[int, np.ndarray]]:
+    ) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
+        """The client duty: split ``inputs`` into encrypted handles and plain vectors.
+
+        Cipher inputs are encrypted at the scale the compiled program requires
+        (level 0); Vector inputs are broadcast unencrypted.  A missing live
+        input raises; extra names — including declared-but-dead inputs the
+        compiler pruned — are ignored.  This is the single implementation both
+        the compat :class:`Executor` and :class:`repro.api.ClientKit` use.
+        """
+        cipher_inputs: Dict[str, Any] = {}
+        plain_inputs: Dict[str, np.ndarray] = {}
+        vec_size = self.program.vec_size
+        scales = self.input_scales()
+        for name in self.cipher_input_names():
+            if name not in inputs:
+                raise ExecutionError(f"missing value for input {name!r}")
+            cipher_inputs[name] = context.encrypt(
+                _broadcast(inputs[name], vec_size), scales[name], level=0
+            )
+        for name in self.plain_input_names():
+            if name not in inputs:
+                raise ExecutionError(f"missing value for input {name!r}")
+            plain_inputs[name] = _broadcast(inputs[name], vec_size)
+        return cipher_inputs, plain_inputs
+
+    def evaluate(
+        self,
+        context: BackendContext,
+        cipher_inputs: Dict[str, Any],
+        plain_inputs: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """Evaluate the DAG; returns output name -> ciphertext handle.
+
+        ``cipher_inputs`` maps Cipher input names to backend ciphertext
+        handles (already encrypted by the data owner); ``plain_inputs`` maps
+        the program's unencrypted vector inputs to plain values.
+        """
+        plain_inputs = plain_inputs or {}
         cipher_values: Dict[int, Any] = {}
         plain_values: Dict[int, np.ndarray] = {}
         vec_size = self.program.vec_size
         for term in self.program.terms():
             if term.is_input:
-                if term.name not in inputs:
-                    raise ExecutionError(f"missing value for input {term.name!r}")
-                value = inputs[term.name]
                 if term.value_type is ValueType.CIPHER:
-                    cipher_values[term.id] = context.encrypt(
-                        _broadcast(value, vec_size), self._scales[term.id], level=0
-                    )
+                    if term.name not in cipher_inputs:
+                        raise ExecutionError(
+                            f"missing ciphertext for encrypted input {term.name!r}"
+                        )
+                    cipher_values[term.id] = cipher_inputs[term.name]
                 else:
-                    plain_values[term.id] = _broadcast(value, vec_size)
+                    if term.name not in plain_inputs:
+                        raise ExecutionError(
+                            f"missing value for plaintext input {term.name!r}"
+                        )
+                    plain_values[term.id] = _broadcast(plain_inputs[term.name], vec_size)
             elif term.is_constant:
                 plain_values[term.id] = _broadcast(term.value, vec_size)
-        return cipher_values, plain_values
+        return self._evaluate(context, cipher_values, plain_values)
 
+    # -- internals ---------------------------------------------------------------
     def _evaluate(
         self,
         context: BackendContext,
@@ -401,8 +437,8 @@ class Executor:
             return context.sub_plain(handle, plain, reverse=(plain_idx == 0))
         raise ExecutionError(f"unsupported ciphertext opcode {op.name}")
 
-    @staticmethod
     def _retire_args(
+        self,
         context: BackendContext,
         term: Term,
         remaining_uses: Dict[int, int],
@@ -418,8 +454,89 @@ class Executor:
                 remaining_uses[arg.id] <= 0
                 and arg.id in cipher_values
                 and arg.id not in output_ids
+                and (self.retire_inputs or not arg.is_input)
             ):
                 context.release(cipher_values[arg.id])
+
+
+class Executor:
+    """One-process compatibility wrapper: encrypt, evaluate, decrypt.
+
+    This is the pre-split API: a single ``execute(inputs)`` call performs the
+    client duties (keygen, encoding, encryption, decryption) *and* the server
+    duty (homomorphic evaluation) in one process.  It remains fully supported
+    for examples, benchmarks, and tests, but code that needs the paper's
+    trust boundary — the server never sees plaintext inputs or the secret
+    key — should use :class:`repro.api.ClientKit` plus
+    :class:`repro.api.ServerRuntime`, which share the same
+    :class:`EvaluationEngine` underneath.
+    """
+
+    def __init__(
+        self,
+        compilation: CompilationResult,
+        backend: Optional[HomomorphicBackend] = None,
+        threads: int = 1,
+    ) -> None:
+        self.engine = EvaluationEngine(compilation, backend=backend, threads=threads)
+        self.compilation = compilation
+        self.backend = self.engine.backend
+        self.program = self.engine.program
+        self._scales = self.engine._scales
+
+    @property
+    def threads(self) -> int:
+        return self.engine.threads
+
+    # -- public API -------------------------------------------------------------
+    def create_context(self) -> BackendContext:
+        """Build a backend context (with keys) for this compilation.
+
+        The returned context can be passed to :meth:`execute` repeatedly so a
+        serving layer amortizes context creation and key generation across
+        requests instead of paying them on every call.
+        """
+        context = self.backend.create_context(self.compilation.parameters)
+        context.generate_keys()
+        return context
+
+    def execute(
+        self, inputs: Dict[str, Any], context: Optional[BackendContext] = None
+    ) -> ExecutionResult:
+        """Encrypt ``inputs``, evaluate the program, and decrypt the outputs.
+
+        When ``context`` is given it must come from :meth:`create_context` (or
+        an equivalent backend context with keys already generated); context
+        creation and key generation are then skipped entirely and
+        ``stats.context_seconds`` stays zero.
+        """
+        stats = ExecutionStats(threads=self.threads)
+        start_all = time.perf_counter()
+
+        if context is None:
+            t0 = time.perf_counter()
+            context = self.create_context()
+            stats.context_seconds = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        cipher_inputs, plain_inputs = self.engine.encrypt_inputs(context, inputs)
+        stats.encrypt_seconds = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        output_handles = self.engine.evaluate(context, cipher_inputs, plain_inputs)
+        stats.evaluate_seconds = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        outputs = {}
+        for name, handle in output_handles.items():
+            decoded = context.decrypt(handle)
+            outputs[name] = decoded[: self.program.vec_size].copy()
+        stats.decrypt_seconds = time.perf_counter() - t0
+
+        stats.wall_seconds = time.perf_counter() - start_all
+        stats.op_count = getattr(context, "op_count", 0)
+        stats.peak_live_ciphertexts = getattr(context, "peak_live_ciphertexts", 0)
+        return ExecutionResult(outputs=outputs, stats=stats)
 
 
 def execute_reference(program: Program, inputs: Dict[str, Any]) -> Dict[str, np.ndarray]:

@@ -17,6 +17,21 @@ and a response like::
     {"ok": true, "outputs": {"y": [1.0, 4.0]}, "stats": {...}}
 
 Errors travel as ``{"ok": false, "error": "...", "kind": "ServingError"}``.
+
+The encrypted-input path (client-held keys) adds two shapes.  A ``session``
+request registers the client's exported evaluation keys::
+
+    {"op": "session", "program": "squares", "client_id": "alice",
+     "evaluation_keys": {...}}
+
+and a ``submit`` may then carry a pre-encrypted cipher bundle instead of
+plaintext inputs::
+
+    {"op": "submit", "program": "squares", "client_id": "alice",
+     "bundle": {"program_signature": "...", "ciphertexts": {...}, ...}}
+
+to which the server replies ``{"ok": true, "encrypted_outputs": {...}}`` —
+ciphertexts only the submitting client can decrypt.
 """
 
 from __future__ import annotations
@@ -29,7 +44,7 @@ import numpy as np
 from ...errors import SerializationError
 
 #: Operations a client may request.
-REQUEST_OPS = ("submit", "stats", "list", "ping")
+REQUEST_OPS = ("submit", "session", "stats", "list", "ping")
 
 
 def encode_values(values: Dict[str, Any]) -> Dict[str, list]:
@@ -62,15 +77,27 @@ def encode_request(
     inputs: Optional[Dict[str, Any]] = None,
     client_id: str = "default",
     output_size: Optional[int] = None,
+    bundle: Optional[Dict[str, Any]] = None,
+    evaluation_keys: Optional[Dict[str, Any]] = None,
 ) -> str:
-    """Build one wire line for a client request."""
+    """Build one wire line for a client request.
+
+    ``bundle`` (a wire-encoded cipher bundle) replaces ``inputs`` on the
+    encrypted path; ``evaluation_keys`` accompanies a ``session`` request.
+    """
     if op not in REQUEST_OPS:
         raise SerializationError(f"unknown request op {op!r}")
+    if inputs is not None and bundle is not None:
+        raise SerializationError("a request carries either inputs or a bundle, not both")
     message: Dict[str, Any] = {"op": op}
     if program is not None:
         message["program"] = program
     if inputs is not None:
         message["inputs"] = encode_values(inputs)
+    if bundle is not None:
+        message["bundle"] = bundle
+    if evaluation_keys is not None:
+        message["evaluation_keys"] = evaluation_keys
     if client_id != "default":
         message["client_id"] = client_id
     if output_size is not None:
@@ -92,13 +119,28 @@ def decode_request(line: str) -> Dict[str, Any]:
     if op == "submit":
         if not isinstance(message.get("program"), str):
             raise SerializationError("submit requests need a 'program' name")
-        message["inputs"] = decode_values(message.get("inputs", {}))
+        if "bundle" in message:
+            if "inputs" in message:
+                raise SerializationError(
+                    "a submit carries either 'inputs' or a 'bundle', not both"
+                )
+            if not isinstance(message["bundle"], dict):
+                raise SerializationError("'bundle' must be a JSON object")
+        else:
+            message["inputs"] = decode_values(message.get("inputs", {}))
         output_size = message.get("output_size")
         if output_size is not None:
             if not isinstance(output_size, int) or isinstance(output_size, bool) or output_size < 1:
                 raise SerializationError(
                     f"'output_size' must be a positive integer, got {output_size!r}"
                 )
+    if op == "session":
+        if not isinstance(message.get("program"), str):
+            raise SerializationError("session requests need a 'program' name")
+        if not isinstance(message.get("evaluation_keys"), dict):
+            raise SerializationError(
+                "session requests need an 'evaluation_keys' object"
+            )
     message.setdefault("client_id", "default")
     return message
 

@@ -16,7 +16,11 @@ programs read like ordinary NumPy-style arithmetic::
 
 Rotations use the shift operators (``x << 3`` rotates left by three slots, as
 in the paper's Sobel example), and ``**`` with a non-negative integer exponent
-expands to a balanced multiplication tree.
+expands to a balanced multiplication tree (``x ** 0`` is the constant one at
+the program's default scale).  Division by a plaintext scalar or vector
+lowers to multiplication by the reciprocal (``x / 4`` is ``x * 0.25``);
+dividing *by* an encrypted value is not expressible in CKKS and raises a
+:class:`~repro.errors.CompilationError`.
 """
 
 from __future__ import annotations
@@ -100,8 +104,14 @@ class Expr:
         return self._emit(Op.NEGATE, self)
 
     def __pow__(self, exponent: int) -> "Expr":
-        if not isinstance(exponent, int) or exponent < 1:
-            raise CompilationError("exponent must be a positive integer")
+        if not isinstance(exponent, int) or isinstance(exponent, bool) or exponent < 0:
+            raise CompilationError(
+                f"exponent must be a non-negative integer, got {exponent!r}"
+            )
+        if exponent == 0:
+            # x ** 0 is the constant one, emitted at the program's default
+            # scale (the waterline when no larger input scale exists).
+            return self.program.constant(1.0)
         # Balanced exponentiation keeps the multiplicative depth logarithmic.
         result: Optional[Expr] = None
         base = self
@@ -114,6 +124,26 @@ class Expr:
                 base = base * base
         assert result is not None
         return result
+
+    def __truediv__(self, other: Any) -> "Expr":
+        if isinstance(other, Expr):
+            raise CompilationError(
+                "division by an encrypted (or program) value is not expressible "
+                "in CKKS arithmetic; divide by a plaintext scalar or vector, or "
+                "multiply by a polynomial approximation of the reciprocal"
+            )
+        divisor = np.atleast_1d(np.asarray(other, dtype=np.float64))
+        if np.any(divisor == 0.0):
+            raise CompilationError("division by zero in a PyEVA expression")
+        reciprocal = 1.0 / divisor
+        return self * (float(reciprocal[0]) if reciprocal.size == 1 else reciprocal)
+
+    def __rtruediv__(self, other: Any) -> "Expr":
+        raise CompilationError(
+            "dividing a plaintext by an encrypted value requires a reciprocal "
+            "of ciphertext data, which CKKS cannot compute exactly; use a "
+            "polynomial approximation of 1/x instead"
+        )
 
     def __lshift__(self, steps: int) -> "Expr":
         return self._emit(Op.ROTATE_LEFT, self, rotation=int(steps))

@@ -3,6 +3,7 @@
 from .chet import (
     CompiledNetwork,
     DnnCompiler,
+    EncryptedInferenceSession,
     ScaleConfig,
     encrypted_accuracy,
     encrypted_inference,
@@ -27,6 +28,7 @@ __all__ = [
     "CompiledNetwork",
     "DnnCompiler",
     "ScaleConfig",
+    "EncryptedInferenceSession",
     "encrypted_accuracy",
     "encrypted_inference",
     "unencrypted_accuracy",

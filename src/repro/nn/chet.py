@@ -22,7 +22,6 @@ import numpy as np
 
 from ..backend.hisa import HomomorphicBackend
 from ..core.compiler import CompilationResult, CompilerOptions
-from ..core.executor import ExecutionResult, Executor
 from ..errors import CompilationError
 from ..frontend.pyeva import EvaProgram
 from .kernels import KernelBuilder, NeuronVector, SpatialTensor
@@ -147,6 +146,41 @@ class DnnCompiler:
         )
 
 
+class EncryptedInferenceSession:
+    """A client/server pair for repeated encrypted inferences on one network.
+
+    Uses the three-artifact API of :mod:`repro.api`: the client kit owns the
+    keys and encrypts each image, the server runtime evaluates the compiled
+    network on ciphertexts only (it is never given the secret key), and the
+    client decrypts the logits.  Key generation happens once per session, so
+    batch evaluations (accuracy sweeps) amortize it across images.
+    """
+
+    def __init__(
+        self,
+        compiled: CompiledNetwork,
+        backend: Optional[HomomorphicBackend] = None,
+        threads: int = 1,
+    ) -> None:
+        from ..api import ClientKit, CompiledProgram, ServerRuntime
+
+        self.compiled = compiled
+        artifact = CompiledProgram(compiled.compilation)
+        self.client = ClientKit(artifact, backend=backend)
+        self.server = ServerRuntime(
+            artifact, backend=self.client.backend, threads=threads
+        )
+        self.server.attach_client(
+            self.client.client_id, self.client.evaluation_context()
+        )
+
+    def infer(self, image: np.ndarray) -> np.ndarray:
+        """Encrypt one image, evaluate blindly, decrypt and return the logits."""
+        bundle = self.client.encrypt_inputs(self.compiled.image_to_inputs(image))
+        outputs = self.client.decrypt_outputs(self.server.evaluate(bundle))
+        return self.compiled.logits_from_outputs(outputs)
+
+
 def encrypted_inference(
     compiled: CompiledNetwork,
     image: np.ndarray,
@@ -154,9 +188,8 @@ def encrypted_inference(
     threads: int = 1,
 ) -> np.ndarray:
     """Run one encrypted inference and return the logits."""
-    executor = Executor(compiled.compilation, backend=backend, threads=threads)
-    result = executor.execute(compiled.image_to_inputs(image))
-    return compiled.logits_from_outputs(result.outputs)
+    session = EncryptedInferenceSession(compiled, backend=backend, threads=threads)
+    return session.infer(image)
 
 
 def encrypted_accuracy(
@@ -167,10 +200,10 @@ def encrypted_accuracy(
     threads: int = 1,
 ) -> float:
     """Fraction of images classified correctly under encryption."""
+    session = EncryptedInferenceSession(compiled, backend=backend, threads=threads)
     correct = 0
     for image, label in zip(images, labels):
-        logits = encrypted_inference(compiled, image, backend=backend, threads=threads)
-        if int(np.argmax(logits)) == int(label):
+        if int(np.argmax(session.infer(image))) == int(label):
             correct += 1
     return correct / max(len(labels), 1)
 

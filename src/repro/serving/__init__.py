@@ -22,7 +22,14 @@ from .batching import (
 from .jobs import EngineMetrics, Job, JobEngine
 from .netserver import EvaTcpServer, ServingClient
 from .registry import CacheStats, ProgramRegistry, RegistryEntry
-from .server import EvaServer, ProgramSpec, ServeRequest, ServeResponse
+from .server import (
+    EncryptedServeRequest,
+    EncryptedServeResponse,
+    EvaServer,
+    ProgramSpec,
+    ServeRequest,
+    ServeResponse,
+)
 from .sessions import Session, SessionManager, session_key
 
 __all__ = [
@@ -44,6 +51,8 @@ __all__ = [
     "ProgramSpec",
     "ServeRequest",
     "ServeResponse",
+    "EncryptedServeRequest",
+    "EncryptedServeResponse",
     "Session",
     "SessionManager",
     "session_key",

@@ -53,6 +53,30 @@ class _RequestHandler(socketserver.StreamRequestHandler):
             return messages.encode_response(payload={"programs": eva.programs()})
         if op == "stats":
             return messages.encode_response(payload={"stats": eva.stats()})
+        if op == "session":
+            session = eva.create_session(
+                request["program"],
+                request.get("client_id", "default"),
+                request["evaluation_keys"],
+            )
+            return messages.encode_response(payload={"session": session})
+        if "bundle" in request:
+            name = request["program"]
+            client_id = request.get("client_id", "default")
+            response = eva.request_encrypted(
+                name, request["bundle"], client_id=client_id
+            )
+            # Encode the ciphertext reply with the session context the worker
+            # evaluated under (carried on the response, so an eviction between
+            # evaluation and encoding cannot fail a completed request); the
+            # server never decrypts — only the submitting client can.
+            reply = messages.encode_response(
+                stats=response.stats_dict(),
+                payload={"encrypted_outputs": response.to_wire()},
+            )
+            # The transport owns the output handles once encoded.
+            response.release()
+            return reply
         response = eva.request(
             request["program"],
             request["inputs"],
@@ -128,6 +152,60 @@ class ServingClient:
         )
         self.last_stats: Dict[str, Any] = response.get("stats", {})
         return response.get("outputs", {})
+
+    def create_session(self, program: str, client_kit: Any, client_id: Optional[str] = None) -> Dict[str, Any]:
+        """Register ``client_kit``'s evaluation keys for ``program`` on the server.
+
+        ``client_kit`` is a :class:`repro.api.ClientKit` (anything exposing
+        ``export_evaluation_keys()``); the secret key never leaves the client.
+        """
+        response = self._roundtrip(
+            messages.encode_request(
+                "session",
+                program=program,
+                client_id=client_id or getattr(client_kit, "client_id", "default"),
+                evaluation_keys=client_kit.export_evaluation_keys(),
+            )
+        )
+        return response.get("session", {})
+
+    def submit_bundle(
+        self,
+        program: str,
+        bundle_wire: Dict[str, Any],
+        client_id: str = "default",
+    ) -> Dict[str, Any]:
+        """Submit a wire-encoded cipher bundle; returns wire-encoded ciphertext outputs."""
+        response = self._roundtrip(
+            messages.encode_request(
+                "submit", program=program, bundle=bundle_wire, client_id=client_id
+            )
+        )
+        self.last_stats = response.get("stats", {})
+        return response.get("encrypted_outputs", {})
+
+    def submit_encrypted(
+        self,
+        program: str,
+        client_kit: Any,
+        inputs: Dict[str, Any],
+        client_id: Optional[str] = None,
+    ) -> Dict[str, np.ndarray]:
+        """End-to-end encrypted request: encrypt, submit, decrypt — keys stay local.
+
+        The kit encrypts ``inputs`` into a bundle, the server evaluates it
+        blindly under the session created with :meth:`create_session`, and the
+        ciphertext reply is decrypted here with the kit's secret key.
+        ``client_id`` must match the one the session was created under
+        (defaults to the kit's own id, as :meth:`create_session` does).
+        """
+        bundle = client_kit.encrypt_inputs(inputs)
+        reply = self.submit_bundle(
+            program,
+            client_kit.bundle_to_wire(bundle),
+            client_id=client_id or getattr(client_kit, "client_id", "default"),
+        )
+        return client_kit.decrypt_outputs(client_kit.outputs_from_wire(reply))
 
     def programs(self) -> list:
         return self._roundtrip(messages.encode_request("list")).get("programs", [])

@@ -116,16 +116,23 @@ class ProgramRegistry:
         if cached is not None:
             return cached
         compilation = EvaCompiler(options).compile(program, input_scales, output_scales)
-        self._insert(signature, compilation)
-        return compilation
+        return self._insert(signature, compilation)
 
-    def _insert(self, signature: str, compilation: CompilationResult) -> None:
+    def _insert(
+        self, signature: str, compilation: CompilationResult
+    ) -> CompilationResult:
+        """Insert (or yield the racing winner); returns the surviving object.
+
+        A race loser must hand its caller the *cached* compilation, not its
+        own duplicate, so identity-keyed caches downstream stay coherent.
+        """
         with self._lock:
-            if signature in self._entries:
+            existing = self._entries.get(signature)
+            if existing is not None:
                 # A concurrent worker compiled the same program first; keep
                 # the existing entry so cached identity stays stable.
                 self._entries.move_to_end(signature)
-                return
+                return existing.compilation
             self._entries[signature] = RegistryEntry(
                 signature=signature,
                 compilation=compilation,
@@ -134,6 +141,7 @@ class ProgramRegistry:
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1
+            return compilation
 
     def clear(self) -> None:
         with self._lock:

@@ -22,15 +22,16 @@ evaluation for up to ``vec_size / lane`` requests.
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import Future
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..backend.hisa import HomomorphicBackend
+from ..backend.hisa import BackendContext, HomomorphicBackend
 from ..core.compiler import CompilationResult, CompilerOptions, program_signature
-from ..core.executor import Executor
+from ..core.executor import EvaluationEngine, Executor
 from ..core.ir import Program
 from ..errors import ServingError, UnknownProgramError
 from .batching import BatchInfo, SlotBatcher, request_width
@@ -57,6 +58,60 @@ class ServeRequest:
 
     inputs: Dict[str, Any]
     output_size: Optional[int] = None
+
+
+@dataclass
+class EncryptedServeRequest:
+    """Payload of one queued pre-encrypted job.
+
+    ``bundle`` is either a live :class:`~repro.api.bundles.CipherBundle` or
+    its wire dictionary (decoded lazily with the session's context on the
+    worker side).
+    """
+
+    bundle: Any
+    wire: bool = False
+
+
+@dataclass
+class EncryptedServeResponse:
+    """Ciphertext outputs plus the serving metadata of one encrypted request.
+
+    ``outputs`` is an :class:`~repro.api.bundles.EncryptedOutputs`; the server
+    cannot decrypt it — only the submitting client can.
+    """
+
+    outputs: Any
+    program: str
+    client_id: str
+    cached_program: bool = False
+    queue_seconds: float = 0.0
+    execute_seconds: float = 0.0
+    #: The session's evaluation context the outputs were produced under, so a
+    #: transport can encode the reply without re-resolving the session (which
+    #: may have been evicted between evaluation and encoding).
+    context: Optional[BackendContext] = None
+
+    def to_wire(self, context: Optional[BackendContext] = None) -> Dict[str, Any]:
+        from ..api.bundles import outputs_to_wire
+
+        return outputs_to_wire(self.outputs, context or self.context)
+
+    def release(self) -> None:
+        """Release the output handles (after a transport has encoded them)."""
+        if self.context is not None:
+            for handle in self.outputs.ciphertexts.values():
+                self.context.release(handle)
+
+    def stats_dict(self) -> Dict[str, object]:
+        return {
+            "program": self.program,
+            "client_id": self.client_id,
+            "encrypted": True,
+            "cached_program": self.cached_program,
+            "queue_seconds": round(self.queue_seconds, 6),
+            "execute_seconds": round(self.execute_seconds, 6),
+        }
 
 
 @dataclass
@@ -112,6 +167,7 @@ class EvaServer:
         self.executor_threads = max(int(executor_threads), 1)
         self._programs: Dict[str, ProgramSpec] = {}
         self._executors: Dict[str, Executor] = {}
+        self._engines: Dict[str, EvaluationEngine] = {}
         self._batch_infos: Dict[str, BatchInfo] = {}
         self._lock = threading.Lock()
         self.engine = JobEngine(
@@ -195,9 +251,111 @@ class EvaServer:
         output_size: Optional[int] = None,
         timeout: Optional[float] = None,
     ) -> ServeResponse:
-        """Synchronous convenience wrapper around :meth:`submit`."""
+        """Synchronous convenience wrapper around :meth:`submit`.
+
+        ``timeout`` bounds each stage: queue admission (a full queue raises
+        :class:`~repro.errors.QueueFullError` when it expires) and then the
+        wait for the result.
+        """
         return self.submit(
-            name, inputs, client_id=client_id, output_size=output_size
+            name, inputs, client_id=client_id, output_size=output_size,
+            timeout=timeout,
+        ).result(timeout)
+
+    # -- encrypted request path ----------------------------------------------------
+    def create_session(
+        self, name: str, client_id: str, evaluation_keys: Any
+    ) -> Dict[str, object]:
+        """Register a client's evaluation keys for ``name`` (client-held keys).
+
+        ``evaluation_keys`` is either an evaluation-only
+        :class:`~repro.backend.hisa.BackendContext` (in-process callers) or the
+        JSON-able blob from ``ClientKit.export_evaluation_keys()`` (wire
+        callers).  Once the session exists, pre-encrypted bundles from this
+        client are evaluated under its keys; the server can never decrypt them.
+        """
+        spec, compilation, _cached = self._resolve(name)
+        if isinstance(evaluation_keys, BackendContext):
+            context = evaluation_keys
+        else:
+            context = self.backend.create_evaluation_context(
+                compilation.parameters, evaluation_keys
+            )
+        if getattr(context, "has_secret_key", True):
+            raise ServingError(
+                "sessions for encrypted bundles must use evaluation-only "
+                "contexts; export keys with ClientKit.export_evaluation_keys() "
+                "or derive a context with ClientKit.evaluation_context()"
+            )
+        try:
+            self.sessions.attach(compilation, client_id, context)
+        except ValueError as exc:
+            raise ServingError(str(exc)) from exc
+        return {
+            "program": name,
+            "client_id": str(client_id),
+            "signature": spec.signature,
+        }
+
+    def session_context(self, name: str, client_id: str) -> BackendContext:
+        """The evaluation context registered for ``(name, client)``.
+
+        Transports use it to decode incoming bundles and encode ciphertext
+        replies with the right codec.
+        """
+        _spec, compilation, _cached = self._resolve(name)
+        try:
+            return self.sessions.get_attached(compilation, str(client_id)).context
+        except LookupError as exc:
+            raise ServingError(str(exc)) from exc
+
+    def submit_encrypted(
+        self,
+        name: str,
+        bundle: Any,
+        client_id: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> "Future[EncryptedServeResponse]":
+        """Queue one pre-encrypted bundle; future resolves to ciphertext outputs.
+
+        ``bundle`` is a :class:`~repro.api.bundles.CipherBundle` or its wire
+        dictionary.  The client must have registered evaluation keys with
+        :meth:`create_session` first.  Encrypted jobs are grouped per
+        (program, client) like plaintext ones but never co-batched with them:
+        the server cannot slot-pack data it cannot read — clients pack before
+        encrypting (``ClientKit.encrypt_packed``) to get the same amortization.
+        """
+        with self._lock:
+            if name not in self._programs:
+                raise UnknownProgramError(
+                    f"no program registered under {name!r}; "
+                    f"known programs: {sorted(self._programs)}"
+                )
+        wire = isinstance(bundle, dict)
+        if client_id is None:
+            client_id = (
+                bundle.get("client_id", "default")
+                if wire
+                else getattr(bundle, "client_id", "default")
+            )
+        payload = EncryptedServeRequest(bundle=bundle, wire=wire)
+        return self.engine.submit(
+            (name, str(client_id), "encrypted"), payload, timeout=timeout
+        )
+
+    def request_encrypted(
+        self,
+        name: str,
+        bundle: Any,
+        client_id: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> EncryptedServeResponse:
+        """Synchronous convenience wrapper around :meth:`submit_encrypted`.
+
+        ``timeout`` bounds each stage: queue admission and the result wait.
+        """
+        return self.submit_encrypted(
+            name, bundle, client_id=client_id, timeout=timeout
         ).result(timeout)
 
     # -- execution (worker side) -------------------------------------------------
@@ -237,8 +395,93 @@ class EvaServer:
                     self._batch_infos.pop(next(iter(self._batch_infos)))
             return executor, info
 
+    def _engine_for(
+        self, signature: str, compilation: CompilationResult
+    ) -> EvaluationEngine:
+        """Cached ciphertext-only evaluation engine (bundle path).
+
+        Separate from the :class:`Executor` cache because bundle evaluation
+        must not retire input ciphertexts — they belong to the client.
+        """
+        with self._lock:
+            engine = self._engines.get(signature)
+            if engine is None:
+                engine = EvaluationEngine(
+                    compilation,
+                    self.backend,
+                    threads=self.executor_threads,
+                    retire_inputs=False,
+                )
+                self._engines[signature] = engine
+                while len(self._engines) > 2 * self.registry.capacity:
+                    self._engines.pop(next(iter(self._engines)))
+            return engine
+
+    def _handle_encrypted_batch(self, jobs: List[Job]) -> List[Any]:
+        from ..api.bundles import EncryptedOutputs, bundle_from_wire
+
+        name, client_id, _ = jobs[0].group
+        spec, compilation, cached_program = self._resolve(name)
+        try:
+            session = self.sessions.get_attached(compilation, client_id)
+        except LookupError as exc:
+            raise ServingError(str(exc)) from exc
+        engine = self._engine_for(spec.signature, compilation)
+        responses: List[Any] = []
+        with session.lock:
+            for job in jobs:
+                request = job.payload
+                try:
+                    bundle = request.bundle
+                    if request.wire:
+                        bundle = bundle_from_wire(bundle, session.context)
+                    if bundle.program_signature != spec.signature:
+                        raise ServingError(
+                            f"bundle was encrypted for a different compilation "
+                            f"of {name!r} ({bundle.program_signature[:12]}... vs "
+                            f"{spec.signature[:12]}...); recompile the client "
+                            "against the server's program and options"
+                        )
+                    start = time.perf_counter()
+                    handles = engine.evaluate(
+                        session.context, bundle.ciphertexts, bundle.plain
+                    )
+                    elapsed = time.perf_counter() - start
+                    if request.wire:
+                        # Wire-decoded input handles are server-owned copies;
+                        # release them so the context's live-ciphertext
+                        # accounting stays bounded.  A pass-through output can
+                        # alias an input handle — those stay live.
+                        output_ids = {id(h) for h in handles.values()}
+                        for handle in bundle.ciphertexts.values():
+                            if id(handle) not in output_ids:
+                                session.context.release(handle)
+                    responses.append(
+                        EncryptedServeResponse(
+                            outputs=EncryptedOutputs(
+                                program_signature=spec.signature,
+                                ciphertexts=handles,
+                                evaluate_seconds=elapsed,
+                            ),
+                            program=name,
+                            client_id=client_id,
+                            cached_program=cached_program,
+                            execute_seconds=elapsed,
+                            context=session.context,
+                        )
+                    )
+                except Exception as exc:  # fail this job, not the batch
+                    responses.append(exc)
+        for job, response in zip(jobs, responses):
+            if isinstance(response, EncryptedServeResponse):
+                response.queue_seconds = job.queue_seconds
+        return responses
+
     def _handle_batch(self, jobs: List[Job]) -> List[Any]:
-        name, client_id = jobs[0].group
+        group = jobs[0].group
+        if len(group) == 3 and group[2] == "encrypted":
+            return self._handle_encrypted_batch(jobs)
+        name, client_id = group
         spec, compilation, cached_program = self._resolve(name)
         session = self.sessions.get_session(compilation, client_id)
         cached_session = session.hits > 0
@@ -273,7 +516,7 @@ class EvaServer:
                 # Slotwise programs answer with the request's own width (the
                 # same view a batched execution yields); cross-slot programs
                 # return the full vector.
-                slotwise = batch_info.batchable
+                slotwise = batch_info.slotwise
                 for request in requests:
                     try:
                         result = executor.execute(
@@ -325,4 +568,11 @@ class EvaServer:
         self.close()
 
 
-__all__ = ["EvaServer", "ServeRequest", "ServeResponse", "ProgramSpec"]
+__all__ = [
+    "EvaServer",
+    "ServeRequest",
+    "ServeResponse",
+    "EncryptedServeRequest",
+    "EncryptedServeResponse",
+    "ProgramSpec",
+]

@@ -45,6 +45,11 @@ class Session:
     created_at: float
     keygen_seconds: float
     hits: int = 0
+    #: True when the context was supplied by the client (evaluation keys only,
+    #: no secret key) rather than generated server-side.  Client-keyed
+    #: sessions are the paper's deployment model: the server can evaluate but
+    #: never decrypt.
+    client_keyed: bool = False
     #: Serializes executions sharing this context: backend contexts (RNG state,
     #: op counters, real key material) are not safe for concurrent evaluation.
     lock: threading.Lock = field(default_factory=threading.Lock)
@@ -69,11 +74,15 @@ class SessionManager:
         self.capacity = capacity
         self.stats = CacheStats()
         self._sessions: "OrderedDict[SessionKey, Session]" = OrderedDict()
+        #: Client-keyed (attached) sessions live in their own namespace so a
+        #: client that registers evaluation keys for the encrypted path keeps
+        #: its independent server-generated session for plaintext requests.
+        self._attached: "OrderedDict[SessionKey, Session]" = OrderedDict()
         self._lock = threading.Lock()
 
     def __len__(self) -> int:
         with self._lock:
-            return len(self._sessions)
+            return len(self._sessions) + len(self._attached)
 
     def get(
         self, compilation: CompilationResult, client_id: str = "default"
@@ -119,23 +128,88 @@ class SessionManager:
                 self.stats.evictions += 1
         return session
 
+    def attach(
+        self,
+        compilation: CompilationResult,
+        client_id: str,
+        context: BackendContext,
+    ) -> Session:
+        """Install a client-supplied evaluation context for the encrypted path.
+
+        The context must hold no secret key (the client keeps that).  Attached
+        sessions live in their own namespace: pre-encrypted bundles evaluate
+        under the client's own evaluation keys (the server can never decrypt
+        them), while the client's plaintext requests — if it makes any — keep
+        using an independent server-generated session.
+        """
+        if getattr(context, "has_secret_key", True):
+            raise ValueError(
+                "attached sessions must use evaluation-only contexts "
+                "(no secret key); derive one with ClientKit.evaluation_context()"
+            )
+        key = session_key(compilation, client_id)
+        session = Session(
+            key=key,
+            context=context,
+            created_at=time.time(),
+            keygen_seconds=0.0,
+            client_keyed=True,
+        )
+        with self._lock:
+            self._attached[key] = session
+            self._attached.move_to_end(key)
+            while len(self._attached) > self.capacity:
+                self._attached.popitem(last=False)
+                self.stats.evictions += 1
+        return session
+
+    def get_attached(
+        self, compilation: CompilationResult, client_id: str
+    ) -> Session:
+        """Return the client-keyed session for ``(compilation, client)``.
+
+        Unlike :meth:`get_session` this never generates keys server-side: a
+        missing or server-keyed session is an error, because a pre-encrypted
+        bundle can only be evaluated under the keys its client exported.
+        """
+        key = session_key(compilation, client_id)
+        with self._lock:
+            session = self._attached.get(key)
+            if session is not None:
+                self._attached.move_to_end(key)
+                self.stats.hits += 1
+                session.hits += 1
+                return session
+            self.stats.misses += 1
+        raise LookupError(
+            f"client {client_id!r} has not registered evaluation keys for this "
+            "program (create a session first)"
+        )
+
     def invalidate(self, client_id: str) -> int:
         """Drop every session of ``client_id`` (e.g. on key rotation)."""
+        count = 0
         with self._lock:
-            doomed = [k for k in self._sessions if k[0] == str(client_id)]
-            for key in doomed:
-                del self._sessions[key]
-            return len(doomed)
+            for store in (self._sessions, self._attached):
+                doomed = [k for k in store if k[0] == str(client_id)]
+                for key in doomed:
+                    del store[key]
+                count += len(doomed)
+        return count
 
     def clear(self) -> None:
         with self._lock:
             self._sessions.clear()
+            self._attached.clear()
 
     def summary(self) -> Dict[str, object]:
         with self._lock:
             return {
                 "capacity": self.capacity,
-                "sessions": len(self._sessions),
-                "clients": len({k[0] for k in self._sessions}),
+                "sessions": len(self._sessions) + len(self._attached),
+                "clients": len(
+                    {k[0] for k in self._sessions} | {k[0] for k in self._attached}
+                ),
+                "client_keyed": len(self._attached),
                 **self.stats.summary(),
             }

@@ -91,14 +91,67 @@ class TestExprOperators:
             output("out", x**8, 25)
         assert program.graph.multiplicative_depth() == 3
 
+    def test_power_zero_is_constant_one(self):
+        """x ** 0 is the constant one at the program's default scale."""
+        xv = np.linspace(-1, 1, 8)
+        np.testing.assert_allclose(self.run(lambda x: x**0 * 1.0, {"x": xv}), np.ones(8))
+        program = EvaProgram("pow0", vec_size=8, default_scale=25)
+        with program:
+            x = input_encrypted("x", 25)
+            one = x**0
+        assert one.term.is_constant
+        assert one.term.scale == 25.0
+
     def test_invalid_power_rejected(self):
         program = EvaProgram("pow", vec_size=8)
         with program:
             x = input_encrypted("x")
             with pytest.raises(CompilationError):
-                _ = x**0
+                _ = x**-1
             with pytest.raises(CompilationError):
                 _ = x**1.5
+            with pytest.raises(CompilationError):
+                _ = x**True
+
+    def test_truediv_by_scalar(self):
+        xv = np.linspace(-1, 1, 8)
+        np.testing.assert_allclose(self.run(lambda x: x / 2, {"x": xv}), xv / 2)
+        np.testing.assert_allclose(self.run(lambda x: x / 0.25, {"x": xv}), xv * 4)
+
+    def test_truediv_by_vector(self):
+        xv = np.linspace(-1, 1, 8)
+        divisor = np.linspace(1, 2, 8)
+        np.testing.assert_allclose(
+            self.run(lambda x: x / divisor, {"x": xv}), xv / divisor
+        )
+
+    def test_truediv_lowers_to_multiply(self):
+        """Division never emits a new opcode — it is multiplication by 1/c."""
+        program = EvaProgram("div", vec_size=8, default_scale=25)
+        with program:
+            x = input_encrypted("x", 25)
+            output("out", x / 4.0, 25)
+        ops = {term.op for term in program.graph.terms() if term.is_instruction}
+        assert ops == {Op.MULTIPLY}
+
+    def test_truediv_by_cipher_rejected(self):
+        program = EvaProgram("div", vec_size=8, default_scale=25)
+        with program:
+            x = input_encrypted("x", 25)
+            y = input_encrypted("y", 25)
+            with pytest.raises(CompilationError, match="not expressible"):
+                _ = x / y
+            with pytest.raises(CompilationError, match="reciprocal"):
+                _ = 1.0 / x
+
+    def test_truediv_by_zero_rejected(self):
+        program = EvaProgram("div", vec_size=8, default_scale=25)
+        with program:
+            x = input_encrypted("x", 25)
+            with pytest.raises(CompilationError, match="zero"):
+                _ = x / 0.0
+            with pytest.raises(CompilationError, match="zero"):
+                _ = x / [1.0, 0.0]
 
     def test_rotations(self):
         xv = np.arange(8, dtype=float)

@@ -535,6 +535,20 @@ class TestTcpServing:
         assert code == 1
         assert "duplicate program name" in capsys.readouterr().err
 
+    def test_cli_serve_rejects_compiled_programs(self, tmp_path, capsys):
+        """An already-compiled file fails at startup, not per-request."""
+        from repro.cli import main
+        from repro.core import compile_program
+        from repro.core.serialization import save
+
+        program = make_poly_program()
+        compiled = compile_program(program.graph)
+        path = tmp_path / "compiled.evaproto"
+        save(compiled.program, path)
+        code = main(["serve", str(path), "--port", "0"])
+        assert code == 1
+        assert "already-compiled" in capsys.readouterr().err
+
     def test_cli_serve_end_to_end(self, tmp_path):
         """`repro.cli serve` in a subprocess answers a ServingClient request."""
         import json
