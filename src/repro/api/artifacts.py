@@ -118,6 +118,11 @@ class CompiledProgram:
         return self.compilation.program.vec_size
 
     @property
+    def lane_width(self) -> Optional[int]:
+        """Compiler-enforced lane width (None when not lane-lowered)."""
+        return self.compilation.lane_width
+
+    @property
     def input_scales(self) -> Dict[str, float]:
         return self.compilation.input_scales
 

@@ -126,24 +126,38 @@ class ClientKit:
         return outputs_from_wire(data, self.context)
 
     # -- client-side slot batching -------------------------------------------------
+    @property
+    def lane_width(self) -> Optional[int]:
+        """The compiled program's lane width (None when not lane-lowered).
+
+        When a server registered the program with a pinned ``lane_width``,
+        compiling with the same options makes this match the width the server
+        reports from ``create_session`` — the alignment that lets
+        :meth:`encrypt_packed` bundles batch on the encrypted path.
+        """
+        return self.compiled.lane_width
+
     def encrypt_packed(
         self, requests: Sequence[Dict[str, Any]]
     ) -> Tuple[CipherBundle, Any]:
         """Pack several requests into one bundle (one evaluation serves all).
 
-        Returns ``(bundle, plan)``; decrypt the server's reply with
+        Packing is sound when the compiled program is slotwise *or* was
+        compiled with a ``lane_width`` (lane-lowered rotations); in the
+        latter case the lanes are exactly the compiled width.  Returns
+        ``(bundle, plan)``; decrypt the server's reply with
         :meth:`decrypt_packed` and the same plan.  Raises
-        :class:`~repro.errors.ExecutionError` when the program is not
-        slotwise or the requests do not fit the lanes — fall back to one
-        bundle per request in that case.
+        :class:`~repro.errors.ExecutionError` when the requests do not fit —
+        fall back to one bundle per request in that case.
         """
         from ..serving.batching import SlotBatcher
 
         plan = SlotBatcher().plan(self.compiled.compilation, list(requests))
         if plan is None:
             raise ExecutionError(
-                "requests cannot be slot-packed for this program (not slotwise, "
-                "or they do not fit the lanes); encrypt them individually"
+                "requests cannot be slot-packed for this program (neither "
+                "slotwise nor compiled with a lane_width, or they do not fit "
+                "the lanes); encrypt them individually"
             )
         packed = SlotBatcher().pack(plan, list(requests))
         bundle = self.encrypt_inputs(packed)

@@ -30,9 +30,20 @@ def build_harris_program(
     image_size: int = DEFAULT_IMAGE_SIZE,
     k: float = DEFAULT_K,
     scale: float = 30.0,
+    vec_size: int = None,
 ) -> EvaProgram:
-    """Build the Harris corner detection program for a square image."""
-    vec_size = image_size * image_size
+    """Build the Harris corner detection program for a square image.
+
+    ``vec_size`` defaults to ``image_size ** 2``; a larger power of two
+    leaves spare slots for lane batching (compile with
+    ``CompilerOptions(lane_width=image_size ** 2)``).
+    """
+    if vec_size is None:
+        vec_size = image_size * image_size
+    elif vec_size < image_size * image_size:
+        raise ValueError(
+            f"vec_size {vec_size} cannot hold a {image_size}x{image_size} image"
+        )
     program = EvaProgram("harris", vec_size=vec_size, default_scale=scale)
     with program:
         image = input_encrypted("image", scale)

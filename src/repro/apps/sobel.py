@@ -21,9 +21,24 @@ SOBEL_FILTER = np.array([[-1.0, 0.0, 1.0], [-2.0, 0.0, 2.0], [-1.0, 0.0, 1.0]])
 DEFAULT_IMAGE_SIZE = 64
 
 
-def build_sobel_program(image_size: int = DEFAULT_IMAGE_SIZE, scale: float = 30.0) -> EvaProgram:
-    """Build the Sobel filtering program for a ``image_size`` x ``image_size`` image."""
-    vec_size = image_size * image_size
+def build_sobel_program(
+    image_size: int = DEFAULT_IMAGE_SIZE,
+    scale: float = 30.0,
+    vec_size: int = None,
+) -> EvaProgram:
+    """Build the Sobel filtering program for a ``image_size`` x ``image_size`` image.
+
+    ``vec_size`` defaults to ``image_size ** 2`` (the image exactly fills the
+    ciphertext).  Passing a larger power of two leaves spare slots: compiled
+    with ``CompilerOptions(lane_width=image_size ** 2)``, the program then
+    serves ``vec_size / image_size**2`` images per ciphertext (lane batching).
+    """
+    if vec_size is None:
+        vec_size = image_size * image_size
+    elif vec_size < image_size * image_size:
+        raise ValueError(
+            f"vec_size {vec_size} cannot hold a {image_size}x{image_size} image"
+        )
     program = EvaProgram("sobel", vec_size=vec_size, default_scale=scale)
     with program:
         image = input_encrypted("image", scale)

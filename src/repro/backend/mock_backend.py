@@ -141,9 +141,11 @@ class MockContext(BackendContext):
     def encode_cipher(self, handle: MockCiphertext) -> Dict[str, Any]:
         if handle.released:
             raise SerializationError("cannot serialize a released ciphertext")
+        from ..core.serialization.packing import pack_values
+
         return {
             "scheme": "mock",
-            "values": [float(v) for v in handle.values],
+            "values": pack_values(handle.values),
             "scale_bits": float(handle.scale_bits),
             "level": int(handle.level),
             "num_polys": int(handle.num_polys),
@@ -152,8 +154,12 @@ class MockContext(BackendContext):
     def decode_cipher(self, data: Dict[str, Any]) -> MockCiphertext:
         if not isinstance(data, dict) or data.get("scheme") != "mock":
             raise SerializationError("not a mock-backend ciphertext")
+        from ..core.serialization.packing import unpack_values
+
         try:
-            values = np.asarray(data["values"], dtype=np.float64)
+            # unpack_values accepts both the base64-packed form and the
+            # legacy plain float list.
+            values = unpack_values(data["values"])
             cipher = MockCiphertext(
                 values=values,
                 scale_bits=float(data["scale_bits"]),

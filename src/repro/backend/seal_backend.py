@@ -36,12 +36,19 @@ from ..errors import ExecutionError, ParameterError, SerializationError
 from .hisa import BackendContext, HomomorphicBackend, replicate_to_slots
 
 
-def _poly_to_rows(poly: RnsPolynomial) -> List[List[int]]:
-    return poly.residues.tolist()
+def _poly_to_rows(poly: RnsPolynomial) -> Dict[str, Any]:
+    """Pack an RNS polynomial's residue matrix (base64 int64, ~10x smaller
+    than the per-residue integer lists the codec originally emitted)."""
+    from ..core.serialization.packing import pack_residues
+
+    return pack_residues(poly.residues)
 
 
-def _poly_from_rows(basis: RnsBasis, rows: List[List[int]]) -> RnsPolynomial:
-    residues = np.asarray(rows, dtype=np.int64)
+def _poly_from_rows(basis: RnsBasis, rows: Any) -> RnsPolynomial:
+    """Inverse of :func:`_poly_to_rows`; also accepts legacy row lists."""
+    from ..core.serialization.packing import unpack_residues
+
+    residues = unpack_residues(rows)
     if residues.ndim != 2 or residues.shape != (
         len(basis),
         basis.poly_modulus_degree,

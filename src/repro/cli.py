@@ -86,6 +86,7 @@ def cmd_compile(args: argparse.Namespace) -> int:
         policy=args.policy,
         max_rescale_bits=args.max_rescale_bits,
         security_level=args.security,
+        lane_width=args.lane_width,
     )
     result = EvaCompiler(options).compile(program)
     save(result.program, args.output)
@@ -103,6 +104,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         policy=args.policy,
         max_rescale_bits=args.max_rescale_bits,
         security_level=args.security,
+        lane_width=args.lane_width,
     )
     # The executable on disk may be an already-compiled program (containing
     # FHE-specific instructions); in that case only parameter selection is
@@ -148,6 +150,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         policy=args.policy,
         max_rescale_bits=args.max_rescale_bits,
         security_level=args.security,
+        lane_width=args.lane_width,
     )
     # Load and validate everything before spinning up worker threads or
     # binding the port, so a bad invocation fails fast and clean.
@@ -209,6 +212,7 @@ def cmd_submit(args: argparse.Namespace) -> int:
                 policy=args.policy,
                 max_rescale_bits=args.max_rescale_bits,
                 security_level=args.security,
+                lane_width=args.lane_width,
             )
             compiled = CompiledProgram.compile(load(args.program_file), options=options)
             kit = ClientKit(
@@ -245,6 +249,14 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--policy", choices=["eva", "chet"], default="eva")
         p.add_argument("--max-rescale-bits", type=float, default=60.0)
         p.add_argument("--security", type=int, default=128, choices=[128, 192, 256])
+        p.add_argument(
+            "--lane-width",
+            type=int,
+            default=None,
+            help="lane-lower rotations to this power-of-two width (makes "
+            "rotation-bearing programs slot-batchable; server and encrypting "
+            "clients must agree on it)",
+        )
 
     comp = sub.add_parser("compile", help="compile an input program")
     comp.add_argument("program", type=Path)

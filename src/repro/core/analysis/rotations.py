@@ -8,11 +8,18 @@ Steps are normalized to *left* rotations: a right rotation by ``k`` on a
 vector of size ``M`` equals a left rotation by ``M - k`` (EVA replicates
 shorter inputs to fill all slots, so vectors are periodic with period
 ``vec_size`` and the identity holds for the full slot vector as well).
+
+Lane lowering (:class:`~repro.core.rewrite.lane.LaneLoweringPass`) rewrites a
+lane-local rotation by ``k`` into two global rotations, by ``k`` and by the
+*negative* step ``k - w``; :func:`lane_lowered_step_pair` normalizes that pair
+into the ``[0, vec_size)`` left-step domain this module (and Galois key
+generation) works in, so the key set collected from a lowered program is
+exactly the set the executor will request.
 """
 
 from __future__ import annotations
 
-from typing import List, Set
+from typing import List, Set, Tuple
 
 from ..ir import Program
 from ..types import Op
@@ -24,6 +31,22 @@ def normalize_step(op: Op, step: int, vec_size: int) -> int:
     if op is Op.ROTATE_RIGHT:
         step = (vec_size - step) % vec_size
     return step
+
+
+def lane_lowered_step_pair(step: int, lane_width: int, vec_size: int) -> Tuple[int, int]:
+    """The two normalized left steps realizing ``lane_rot(step)`` at width ``w``.
+
+    ``step`` is the lane-local left-rotation amount in ``(0, lane_width)``.
+    The in-lane branch is a global left rotation by ``step``; the wrap branch
+    is a global rotation by ``step - lane_width`` (negative, i.e. rightward),
+    normalized here to the left step ``(step - lane_width) mod vec_size``.
+    """
+    step = int(step)
+    if not 0 < step < lane_width:
+        raise ValueError(
+            f"lane step must be in (0, {lane_width}), got {step}"
+        )
+    return step, (step - int(lane_width)) % int(vec_size)
 
 
 def select_rotation_steps(program: Program) -> List[int]:

@@ -37,6 +37,7 @@ from .rewrite import (
     DeadCodeEliminationPass,
     EagerModSwitchPass,
     ExpandSumPass,
+    LaneLoweringPass,
     LazyModSwitchPass,
     MatchScalePass,
     PassManager,
@@ -66,6 +67,12 @@ class CompilerOptions:
         Security level in bits for parameter selection (128 by default).
     lower_sum / remove_copies / cleanup:
         Enable the lowering and cleanup passes.
+    lane_width:
+        When set, run :class:`~repro.core.rewrite.LaneLoweringPass` at this
+        power-of-two lane width: every rotation (and expanded SUM) is
+        rewritten into its lane-local masked form, making the compiled
+        program provably slot-batchable at ``vec_size // lane_width``
+        requests per ciphertext.  Must divide the program's vector size.
     """
 
     policy: str = "eva"
@@ -76,14 +83,30 @@ class CompilerOptions:
     lower_sum: bool = True
     remove_copies: bool = True
     cleanup: bool = True
+    lane_width: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.policy not in ("eva", "chet"):
             raise CompilationError(f"unknown compiler policy {self.policy!r}")
+        if self.lane_width is not None:
+            from .types import is_power_of_two
+
+            width = int(self.lane_width)
+            if width < 1 or not is_power_of_two(width):
+                raise CompilationError(
+                    f"lane width must be a positive power of two, got {self.lane_width!r}"
+                )
+            self.lane_width = width
 
     def to_dict(self) -> Dict[str, Any]:
         """All option fields as a JSON-able dict (signature and artifact use)."""
-        return asdict(self)
+        data = asdict(self)
+        # Back-compat: an unset lane width serializes to the pre-lane layout,
+        # so signatures of (and artifacts for) programs compiled without lane
+        # lowering are unchanged by the option's existence.
+        if data.get("lane_width") is None:
+            data.pop("lane_width", None)
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "CompilerOptions":
@@ -122,6 +145,25 @@ class CompilationResult:
     def coeff_modulus_bits(self) -> List[int]:
         return self.parameters.coeff_modulus_bits
 
+    # -- batchability metadata ---------------------------------------------------
+    @property
+    def lane_width(self) -> Optional[int]:
+        """The compiler-enforced lane width, or None when not lane-lowered.
+
+        A non-None value is a *guarantee*: every instruction of the compiled
+        program stays inside lanes of this width, so the serving layer may
+        pack one independent request per lane without inspecting opcodes.
+        """
+        return self.options.lane_width
+
+    @property
+    def lane_capacity(self) -> int:
+        """Requests one ciphertext carries under the compiled lane width (>= 1)."""
+        width = self.options.lane_width
+        if not width or width >= self.program.vec_size:
+            return 1
+        return self.program.vec_size // width
+
     def summary(self) -> Dict[str, object]:
         """Compact description used in logs and benchmark tables."""
         return {
@@ -131,6 +173,7 @@ class CompilationResult:
             "log_q": self.parameters.summary()["log_q"],
             "r": self.parameters.summary()["r"],
             "rotations": len(self.rotation_steps),
+            "lane_width": self.lane_width,
             "compile_seconds": self.compile_seconds,
         }
 
@@ -178,6 +221,10 @@ class EvaCompiler:
             passes.append(RemoveCopyPass())
         if options.lower_sum:
             passes.append(ExpandSumPass())
+        if options.lane_width is not None:
+            # After SUM expansion so the reduction tree's rotations are lane-
+            # lowered too, before cleanup so CSE deduplicates the masked pairs.
+            passes.append(LaneLoweringPass(options.lane_width))
         if options.cleanup:
             passes.append(ConstantFoldingPass())
             passes.append(CommonSubexpressionEliminationPass())
@@ -210,6 +257,21 @@ class EvaCompiler:
         """
         start = time.perf_counter()
         program.check_structure(frontend_only=True)
+        if self.options.lane_width is not None:
+            from .types import Op
+
+            width = self.options.lane_width
+            if width > program.vec_size:
+                raise CompilationError(
+                    f"lane width {width} exceeds the vector size {program.vec_size}"
+                )
+            if not self.options.lower_sum and width < program.vec_size and any(
+                term.op is Op.SUM for term in program.terms()
+            ):
+                raise CompilationError(
+                    "lane lowering needs SUM expanded into rotations; compile "
+                    "with lower_sum=True"
+                )
         signature = program_signature(program, self.options, input_scales, output_scales)
 
         working = program.clone()

@@ -7,6 +7,7 @@ from .matchscale import MatchScalePass
 from .relinearize import RelinearizePass
 from .kernel_alignment import ChetKernelAlignmentPass
 from .lowering import ExpandSumPass, RemoveCopyPass
+from .lane import LaneLoweringPass
 from .folding import ConstantFoldingPass, CommonSubexpressionEliminationPass, DeadCodeEliminationPass
 
 __all__ = [
@@ -22,6 +23,7 @@ __all__ = [
     "ChetKernelAlignmentPass",
     "ExpandSumPass",
     "RemoveCopyPass",
+    "LaneLoweringPass",
     "ConstantFoldingPass",
     "CommonSubexpressionEliminationPass",
     "DeadCodeEliminationPass",

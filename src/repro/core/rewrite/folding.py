@@ -18,17 +18,33 @@ from ..types import Op, ValueType
 from .framework import PassContext, RewritePass
 
 
+def _tile_common(a: np.ndarray, b: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Tile two periodic plaintext vectors to their common (lcm) length.
+
+    Constants of different lengths denote the same value replicated at
+    different periods (Section 3's input replication); a binary operation on
+    them is well-defined on the common period.  Lane masks (length = lane
+    width) meeting shorter constants is the common case.
+    """
+    a = np.atleast_1d(a)
+    b = np.atleast_1d(b)
+    if a.size == b.size:
+        return a, b
+    target = int(np.lcm(a.size, b.size))
+    return np.tile(a, target // a.size), np.tile(b, target // b.size)
+
+
 def _evaluate_plain(term: Term, values: Dict[int, np.ndarray]) -> np.ndarray:
     """Evaluate a plaintext instruction on the numeric values of its arguments."""
     args = [values[a.id] for a in term.args]
     if term.op is Op.NEGATE:
         return -args[0]
     if term.op is Op.ADD:
-        return args[0] + args[1]
+        return np.add(*_tile_common(args[0], args[1]))
     if term.op is Op.SUB:
-        return args[0] - args[1]
+        return np.subtract(*_tile_common(args[0], args[1]))
     if term.op is Op.MULTIPLY:
-        return args[0] * args[1]
+        return np.multiply(*_tile_common(args[0], args[1]))
     if term.op is Op.COPY:
         return args[0]
     if term.op is Op.SUM:

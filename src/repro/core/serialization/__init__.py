@@ -7,10 +7,19 @@ from typing import Union
 
 from ...errors import SerializationError
 from ..ir import Program
-from . import json_format, messages, proto
+from . import json_format, messages, packing, proto
 from .proto import deserialize, serialize
 
-__all__ = ["serialize", "deserialize", "save", "load", "proto", "json_format", "messages"]
+__all__ = [
+    "serialize",
+    "deserialize",
+    "save",
+    "load",
+    "proto",
+    "json_format",
+    "messages",
+    "packing",
+]
 
 
 def save(program: Program, path: Union[str, Path]) -> None:

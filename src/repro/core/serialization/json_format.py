@@ -37,6 +37,8 @@ def program_to_dict(program: Program) -> Dict[str, Any]:
             value = np.atleast_1d(np.asarray(term.value, dtype=np.float64)).ravel()
             node["value"] = [float(v) for v in value]
             node["scale"] = float(term.scale or 0.0)
+            if term.attributes.get("lane_mask"):
+                node["lane_mask"] = True
         if term.op.is_rotation:
             node["rotation"] = term.rotation
         if term.op is Op.RESCALE:
@@ -73,6 +75,8 @@ def dict_to_program(data: Dict[str, Any]) -> Program:
                 raw = node.get("value", [0.0])
                 value = raw[0] if value_type is ValueType.SCALAR and len(raw) == 1 else np.asarray(raw)
                 term = program.constant(value, scale=node.get("scale", 0.0), value_type=value_type)
+                if node.get("lane_mask"):
+                    term.attributes["lane_mask"] = True
             else:
                 args = [terms[i] for i in node["args"]]
                 attrs: Dict[str, Any] = {}

@@ -8,6 +8,9 @@ implementation:
 * ``Input.name = 15`` and ``Output.name = 15`` carry the symbolic names the
   Python frontend uses (the original schema identifies inputs and outputs
   positionally).
+* ``Constant.lane_mask = 15`` marks the 0/1 selector constants inserted by
+  the lane-lowering pass (compiler plumbing the slot batcher must ignore
+  when deriving the program's output period).
 
 Rotation step counts and rescale divisors are represented as scalar-constant
 arguments of their instructions, matching the instruction signatures of
@@ -34,17 +37,21 @@ class ConstantMessage:
     type: ObjectType
     scale: float
     elements: List[float]
+    lane_mask: bool = False
 
     def to_bytes(self) -> bytes:
         payload = wire.encode_bytes_field(1, wire.encode_varint_field(1, self.obj_id))
         payload += wire.encode_varint_field(2, int(self.type))
         payload += wire.encode_double_field(3, self.scale)
         payload += wire.encode_bytes_field(4, wire.encode_packed_doubles(1, self.elements))
+        if self.lane_mask:
+            payload += wire.encode_varint_field(15, 1)
         return payload
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "ConstantMessage":
         obj_id, type_, scale, elements = 0, ObjectType.UNDEFINED_TYPE, 0.0, []
+        lane_mask = False
         for number, _, raw in wire.iter_fields(data):
             if number == 1:
                 obj_id = _decode_object(raw)
@@ -54,7 +61,9 @@ class ConstantMessage:
                 scale = wire.unpack_double(raw)
             elif number == 4:
                 elements = _decode_vector(raw)
-        return cls(obj_id, type_, scale, elements)
+            elif number == 15:
+                lane_mask = bool(int(raw))
+        return cls(obj_id, type_, scale, elements, lane_mask)
 
 
 @dataclass
@@ -231,6 +240,7 @@ def program_to_message(program: Program) -> ProgramMessage:
                     object_type_for(term.value_type, is_constant=True),
                     float(term.scale or 0.0),
                     [float(v) for v in value],
+                    lane_mask=bool(term.attributes.get("lane_mask")),
                 )
             )
 
@@ -284,6 +294,8 @@ def message_to_program(message: ProgramMessage, name: str = "program") -> Progra
                 scale=constant.scale,
                 value_type=ValueType.VECTOR,
             )
+        if constant.lane_mask:
+            term.attributes["lane_mask"] = True
         terms[constant.obj_id] = term
 
     for inst in message.instructions:

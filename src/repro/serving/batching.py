@@ -8,12 +8,21 @@ common power-of-two width, places one request per lane, executes the program
 once, and demultiplexes each lane back out — k requests for one ciphertext's
 worth of homomorphic work.
 
-Packing is only sound for *slotwise* programs: rotations and SUM move data
-across lane boundaries, so any program containing them (before or after
-lowering) falls back to per-request execution.  Program constants are also
-lane-constrained: a constant vector tiles with its own period during encoding,
-so every constant's length must divide the lane width for each lane to see
-the same constant a solo run would.
+Packing is sound in two cases, both read off the compilation's metadata:
+
+* *slotwise* programs — no instruction reads across slot boundaries, so any
+  lane width that fits the requests (and the constants) works;
+* *lane-lowered* programs — the compiler ran
+  :class:`~repro.core.rewrite.LaneLoweringPass` at a fixed ``lane_width``,
+  rewriting every rotation (and expanded SUM) into its masked lane-local
+  form.  The lane width is then a compiler guarantee carried on
+  :class:`~repro.core.compiler.CompilationResult`, not something this module
+  re-derives from opcodes, and it is *fixed*: requests wider than the
+  compiled lane cannot be packed.
+
+Program constants are lane-constrained either way: a constant vector tiles
+with its own period during encoding, so every constant's length must divide
+the lane width for each lane to see the same constant a solo run would.
 """
 
 from __future__ import annotations
@@ -28,11 +37,12 @@ from ..core.ir import Program
 from ..core.types import Op
 from ..errors import ServingError
 
-#: Opcodes that read or write across slot boundaries.
+#: Opcodes that read or write across slot boundaries (before lane lowering).
 _CROSS_SLOT_OPS = (Op.ROTATE_LEFT, Op.ROTATE_RIGHT, Op.SUM)
 
 
-def _pow2_ceil(value: int) -> int:
+def pow2_ceil(value: int) -> int:
+    """Smallest power of two >= value (lane and request widths are pow2)."""
     result = 1
     while result < value:
         result <<= 1
@@ -44,16 +54,22 @@ def _value_width(value: Any) -> int:
 
 
 def is_slotwise(program: Program) -> bool:
-    """True when every instruction operates slot-by-slot (batchable)."""
+    """True when every instruction operates slot-by-slot (batchable as-is)."""
     return not any(term.op in _CROSS_SLOT_OPS for term in program.terms())
 
 
 def min_lane_width(program: Program) -> int:
-    """Smallest lane width the program's constants allow."""
+    """Smallest lane width the program's constants allow.
+
+    Lane-mask constants inserted by the compiler's lowering pass are skipped:
+    they always span exactly the compiled lane width and carry no program
+    semantics, so they must not inflate the output period reported for the
+    program's real constants.
+    """
     width = 1
     for term in program.terms():
-        if term.is_constant:
-            width = max(width, _pow2_ceil(_value_width(term.value)))
+        if term.is_constant and not term.attributes.get("lane_mask"):
+            width = max(width, pow2_ceil(_value_width(term.value)))
     return width
 
 
@@ -62,23 +78,30 @@ def request_width(inputs: Dict[str, Any]) -> int:
     width = 1
     for value in inputs.values():
         width = max(width, _value_width(value))
-    return _pow2_ceil(width)
+    return pow2_ceil(width)
 
 
 @dataclass(frozen=True)
 class BatchInfo:
-    """Batch-relevant facts of a compiled program (pure function of the graph).
+    """Batch-relevant facts of a compiled program.
 
-    Computing these walks the whole term graph, so servers cache one
-    ``BatchInfo`` per compilation signature instead of re-scanning per batch.
+    ``slotwise`` and ``min_lane`` are pure functions of the compiled graph;
+    ``lane_width`` is the compiler-enforced lane width copied from the
+    compilation options (None for programs compiled without lane lowering).
+    Computing the graph-derived facts walks the whole term graph, so servers
+    cache one ``BatchInfo`` per compilation signature instead of re-scanning
+    per batch.
     """
 
     slotwise: bool
     min_lane: int
     vec_size: int
+    lane_width: Optional[int] = None
 
     @property
     def batchable(self) -> bool:
+        if self.lane_width is not None:
+            return self.lane_width < self.vec_size
         return self.slotwise and self.min_lane < self.vec_size
 
 
@@ -107,10 +130,14 @@ class SlotBatcher:
     def inspect(self, compilation: CompilationResult) -> BatchInfo:
         """Scan the compiled program once for its batch-relevant facts."""
         program = compilation.program
+        lane_width = compilation.options.lane_width
+        if lane_width is not None and lane_width >= program.vec_size:
+            lane_width = None  # full-width lane: lowering was the identity
         return BatchInfo(
             slotwise=is_slotwise(program),
             min_lane=min_lane_width(program),
             vec_size=program.vec_size,
+            lane_width=lane_width,
         )
 
     def batchable(self, compilation: CompilationResult) -> bool:
@@ -135,9 +162,15 @@ class SlotBatcher:
         if len(requests) < 2 or not info.batchable:
             return None
         program = compilation.program
-        lane = info.min_lane
         widths = [request_width(inputs) for inputs in requests]
-        lane = max([lane] + widths)
+        if info.lane_width is not None:
+            # The compiler fixed the lane width; a wider request cannot be
+            # packed (its data would cross the masked lane boundary).
+            lane = info.lane_width
+            if any(width > lane for width in widths):
+                return None
+        else:
+            lane = max([info.min_lane] + widths)
         if lane > program.vec_size or program.vec_size % lane:
             return None
         capacity = program.vec_size // lane
@@ -159,7 +192,10 @@ class SlotBatcher:
                 not isinstance(requested, int) or requested < 1
             ):
                 return None
-            resolved.append(requested if requested else width)
+            # The default reply covers the full output period: a constant
+            # wider than the request makes the output repeat with the
+            # constant's period, not the request's (min_lane <= lane always).
+            resolved.append(requested if requested else max(width, info.min_lane))
         if any(w > lane for w in resolved):
             return None
         return BatchPlan(
@@ -185,8 +221,9 @@ class SlotBatcher:
                 vector[start : start + plan.lane_width] = self._fill_lane(
                     inputs[name], plan.lane_width
                 )
-            # Unused lanes repeat lane 0: slotwise programs never read across
-            # lanes, so the filler only has to be *some* well-scaled value.
+            # Unused lanes repeat lane 0: neither slotwise nor lane-lowered
+            # programs ever read across lanes, so the filler only has to be
+            # *some* well-scaled value.
             for index in range(len(requests), plan.capacity):
                 start = index * plan.lane_width
                 vector[start : start + plan.lane_width] = vector[: plan.lane_width]

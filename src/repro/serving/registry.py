@@ -12,8 +12,8 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
 
 from ..core.compiler import (
     CompilationResult,
@@ -75,6 +75,10 @@ class ProgramRegistry:
         self.capacity = capacity
         self.stats = CacheStats()
         self._entries: "OrderedDict[str, RegistryEntry]" = OrderedDict()
+        #: Index from (base signature, lane width) to the variant's own
+        #: signature, so the warm path of :meth:`get_or_compile_variant`
+        #: never re-hashes the program graph.
+        self._variants: "OrderedDict[Tuple[str, int], str]" = OrderedDict()
         self._lock = threading.Lock()
 
     def __len__(self) -> int:
@@ -118,6 +122,51 @@ class ProgramRegistry:
         compilation = EvaCompiler(options).compile(program, input_scales, output_scales)
         return self._insert(signature, compilation)
 
+    def get_or_compile_variant(
+        self,
+        program: Program,
+        options: Optional[CompilerOptions] = None,
+        input_scales: Optional[Dict[str, float]] = None,
+        output_scales: Optional[Dict[str, float]] = None,
+        lane_width: Optional[int] = None,
+        base_signature: Optional[str] = None,
+    ) -> CompilationResult:
+        """Resolve the ``lane_width`` variant of a program, compiling at most once.
+
+        Lane variants are ordinary registry entries — their signatures differ
+        from the base because ``lane_width`` is a compiler option — plus an
+        index from ``(base_signature, lane_width)`` to the variant signature
+        so repeat batches skip re-hashing the graph.  With ``lane_width``
+        None (or equal to the base options') this is :meth:`get_or_compile`.
+        """
+        base_options = options or CompilerOptions()
+        if lane_width is None or lane_width == base_options.lane_width:
+            return self.get_or_compile(
+                program, base_options, input_scales, output_scales,
+                signature=base_signature,
+            )
+        lane_width = int(lane_width)
+        if base_signature is not None:
+            with self._lock:
+                known = self._variants.get((base_signature, lane_width))
+            if known is not None:
+                cached = self.lookup(known)
+                if cached is not None:
+                    return cached
+        variant_options = replace(base_options, lane_width=lane_width)
+        signature = program_signature(
+            program, variant_options, input_scales, output_scales
+        )
+        if base_signature is not None:
+            with self._lock:
+                self._variants[(base_signature, lane_width)] = signature
+                while len(self._variants) > 4 * self.capacity:
+                    self._variants.popitem(last=False)
+        return self.get_or_compile(
+            program, variant_options, input_scales, output_scales,
+            signature=signature,
+        )
+
     def _insert(
         self, signature: str, compilation: CompilationResult
     ) -> CompilationResult:
@@ -146,6 +195,7 @@ class ProgramRegistry:
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._variants.clear()
 
     def summary(self) -> Dict[str, object]:
         with self._lock:

@@ -8,11 +8,22 @@ futures.  Per request the server
    signature is precomputed at registration, so the warm path never hashes),
 2. resolves the client's cached backend context and keys
    (:class:`SessionManager`),
-3. packs concurrently queued requests of the same (program, client) group
-   into the unused CKKS slots (:class:`SlotBatcher`) when the program is
-   slotwise, and
+3. packs concurrently queued requests of the same (compilation signature,
+   client) group into the unused CKKS slots (:class:`SlotBatcher`) — jobs
+   group by *signature*, not program name, so identical programs registered
+   under different names share batches — and
 4. executes once per batch through the ordinary :class:`~repro.core.Executor`
    with the injected context.
+
+Rotation-bearing programs batch too: when a batch of narrow requests arrives
+for a program that is not slotwise, the server resolves (compiling at most
+once, via the registry's variant index) a *lane-lowered* compilation of the
+same source at the batch's lane width and executes that instead.  A lane
+variant computes, per lane, exactly what the base program computes on a
+replicated narrow input, so batched and solo answers agree.  Operators can
+also pin a lane width at registration (``register(..., lane_width=w)``),
+which bakes it into the program's signature — the form clients compiling for
+the encrypted path must match.
 
 The result is the amortized serving path the paper's deployment story
 implies: compile once, keygen once per client, and pay one homomorphic
@@ -24,8 +35,8 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import Future
-from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -33,8 +44,8 @@ from ..backend.hisa import BackendContext, HomomorphicBackend
 from ..core.compiler import CompilationResult, CompilerOptions, program_signature
 from ..core.executor import EvaluationEngine, Executor
 from ..core.ir import Program
-from ..errors import ServingError, UnknownProgramError
-from .batching import BatchInfo, SlotBatcher, request_width
+from ..errors import EvaError, ServingError, UnknownProgramError
+from .batching import BatchInfo, SlotBatcher, pow2_ceil, request_width
 from .jobs import Job, JobEngine
 from .registry import ProgramRegistry
 from .sessions import SessionManager
@@ -54,10 +65,16 @@ class ProgramSpec:
 
 @dataclass
 class ServeRequest:
-    """Payload of one queued job."""
+    """Payload of one queued job.
+
+    ``name`` is the program name the request was submitted under; jobs group
+    by compilation *signature*, so one batch may mix names that resolve to
+    the same compiled program.
+    """
 
     inputs: Dict[str, Any]
     output_size: Optional[int] = None
+    name: str = ""
 
 
 @dataclass
@@ -71,6 +88,7 @@ class EncryptedServeRequest:
 
     bundle: Any
     wire: bool = False
+    name: str = ""
 
 
 @dataclass
@@ -126,6 +144,9 @@ class ServeResponse:
     cached_session: bool = False
     queue_seconds: float = 0.0
     execute_seconds: float = 0.0
+    #: Lane width of the compilation that answered (None when the request ran
+    #: against the base, non-lane-lowered compilation).
+    lane_width: Optional[int] = None
 
     def __getitem__(self, name: str) -> np.ndarray:
         return self.outputs[name]
@@ -137,6 +158,7 @@ class ServeResponse:
             "batch_size": self.batch_size,
             "cached_program": self.cached_program,
             "cached_session": self.cached_session,
+            "lane_width": self.lane_width,
             "queue_seconds": round(self.queue_seconds, 6),
             "execute_seconds": round(self.execute_seconds, 6),
         }
@@ -169,6 +191,9 @@ class EvaServer:
         self._executors: Dict[str, Executor] = {}
         self._engines: Dict[str, EvaluationEngine] = {}
         self._batch_infos: Dict[str, BatchInfo] = {}
+        #: (base signature, lane width) pairs whose variant compilation
+        #: failed; remembered so a failing width is not recompiled per batch.
+        self._lane_failures: Set[Tuple[str, int]] = set()
         self._lock = threading.Lock()
         self.engine = JobEngine(
             self._handle_batch,
@@ -186,6 +211,7 @@ class EvaServer:
         options: Optional[CompilerOptions] = None,
         input_scales: Optional[Dict[str, float]] = None,
         output_scales: Optional[Dict[str, float]] = None,
+        lane_width: Optional[int] = None,
     ) -> ProgramSpec:
         """Register a frontend program (or its graph) under ``name``.
 
@@ -193,10 +219,19 @@ class EvaServer:
         :class:`~repro.frontend.EvaProgram` (its ``graph`` is used).
         Registration is cheap — compilation happens lazily on first request
         and is shared through the registry afterwards.
+
+        ``lane_width`` pins the compilation to that lane width (folded into
+        the compiler options, and hence the signature): every request —
+        including pre-encrypted bundles, which a client must compile with the
+        same ``lane_width`` — is then served by the lane-lowered program.
+        Without it, the server still lane-batches plaintext requests by
+        resolving variants on demand per batch.
         """
         graph = getattr(program, "graph", program)
         if not isinstance(graph, Program):
             raise ServingError(f"cannot register {type(program).__name__} as a program")
+        if lane_width is not None:
+            options = replace(options or CompilerOptions(), lane_width=int(lane_width))
         spec = ProgramSpec(
             name=name,
             program=graph,
@@ -224,7 +259,8 @@ class EvaServer:
     ) -> "Future[ServeResponse]":
         """Queue one request; the future resolves to a :class:`ServeResponse`."""
         with self._lock:
-            if name not in self._programs:
+            spec = self._programs.get(name)
+            if spec is None:
                 raise UnknownProgramError(
                     f"no program registered under {name!r}; "
                     f"known programs: {sorted(self._programs)}"
@@ -240,8 +276,13 @@ class EvaServer:
                 ) from None
             if output_size < 1:
                 raise ServingError(f"output_size must be positive, got {output_size}")
-        payload = ServeRequest(inputs=dict(inputs), output_size=output_size)
-        return self.engine.submit((name, str(client_id)), payload, timeout=timeout)
+        payload = ServeRequest(inputs=dict(inputs), output_size=output_size, name=name)
+        # Group by compilation signature, not name: packed execution depends
+        # only on the compiled graph, so identical programs registered under
+        # different names share batches (clients still never mix).
+        return self.engine.submit(
+            ("plain", spec.signature, str(client_id)), payload, timeout=timeout
+        )
 
     def request(
         self,
@@ -295,6 +336,9 @@ class EvaServer:
             "program": name,
             "client_id": str(client_id),
             "signature": spec.signature,
+            # The lane width the server compiled with; a client that wants
+            # packed encrypted requests aligns encrypt_packed to this.
+            "lane_width": compilation.lane_width,
         }
 
     def session_context(self, name: str, client_id: str) -> BackendContext:
@@ -326,7 +370,8 @@ class EvaServer:
         encrypting (``ClientKit.encrypt_packed``) to get the same amortization.
         """
         with self._lock:
-            if name not in self._programs:
+            spec = self._programs.get(name)
+            if spec is None:
                 raise UnknownProgramError(
                     f"no program registered under {name!r}; "
                     f"known programs: {sorted(self._programs)}"
@@ -338,9 +383,9 @@ class EvaServer:
                 if wire
                 else getattr(bundle, "client_id", "default")
             )
-        payload = EncryptedServeRequest(bundle=bundle, wire=wire)
+        payload = EncryptedServeRequest(bundle=bundle, wire=wire, name=name)
         return self.engine.submit(
-            (name, str(client_id), "encrypted"), payload, timeout=timeout
+            ("encrypted", spec.signature, str(client_id)), payload, timeout=timeout
         )
 
     def request_encrypted(
@@ -373,6 +418,84 @@ class EvaServer:
             signature=spec.signature,
         )
         return spec, compilation, cached
+
+    def _resolve_any(
+        self, names: List[str], signature: str
+    ) -> Tuple[ProgramSpec, CompilationResult, bool]:
+        """Resolve a batch that may mix names of one shared signature.
+
+        All jobs in a batch share the compilation ``signature`` (it is the
+        group key), but any individual name may have been unregistered — or
+        re-registered as a *different* program — mid-flight; the batch
+        survives as long as one of its names still resolves to the grouped
+        signature.  A name pointing at a different signature must not answer
+        the batch: co-batched jobs submitted under other names would silently
+        execute the wrong program.
+        """
+        for name in dict.fromkeys(names):
+            with self._lock:
+                spec = self._programs.get(name)
+            if spec is not None and spec.signature == signature:
+                return self._resolve(name)
+        raise UnknownProgramError(
+            "every program of this batch was unregistered (or re-registered "
+            f"as a different program) mid-flight: {sorted(set(names))}"
+        )
+
+    def _lane_variant_for(
+        self,
+        spec: ProgramSpec,
+        batch_info: BatchInfo,
+        requests: List[ServeRequest],
+    ) -> Optional[CompilationResult]:
+        """A lane-lowered variant able to pack this batch, or None.
+
+        Only rotation-bearing programs compiled *without* a pinned lane width
+        qualify; the chosen width covers every request's inputs, requested
+        output sizes, and the program's constants.  A width whose compilation
+        fails (e.g. the longer modulus chain exceeds the security budget) is
+        remembered and never retried.
+        """
+        if batch_info.lane_width is not None or batch_info.slotwise:
+            return None
+        width = batch_info.min_lane
+        for request in requests:
+            width = max(width, request_width(request.inputs))
+            if request.output_size:
+                width = max(width, pow2_ceil(int(request.output_size)))
+        if width >= batch_info.vec_size:
+            return None
+        key = (spec.signature, width)
+        with self._lock:
+            if key in self._lane_failures:
+                return None
+        try:
+            return self.registry.get_or_compile_variant(
+                spec.program,
+                spec.options,
+                spec.input_scales,
+                spec.output_scales,
+                lane_width=width,
+                base_signature=spec.signature,
+            )
+        except Exception as exc:
+            # Lane lowering is an optimization: a width that cannot compile
+            # (or validate) must degrade to solo execution, not fail jobs.
+            # Deterministic compiler failures (EvaError) are remembered so
+            # the width is not recompiled per batch; anything else may be
+            # transient, so it is warned about but retried next time.
+            import warnings
+
+            warnings.warn(
+                f"lane variant (width {width}) of {spec.name!r} failed to "
+                f"compile, serving solo: {type(exc).__name__}: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            if isinstance(exc, EvaError):
+                with self._lock:
+                    self._lane_failures.add(key)
+            return None
 
     def _executor_for(
         self, signature: str, compilation: CompilationResult
@@ -420,8 +543,10 @@ class EvaServer:
     def _handle_encrypted_batch(self, jobs: List[Job]) -> List[Any]:
         from ..api.bundles import EncryptedOutputs, bundle_from_wire
 
-        name, client_id, _ = jobs[0].group
-        spec, compilation, cached_program = self._resolve(name)
+        _, signature, client_id = jobs[0].group
+        spec, compilation, cached_program = self._resolve_any(
+            [job.payload.name for job in jobs], signature
+        )
         try:
             session = self.sessions.get_attached(compilation, client_id)
         except LookupError as exc:
@@ -438,9 +563,10 @@ class EvaServer:
                     if bundle.program_signature != spec.signature:
                         raise ServingError(
                             f"bundle was encrypted for a different compilation "
-                            f"of {name!r} ({bundle.program_signature[:12]}... vs "
-                            f"{spec.signature[:12]}...); recompile the client "
-                            "against the server's program and options"
+                            f"of {request.name!r} ({bundle.program_signature[:12]}... "
+                            f"vs {spec.signature[:12]}...); recompile the client "
+                            "against the server's program and options (including "
+                            "its lane_width)"
                         )
                     start = time.perf_counter()
                     handles = engine.evaluate(
@@ -463,7 +589,7 @@ class EvaServer:
                                 ciphertexts=handles,
                                 evaluate_seconds=elapsed,
                             ),
-                            program=name,
+                            program=request.name,
                             client_id=client_id,
                             cached_program=cached_program,
                             execute_seconds=elapsed,
@@ -479,14 +605,14 @@ class EvaServer:
 
     def _handle_batch(self, jobs: List[Job]) -> List[Any]:
         group = jobs[0].group
-        if len(group) == 3 and group[2] == "encrypted":
+        if group[0] == "encrypted":
             return self._handle_encrypted_batch(jobs)
-        name, client_id = group
-        spec, compilation, cached_program = self._resolve(name)
-        session = self.sessions.get_session(compilation, client_id)
-        cached_session = session.hits > 0
+        _, signature, client_id = group
+        requests: List[ServeRequest] = [job.payload for job in jobs]
+        spec, compilation, cached_program = self._resolve_any(
+            [request.name for request in requests], signature
+        )
         executor, batch_info = self._executor_for(spec.signature, compilation)
-        requests = [job.payload for job in jobs]
 
         plan = self.batcher.plan(
             compilation,
@@ -494,38 +620,77 @@ class EvaServer:
             [request.output_size for request in requests],
             info=batch_info,
         )
+        if plan is None and len(requests) >= 2:
+            # Rotation-bearing program: try the lane-lowered variant sized to
+            # this batch.  The variant computes, per lane, what the base
+            # program computes on a replicated narrow input, so answers agree
+            # with the solo path.
+            variant = self._lane_variant_for(spec, batch_info, requests)
+            if variant is not None:
+                variant_executor, variant_info = self._executor_for(
+                    variant.signature, variant
+                )
+                variant_plan = self.batcher.plan(
+                    variant,
+                    [request.inputs for request in requests],
+                    [request.output_size for request in requests],
+                    info=variant_info,
+                )
+                if variant_plan is not None:
+                    compilation, executor = variant, variant_executor
+                    batch_info, plan = variant_info, variant_plan
+
+        # The session is keyed by the compilation that will actually run:
+        # a lane variant has its own rotation steps and hence its own keys.
+        session = self.sessions.get_session(compilation, client_id)
+        cached_session = session.hits > 0
         responses: List[Any] = []
         with session.lock:
             if plan is not None:
                 packed = self.batcher.pack(plan, [r.inputs for r in requests])
                 result = executor.execute(packed, context=session.context)
                 per_request = self.batcher.unpack(plan, result.outputs)
-                for outputs in per_request:
+                for request, outputs in zip(requests, per_request):
                     responses.append(
                         ServeResponse(
                             outputs=outputs,
-                            program=name,
+                            program=request.name,
                             client_id=client_id,
                             batch_size=len(jobs),
                             cached_program=cached_program,
                             cached_session=cached_session,
                             execute_seconds=result.stats.evaluate_seconds,
+                            lane_width=batch_info.lane_width,
                         )
                     )
             else:
-                # Slotwise programs answer with the request's own width (the
-                # same view a batched execution yields); cross-slot programs
-                # return the full vector.
-                slotwise = batch_info.slotwise
+                # Solo answers default to the output's full period — the
+                # request width, widened to the program constants' period —
+                # which is the same view a batched (slotwise or lane-lowered)
+                # execution yields for a replicated narrow input.
                 for request in requests:
                     try:
+                        if batch_info.lane_width is not None:
+                            # A pinned lane width is a hard contract: the
+                            # lowered rotations are lane-local, so data wider
+                            # than the lane would be computed *wrongly*, not
+                            # just unbatched.
+                            wide = max(
+                                request_width(request.inputs),
+                                request.output_size or 0,
+                            )
+                            if wide > batch_info.lane_width:
+                                raise ServingError(
+                                    f"request of width {wide} exceeds the "
+                                    f"lane width {batch_info.lane_width} "
+                                    f"{request.name!r} was registered with"
+                                )
                         result = executor.execute(
                             request.inputs, context=session.context
                         )
-                        width = request.output_size or (
-                            request_width(request.inputs)
-                            if slotwise
-                            else compilation.program.vec_size
+                        width = request.output_size or min(
+                            compilation.program.vec_size,
+                            max(request_width(request.inputs), batch_info.min_lane),
                         )
                         responses.append(
                             ServeResponse(
@@ -533,12 +698,13 @@ class EvaServer:
                                     key: np.asarray(value)[:width].copy()
                                     for key, value in result.outputs.items()
                                 },
-                                program=name,
+                                program=request.name,
                                 client_id=client_id,
                                 batch_size=1,
                                 cached_program=cached_program,
                                 cached_session=cached_session,
                                 execute_seconds=result.stats.evaluate_seconds,
+                                lane_width=batch_info.lane_width,
                             )
                         )
                     except Exception as exc:  # fail this job, not the batch
@@ -550,12 +716,17 @@ class EvaServer:
 
     # -- introspection / lifecycle ----------------------------------------------
     def stats(self) -> Dict[str, object]:
+        with self._lock:
+            lane_failures = len(self._lane_failures)
         return {
             "backend": getattr(self.backend, "name", "unknown"),
             "programs": self.programs(),
             "registry": self.registry.summary(),
             "sessions": self.sessions.summary(),
             "engine": self.engine.metrics.summary(),
+            # (signature, width) pairs whose lane variant failed to compile
+            # and were pinned to solo execution; non-zero deserves a look.
+            "lane_variant_failures": lane_failures,
         }
 
     def close(self, wait: bool = True) -> None:

@@ -156,3 +156,117 @@ class TestFileIO:
     def test_load_missing_file(self, tmp_path):
         with pytest.raises(SerializationError):
             load(tmp_path / "missing.evaproto")
+
+
+class TestBase64Packing:
+    """The base64 array packing behind the cipher/key JSON codecs."""
+
+    def test_int_roundtrip_fidelity(self):
+        from repro.core.serialization import packing
+
+        rng = np.random.default_rng(0)
+        for shape in [(7,), (3, 8), (2, 1, 5)]:
+            array = rng.integers(0, 2**30, size=shape, dtype=np.int64)
+            wire = packing.pack_residues(array)
+            restored = packing.unpack_residues(wire)
+            assert restored.dtype == np.int64
+            np.testing.assert_array_equal(restored, array)
+
+    def test_float_roundtrip_fidelity(self):
+        from repro.core.serialization import packing
+
+        values = np.random.default_rng(1).normal(size=33)
+        restored = packing.unpack_values(packing.pack_values(values))
+        np.testing.assert_array_equal(restored, values)  # bit-exact
+
+    def test_minimal_width_selection(self):
+        from repro.core.serialization import packing
+
+        assert packing.pack_array([0, 255], dtype=np.int64)["dtype"] == "u1"
+        assert packing.pack_array([0, 65535], dtype=np.int64)["dtype"] == "u2"
+        assert packing.pack_array([0, 2**30], dtype=np.int64)["dtype"] == "u4"
+        assert packing.pack_array([0, 2**40], dtype=np.int64)["dtype"] == "i8"
+        assert packing.pack_array([-1, 5], dtype=np.int64)["dtype"] == "i8"
+
+    def test_legacy_lists_still_decode(self):
+        from repro.core.serialization import packing
+
+        np.testing.assert_array_equal(
+            packing.unpack_residues([[1, 2], [3, 4]]), np.array([[1, 2], [3, 4]])
+        )
+        np.testing.assert_array_equal(
+            packing.unpack_values([1.5, 2.5]), np.array([1.5, 2.5])
+        )
+
+    def test_malformed_payloads_rejected(self):
+        from repro.core.serialization import packing
+
+        with pytest.raises(SerializationError):
+            packing.unpack_array({"b64": "!!!not base64!!!", "dtype": "i8"})
+        with pytest.raises(SerializationError):
+            packing.unpack_array({"b64": "AAAA", "dtype": "nope"})
+        with pytest.raises(SerializationError):
+            # 3 bytes of payload cannot be a [4] u1... declared as i8 shape [4]
+            packing.unpack_array({"b64": "AAAA", "dtype": "i8", "shape": [4]})
+
+    def test_mock_cipher_codec_packs_and_accepts_legacy(self):
+        import json
+
+        from repro.backend import MockBackend
+        from repro.core import compile_program as _compile
+        from repro.frontend import EvaProgram as _EvaProgram
+
+        program = _EvaProgram("p", vec_size=8, default_scale=25)
+        with program:
+            x = input_encrypted("x", 25)
+            output("y", x * x, 25)
+        compilation = _compile(program.graph)
+        context = MockBackend(error_model="none").create_context(compilation.parameters)
+        context.generate_keys()
+        handle = context.encrypt(np.linspace(-1, 1, 8), 25)
+        wire = json.loads(json.dumps(context.encode_cipher(handle)))
+        assert "b64" in wire["values"]
+        restored = context.decode_cipher(wire)
+        np.testing.assert_array_equal(restored.values, handle.values)
+        # Legacy wire format (plain float list) still decodes.
+        legacy = dict(wire)
+        legacy["values"] = [float(v) for v in handle.values]
+        np.testing.assert_array_equal(
+            context.decode_cipher(legacy).values, handle.values
+        )
+
+    def test_ckks_key_blob_smaller_than_legacy(self):
+        import json
+
+        from repro.backend import CkksBackend
+        from repro.core import CompilerOptions as _Options
+        from repro.core import compile_program as _compile
+        from repro.core.serialization import packing
+        from repro.frontend import EvaProgram as _EvaProgram
+
+        program = _EvaProgram("p", vec_size=8, default_scale=20)
+        with program:
+            x = input_encrypted("x", 20)
+            output("y", (x << 1) * x, 20)
+        compilation = _compile(program.graph, options=_Options(max_rescale_bits=25))
+        backend = CkksBackend(seed=0, enforce_security=False)
+        context = backend.create_context(compilation.parameters)
+        context.generate_keys()
+        blob = context.export_evaluation_keys()
+        packed_size = len(json.dumps(blob))
+
+        def as_legacy(obj):
+            if isinstance(obj, dict) and "b64" in obj:
+                return packing.unpack_residues(obj).tolist()
+            if isinstance(obj, dict):
+                return {k: as_legacy(v) for k, v in obj.items()}
+            if isinstance(obj, list):
+                return [as_legacy(v) for v in obj]
+            return obj
+
+        legacy_size = len(json.dumps(as_legacy(blob)))
+        assert packed_size < 0.7 * legacy_size
+        # Fidelity: a fresh context imports the packed blob and cannot decrypt.
+        fresh = backend.create_context(compilation.parameters)
+        fresh.import_evaluation_keys(json.loads(json.dumps(blob)))
+        assert fresh.has_secret_key is False

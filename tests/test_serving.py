@@ -417,6 +417,81 @@ class TestEvaServer:
             assert response.batch_size == 1
             np.testing.assert_allclose(response["y"], reference["y"], rtol=1e-9)
 
+    def test_rotation_program_lane_batched_when_requests_are_narrow(self):
+        """Narrow concurrent requests to a rotation-bearing program batch via
+        an on-demand lane-lowered variant, and match the solo answers."""
+        program = make_rotation_program(vec_size=64)
+        with EvaServer(
+            backend=MockBackend(error_model="none"),
+            workers=1,
+            max_batch=8,
+            batch_window=0.05,
+        ) as server:
+            server.register("rot", program)
+            rng = np.random.default_rng(23)
+            request_inputs = [rng.uniform(-1, 1, 8) for _ in range(4)]
+            futures = [server.submit("rot", {"x": xv}) for xv in request_inputs]
+            responses = [future.result(60) for future in futures]
+            solo = server.request("rot", {"x": request_inputs[0]})
+        assert any(response.batch_size > 1 for response in responses)
+        assert any(response.lane_width == 8 for response in responses)
+        for xv, response in zip(request_inputs, responses):
+            reference = execute_reference(program.graph, {"x": xv})
+            np.testing.assert_allclose(response["y"], reference["y"][:8], rtol=1e-9)
+        # A later solo request answers identically (width included).
+        np.testing.assert_allclose(solo["y"], responses[0]["y"], rtol=1e-9)
+
+    def test_registered_lane_width_serves_all_requests_lowered(self):
+        program = make_rotation_program(vec_size=64)
+        with EvaServer(
+            backend=MockBackend(error_model="none"), workers=1, batch_window=0.0
+        ) as server:
+            server.register("rot", program, lane_width=8)
+            xv = np.arange(8, dtype=float) / 8.0
+            response = server.request("rot", {"x": xv})
+        assert response.lane_width == 8
+        reference = execute_reference(program.graph, {"x": xv})
+        np.testing.assert_allclose(response["y"], reference["y"][:8], rtol=1e-9)
+
+    def test_same_signature_different_names_share_batches(self):
+        """Grouping is by compilation signature: identical programs registered
+        under two names land in one packed execution (same client)."""
+        with EvaServer(
+            backend=MockBackend(error_model="none"),
+            workers=1,
+            max_batch=8,
+            batch_window=0.05,
+        ) as server:
+            server.register("a", make_poly_program(name="a", vec_size=64))
+            server.register("b", make_poly_program(name="b", vec_size=64))
+            rng = np.random.default_rng(3)
+            request_inputs = [rng.uniform(-1, 1, 8) for _ in range(4)]
+            futures = [
+                server.submit("a" if i % 2 == 0 else "b", {"x": xv})
+                for i, xv in enumerate(request_inputs)
+            ]
+            responses = [future.result(30) for future in futures]
+        assert max(response.batch_size for response in responses) == 4
+        # Each response still reports the name it was submitted under.
+        assert [response.program for response in responses] == ["a", "b", "a", "b"]
+        for xv, response in zip(request_inputs, responses):
+            reference = execute_reference(make_poly_program(vec_size=64).graph, {"x": xv})
+            np.testing.assert_allclose(response["y"], reference["y"][:8], rtol=1e-9)
+
+    def test_registry_lane_variant_cached(self):
+        registry = ProgramRegistry(capacity=8)
+        program = make_rotation_program(vec_size=64).graph
+        base = registry.get_or_compile(program)
+        first = registry.get_or_compile_variant(
+            program, lane_width=8, base_signature=base.signature
+        )
+        second = registry.get_or_compile_variant(
+            program, lane_width=8, base_signature=base.signature
+        )
+        assert first is second
+        assert first.signature != base.signature
+        assert first.lane_width == 8 and base.lane_width is None
+
     def test_per_client_batches_are_isolated(self):
         program = make_poly_program(vec_size=64)
         with EvaServer(
@@ -626,3 +701,114 @@ class TestTcpServing:
         reference = execute_reference(program.graph, {"x": [0.5] * 8})
         np.testing.assert_allclose(payload["outputs"]["y"], reference["y"][:8], atol=1e-3)
         assert payload["stats"]["program"] == "poly"
+
+
+class TestLaneReviewRegressions:
+    """Regressions from review: pinned-lane width contract, output periods,
+    and re-registration races in signature-grouped batches."""
+
+    def test_pinned_lane_rejects_wider_requests(self):
+        """A request wider than a registered lane width must error, not be
+        computed wrongly by the lane-local rotations."""
+        program = make_rotation_program(vec_size=64)
+        with EvaServer(
+            backend=MockBackend(error_model="none"), workers=1, batch_window=0.0
+        ) as server:
+            server.register("rot", program, lane_width=8)
+            with pytest.raises(ServingError, match="lane width"):
+                server.request("rot", {"x": np.arange(64, dtype=float)})
+            with pytest.raises(ServingError, match="lane width"):
+                server.request("rot", {"x": np.ones(4)}, output_size=16)
+            # Requests at or below the lane width still work.
+            xv = np.arange(8, dtype=float) / 8.0
+            response = server.request("rot", {"x": xv})
+            reference = execute_reference(program.graph, {"x": xv})
+            np.testing.assert_allclose(response["y"], reference["y"][:8], rtol=1e-9)
+
+    def test_solo_width_covers_constant_period(self):
+        """A constant wider than the request widens the reply to the output's
+        true period instead of silently truncating it."""
+        program = EvaProgram("wide", vec_size=16, default_scale=25)
+        with program:
+            x = input_encrypted("x", 25)
+            output("y", (x << 1) * list(np.arange(1.0, 9.0)), 25)
+        with EvaServer(
+            backend=MockBackend(error_model="none"), workers=1, batch_window=0.0
+        ) as server:
+            server.register("wide", program)
+            response = server.request("wide", {"x": [1.0, 2.0, 3.0, 4.0]})
+        reference = execute_reference(program.graph, {"x": [1.0, 2.0, 3.0, 4.0]})
+        assert len(response["y"]) == 8  # lcm(request 4, constant 8)
+        np.testing.assert_allclose(response["y"], reference["y"][:8], rtol=1e-9)
+
+    @staticmethod
+    def _make_jobs(server, signature, named_inputs):
+        """Build a worker batch by hand (deterministic re-registration races)."""
+        from concurrent.futures import Future
+
+        from repro.serving import Job, ServeRequest
+
+        return [
+            Job(
+                id=index,
+                group=("plain", signature, "c"),
+                payload=ServeRequest(inputs=dict(inputs), name=name),
+                future=Future(),
+                submitted_at=0.0,
+            )
+            for index, (name, inputs) in enumerate(named_inputs)
+        ]
+
+    def test_reregistered_name_cannot_answer_other_names_batch(self):
+        """A name re-registered to a different program mid-flight must not
+        execute jobs grouped under the old signature."""
+        program = make_poly_program(vec_size=64)
+        with EvaServer(
+            backend=MockBackend(error_model="none"), workers=1, batch_window=0.0
+        ) as server:
+            spec = server.register("a", program)
+            server.register("b", make_poly_program(name="b", vec_size=64))
+            jobs = self._make_jobs(
+                server,
+                spec.signature,
+                [("a", {"x": [0.5] * 8}), ("b", {"x": [0.25] * 8})],
+            )
+            # Between admission and handling, 'a' changes meaning; 'b' still
+            # carries the grouped signature and must answer the whole batch
+            # with the *original* compilation.
+            server.register("a", make_poly_program(coeff=9.0, vec_size=64))
+            responses = server._handle_batch(jobs)
+            for xv, response in zip([[0.5] * 8, [0.25] * 8], responses):
+                reference = execute_reference(program.graph, {"x": xv})
+                np.testing.assert_allclose(response["y"], reference["y"][:8], rtol=1e-9)
+
+    def test_batch_with_no_matching_signature_fails_cleanly(self):
+        program = make_poly_program(vec_size=64)
+        with EvaServer(
+            backend=MockBackend(error_model="none"), workers=1, batch_window=0.0
+        ) as server:
+            spec = server.register("only", program)
+            jobs = self._make_jobs(server, spec.signature, [("only", {"x": [0.5] * 8})])
+            server.register("only", make_poly_program(coeff=9.0, vec_size=64))
+            with pytest.raises(UnknownProgramError):
+                server._handle_batch(jobs)
+
+    def test_lane_masks_do_not_inflate_min_lane(self):
+        from repro.core import CompilerOptions as _Options
+        from repro.serving.batching import min_lane_width
+
+        program = make_rotation_program(vec_size=64)
+        lowered = compile_program(program.graph, options=_Options(lane_width=16))
+        # The 16-wide masks are marked compiler plumbing; only the program's
+        # real constants (scalars here) count toward the output period.
+        assert min_lane_width(lowered.program) == 1
+        # ... and the marker survives the JSON artifact round trip...
+        from repro.core.serialization.json_format import dict_to_program, program_to_dict
+
+        restored = dict_to_program(program_to_dict(lowered.program))
+        assert min_lane_width(restored) == 1
+        # ... and the binary proto round trip (the default save()/load()).
+        from repro.core.serialization import deserialize, serialize
+
+        reloaded = deserialize(serialize(lowered.program))
+        assert min_lane_width(reloaded) == 1

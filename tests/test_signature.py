@@ -70,6 +70,7 @@ class TestProgramSignature:
             {"lower_sum": False},
             {"remove_copies": False},
             {"cleanup": False},
+            {"lane_width": 4},
         ],
         ids=lambda change: next(iter(change)),
     )
@@ -90,8 +91,17 @@ class TestProgramSignature:
             "lower_sum",
             "remove_copies",
             "cleanup",
+            "lane_width",
         }
         assert {f.name for f in fields(CompilerOptions)} == covered
+
+    def test_unset_lane_width_keeps_legacy_signature(self):
+        """lane_width=None serializes to the pre-lane layout: hashes unchanged."""
+        program = _golden_program()
+        options = CompilerOptions()
+        assert options.lane_width is None
+        assert "lane_width" not in options.to_dict()
+        assert program_signature(program, options) == GOLDEN_SIGNATURE
 
     def test_scale_overrides_change_the_signature(self):
         program = _golden_program()
