@@ -14,13 +14,12 @@ latency.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.apps import build_harris_program, build_sobel_program
 from repro.core import CompilerOptions, simulate_schedule
 from repro.core.types import Op
 
-from conftest import NETWORK_SCALES, print_table
+from conftest import print_table
 
 
 def fhe_op_count(program) -> int:

@@ -9,9 +9,8 @@ MATCH-SCALE constant, and the resulting modulus-chain length).
 
 from __future__ import annotations
 
-import pytest
 
-from repro.core import CompilerOptions, compile_program
+from repro.core import compile_program
 from repro.core.ir import Program
 from repro.core.rewrite import (
     EagerModSwitchPass,
@@ -20,7 +19,7 @@ from repro.core.rewrite import (
     RelinearizePass,
     WaterlineRescalePass,
 )
-from repro.core.rewrite.framework import PassContext, waterline_of
+from repro.core.rewrite.framework import PassContext
 from repro.core.types import Op, ValueType
 
 from conftest import print_table

@@ -9,7 +9,6 @@ kernels — is asserted by comparing the self-relative speedups at 56 threads.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core import simulate_schedule
 

@@ -10,9 +10,8 @@ paper (random weights).
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
-from repro.nn import Conv2D, Dense, build_model
+from repro.nn import Conv2D, Dense
 from repro.nn.training import accuracy
 
 from conftest import NETWORK_NAMES, TRAINABLE, print_table

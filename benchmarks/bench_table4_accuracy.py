@@ -11,7 +11,6 @@ unencrypted inference on the synthetic test set.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.nn import encrypted_inference
 from repro.nn.training import accuracy

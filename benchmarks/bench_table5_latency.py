@@ -14,9 +14,7 @@ from __future__ import annotations
 import time
 
 import numpy as np
-import pytest
 
-from repro.api import Executor
 from repro.core import simulate_schedule
 from repro.nn import encrypted_inference
 

@@ -9,7 +9,6 @@ is asserted for every network.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core import CompilerOptions
 from repro.nn import DnnCompiler

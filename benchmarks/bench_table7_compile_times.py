@@ -11,8 +11,6 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
-import pytest
 
 from repro.backend import MockBackend
 from repro.api import CompilerOptions, Executor

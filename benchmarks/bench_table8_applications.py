@@ -12,7 +12,6 @@ import inspect
 import time
 
 import numpy as np
-import pytest
 
 from repro.apps import (
     build_harris_program,

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
-import numpy as np
 import pytest
 
 from repro.backend import MockBackend

@@ -3,12 +3,12 @@
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, Optional
+from typing import Dict, Optional
 
 import numpy as np
 
 from ..backend.hisa import HomomorphicBackend
-from ..core.compiler import CompilationResult, CompilerOptions
+from ..core.compiler import CompilerOptions
 from ..core.executor import ExecutionResult, ExecutionStats
 from ..frontend.pyeva import EvaProgram, Expr, constant
 

@@ -9,7 +9,7 @@ appears in secure fitness-tracking scenarios (the paper's motivating example).
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict
 
 import numpy as np
 

@@ -15,7 +15,7 @@ objects.
 from __future__ import annotations
 
 import abc
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Sequence
 
 import numpy as np
 

@@ -16,7 +16,8 @@ encrypted-vs-unencrypted accuracy comparisons (Table 4) are meaningful.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
 import numpy as np
@@ -66,11 +67,20 @@ class MockContext(BackendContext):
         parameters: EncryptionParameters,
         error_model: str = "gaussian",
         seed: Optional[int] = None,
+        op_latency: float = 0.0,
     ) -> None:
         super().__init__(parameters)
         if error_model not in ("none", "gaussian"):
             raise ValueError(f"unknown error model {error_model!r}")
+        if op_latency < 0:
+            raise ValueError("op_latency must be non-negative")
         self.error_model = error_model
+        #: Simulated per-operation hardware latency (seconds, slept).  Real
+        #: CKKS primitives cost milliseconds each; the default mock executes
+        #: in microseconds, so multi-process scaling experiments on it would
+        #: measure the host's core count, not the serving stack.  A non-zero
+        #: latency restores the real ratio of compute to coordination.
+        self.op_latency = float(op_latency)
         self._rng = np.random.default_rng(seed)
         #: Consumable coefficient-modulus chain (the special prime is excluded:
         #: it is reserved for key switching, as in SEAL).
@@ -99,6 +109,8 @@ class MockContext(BackendContext):
         self.live_ciphertexts += 1
         self.peak_live_ciphertexts = max(self.peak_live_ciphertexts, self.live_ciphertexts)
         self.op_count += 1
+        if self.op_latency > 0:
+            time.sleep(self.op_latency)
         return cipher
 
     @staticmethod
@@ -336,12 +348,23 @@ class MockBackend(HomomorphicBackend):
 
     name = "mock"
 
-    def __init__(self, error_model: str = "gaussian", seed: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        error_model: str = "gaussian",
+        seed: Optional[int] = None,
+        op_latency: float = 0.0,
+    ) -> None:
         self.error_model = error_model
         self.seed = seed
+        self.op_latency = float(op_latency)
 
     def create_context(self, parameters: EncryptionParameters) -> MockContext:
-        return MockContext(parameters, error_model=self.error_model, seed=self.seed)
+        return MockContext(
+            parameters,
+            error_model=self.error_model,
+            seed=self.seed,
+            op_latency=self.op_latency,
+        )
 
     def create_evaluation_context(
         self, parameters: EncryptionParameters, evaluation_keys: Dict[str, Any]
@@ -352,6 +375,7 @@ class MockBackend(HomomorphicBackend):
             parameters,
             error_model=str(evaluation_keys.get("error_model", self.error_model)),
             seed=self.seed,
+            op_latency=self.op_latency,
         )
         context.keys_generated = True
         context.has_secret_key = False

@@ -17,7 +17,7 @@ the final residue row (the cheapest representation to drop).
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from ..core.analysis.parameters import SECURITY_MAX_COEFF_MODULUS_BITS, EncryptionParameters
 from ..errors import ParameterError, SecurityError

@@ -13,7 +13,7 @@ targets (``N <= 8192``).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Union
+from typing import Dict, Sequence, Union
 
 import numpy as np
 

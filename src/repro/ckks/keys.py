@@ -14,7 +14,7 @@ switch from ``s^2`` to ``s``) and Galois keys (which switch from ``s(X^g)`` to
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
 import numpy as np
 

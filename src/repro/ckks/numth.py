@@ -11,7 +11,7 @@ all polynomial arithmetic run as vectorized ``numpy`` ``int64`` operations.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 from ..errors import ParameterError
 

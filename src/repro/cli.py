@@ -40,7 +40,6 @@ from typing import Any, Dict
 
 import numpy as np
 
-from .backend import MockBackend
 from .core import CompilerOptions, EvaCompiler, Executor
 from .core.analysis import select_parameters, select_rotation_steps
 from .core.serialization import load, save
@@ -53,15 +52,9 @@ def _load_inputs(path: str) -> Dict[str, Any]:
 
 
 def _make_backend(name: str, seed: int):
-    if name == "mock":
-        return MockBackend(seed=seed)
-    if name == "mock-exact":
-        return MockBackend(error_model="none", seed=seed)
-    if name == "ckks":
-        from .backend import CkksBackend
+    from .serving import BackendSpec
 
-        return CkksBackend(seed=seed)
-    raise EvaError(f"unknown backend {name!r} (choose mock, mock-exact, or ckks)")
+    return BackendSpec(name=name, seed=seed).build()
 
 
 def cmd_info(args: argparse.Namespace) -> int:
@@ -144,8 +137,6 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    from .serving import EvaServer, EvaTcpServer
-
     options = CompilerOptions(
         policy=args.policy,
         max_rescale_bits=args.max_rescale_bits,
@@ -170,19 +161,34 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 "the source program instead"
             )
         programs[name] = program
+    if args.shards > 1:
+        return _serve_cluster(args, options, programs)
+    return _serve_single(args, options, programs)
+
+
+def _serve_single(args, options, programs) -> int:
+    from .serving import EvaServer, EvaTcpServer, SessionStore
+
     server = EvaServer(
         backend=_make_backend(args.backend, args.seed),
         workers=args.workers,
         max_batch=args.max_batch,
         batch_window=args.batch_window,
         executor_threads=args.threads,
+        session_store=SessionStore(args.session_dir) if args.session_dir else None,
     )
     for name, program in programs.items():
         server.register(name, program, options=options)
     tcp = EvaTcpServer(server, host=args.host, port=args.port)
     host, port = tcp.address
     print(
-        json.dumps({"serving": f"{host}:{port}", "programs": server.programs()}),
+        json.dumps(
+            {
+                "serving": f"{host}:{port}",
+                "programs": server.programs(),
+                "session_dir": args.session_dir,
+            }
+        ),
         flush=True,
     )
     try:
@@ -192,6 +198,45 @@ def cmd_serve(args: argparse.Namespace) -> int:
     finally:
         tcp.shutdown()
         server.close()
+    return 0
+
+
+def _serve_cluster(args, options, programs) -> int:
+    from .serving import BackendSpec, ClusterTcpServer, EvaCluster
+
+    cluster = EvaCluster(
+        shards=args.shards,
+        backend=BackendSpec(name=args.backend, seed=args.seed),
+        session_dir=args.session_dir,
+        workers=args.workers,
+        max_batch=args.max_batch,
+        batch_window=args.batch_window,
+        executor_threads=args.threads,
+        host=args.host,
+    )
+    for name, program in programs.items():
+        cluster.register(name, program, options=options)
+    cluster.start()
+    tcp = ClusterTcpServer(cluster, host=args.host, port=args.port)
+    host, port = tcp.address
+    print(
+        json.dumps(
+            {
+                "serving": f"{host}:{port}",
+                "programs": sorted(programs),
+                "shards": cluster.shard_infos(),
+                "session_dir": args.session_dir,
+            }
+        ),
+        flush=True,
+    )
+    try:
+        tcp.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    finally:
+        tcp.shutdown()
+        cluster.close()
     return 0
 
 
@@ -220,7 +265,8 @@ def cmd_submit(args: argparse.Namespace) -> int:
                 backend=_make_backend(args.backend, args.seed),
                 client_id=args.client,
             )
-            client.create_session(args.program, kit)
+            if not args.resume:
+                client.create_session(args.program, kit)
             outputs = client.submit_encrypted(args.program, kit, inputs)
         else:
             outputs = client.submit(args.program, inputs, client_id=args.client)
@@ -284,6 +330,19 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--batch-window", type=float, default=0.005, help="seconds a worker lingers to fill a batch")
     serve.add_argument("--threads", type=int, default=1, help="executor threads per evaluation")
     serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="number of worker shard processes; >1 serves through a "
+        "consistent-hash router (each shard is a full server process)",
+    )
+    serve.add_argument(
+        "--session-dir",
+        default=None,
+        help="directory persisting client evaluation-key blobs, so encrypted "
+        "sessions survive restarts and shard failures",
+    )
     add_compile_options(serve)
     serve.set_defaults(func=cmd_serve)
 
@@ -305,6 +364,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=Path,
         default=None,
         help="program file for --encrypt (must match what the server serves)",
+    )
+    submit.add_argument(
+        "--resume",
+        action="store_true",
+        help="with --encrypt: skip session creation and reuse the session the "
+        "server already holds (or can restore from its --session-dir store)",
     )
     submit.add_argument(
         "--backend",

@@ -15,7 +15,7 @@ the range of IEEE doubles (SqueezeNet's intermediate scales reach 2^1740).
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 

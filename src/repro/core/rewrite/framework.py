@@ -16,7 +16,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional
 
-from ..ir import GraphEditor, Program, Term
+from ..ir import Program
 
 
 @dataclass

@@ -16,7 +16,7 @@ kernel labels (hand-written PyEVA programs) are unaffected.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from typing import Set
 
 from ..ir import GraphEditor, Program, Term
 from ..types import Op, ValueType

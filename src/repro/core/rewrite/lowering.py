@@ -8,7 +8,7 @@ see the core opcode set of Table 2.
 from __future__ import annotations
 
 from ..ir import GraphEditor, Program, Term
-from ..types import Op, ValueType
+from ..types import Op
 from .framework import PassContext, RewritePass
 
 

@@ -22,13 +22,13 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ..backend.cost_model import CostModel, DEFAULT_COST_MODEL
 from .analysis.levels import compute_levels
 from .compiler import CompilationResult
 from .ir import Program, Term
-from .types import Op, ValueType
+from .types import ValueType
 
 
 @dataclass
@@ -129,7 +129,6 @@ def _list_schedule(
 
     workers = [0.0] * max(threads, 1)
     finish: Dict[int, float] = {}
-    scheduled = 0
     while heap:
         ready_at, _, term = heapq.heappop(heap)
         worker = min(range(len(workers)), key=lambda i: workers[i])
@@ -138,7 +137,6 @@ def _list_schedule(
         workers[worker] = end
         finish[term.id] = end
         ready_floor[term.id] = end
-        scheduled += 1
         for consumer in consumers.get(term.id, ()):  # newly ready instructions
             indegree[consumer.id] -= 1
             if indegree[consumer.id] == 0:

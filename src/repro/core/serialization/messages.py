@@ -43,8 +43,10 @@ import numpy as np
 
 from ...errors import SerializationError
 
-#: Operations a client may request.
-REQUEST_OPS = ("submit", "session", "stats", "list", "ping")
+#: Operations a client may request.  ``route`` is answered by cluster routers
+#: only (which shard a client consistent-hashes to); single-process servers
+#: reject it with a ServingError reply.
+REQUEST_OPS = ("submit", "session", "stats", "list", "ping", "route")
 
 
 def encode_values(values: Dict[str, Any]) -> Dict[str, list]:

@@ -15,7 +15,7 @@ still round-trip.
 from __future__ import annotations
 
 import base64
-from typing import Any, List, Sequence
+from typing import Any, Sequence
 
 import numpy as np
 

@@ -19,9 +19,8 @@ Table 2 (``ROTATE: Cipher × Integer``, ``RESCALE: Cipher × Scalar``).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List
 
 import numpy as np
 

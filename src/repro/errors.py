@@ -84,5 +84,15 @@ class QueueFullError(ServingError):
     """The serving job queue is at capacity and the submit deadline expired."""
 
 
+class TransportError(ServingError):
+    """A network-level failure talking to a serving endpoint.
+
+    Distinct from application-level :class:`ServingError` replies so routing
+    layers know the difference between "the server answered with an error"
+    (do not retry elsewhere) and "the connection died" (fail over to another
+    shard).
+    """
+
+
 class UnknownProgramError(ServingError):
     """A request referenced a program name the server has not registered."""

@@ -20,8 +20,7 @@ import numpy as np
 from ..errors import CompilationError
 from ..frontend.pyeva import EvaProgram, Expr
 from .layout import TensorLayout
-from .network import Activation, AveragePool2D, Conv2D, Dense, Flatten
-from .network import Network
+from .network import Activation, AveragePool2D, Conv2D, Dense
 
 
 @dataclass

@@ -18,7 +18,6 @@ since its trained model was proprietary even to the original authors.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
 
 import numpy as np
 

@@ -9,6 +9,11 @@ Turns the one-shot compiler + executor into a serving stack:
 * :class:`EvaServer` — the in-process front door combining all of the above.
 * :class:`EvaTcpServer` / :class:`ServingClient` — newline-JSON TCP transport
   (also exposed as ``repro.cli serve`` / ``repro.cli submit``).
+* :class:`SessionStore` — disk persistence of client key blobs, so sessions
+  survive restarts and shard failures.
+* :class:`EvaCluster` / :class:`ClusterTcpServer` — multi-process sharding:
+  N ``EvaServer`` shards, consistent-hash client routing, transparent
+  failover (``repro.cli serve --shards N --session-dir PATH``).
 """
 
 from .batching import (
@@ -19,8 +24,15 @@ from .batching import (
     min_lane_width,
     request_width,
 )
+from .cluster import (
+    BackendSpec,
+    ConsistentHashRing,
+    EvaCluster,
+    ShardConfig,
+    ShardHandle,
+)
 from .jobs import EngineMetrics, Job, JobEngine
-from .netserver import EvaTcpServer, ServingClient
+from .netserver import ClusterTcpServer, EvaTcpServer, ServingClient
 from .registry import CacheStats, ProgramRegistry, RegistryEntry
 from .server import (
     EncryptedServeRequest,
@@ -31,6 +43,7 @@ from .server import (
     ServeResponse,
 )
 from .sessions import Session, SessionManager, session_key
+from .store import SessionStore, session_digest
 
 __all__ = [
     "BatchInfo",
@@ -39,11 +52,19 @@ __all__ = [
     "is_slotwise",
     "min_lane_width",
     "request_width",
+    "BackendSpec",
+    "ConsistentHashRing",
+    "EvaCluster",
+    "ShardConfig",
+    "ShardHandle",
     "EngineMetrics",
     "Job",
     "JobEngine",
+    "ClusterTcpServer",
     "EvaTcpServer",
     "ServingClient",
+    "SessionStore",
+    "session_digest",
     "CacheStats",
     "ProgramRegistry",
     "RegistryEntry",

@@ -1,0 +1,586 @@
+"""Multi-process sharded serving: consistent-hash routing over EvaServer shards.
+
+A single :class:`~repro.serving.server.EvaServer` is bounded by one process —
+one GIL, one job engine, one session cache.  :class:`EvaCluster` scales past
+that by running N *shards*, each a full ``EvaServer`` (own
+:class:`~repro.serving.registry.ProgramRegistry`,
+:class:`~repro.serving.jobs.JobEngine`, and
+:class:`~repro.serving.sessions.SessionManager`) in its own process behind
+the existing newline-JSON TCP transport, and routing every client to a shard
+with a :class:`ConsistentHashRing`.
+
+Routing is by ``client_id``: all of a client's requests land on one shard, so
+its compiled programs, generated keys, and slot batches stay warm in that
+shard's caches.  Consistent hashing keeps the mapping stable — adding or
+removing one shard remaps only ~1/N of the clients instead of reshuffling
+everyone.
+
+Sessions survive shard loss because shards share one
+:class:`~repro.serving.store.SessionStore` directory: ``create_session``
+persists the client's exported key blob, and whichever shard a rerouted
+client lands on lazily rebuilds the evaluation context from disk.  The
+cluster detects a dead shard on the first failed request, removes it from the
+ring, and retries the request on the client's new home shard — transparently
+to :class:`~repro.serving.netserver.ServingClient`, whose wire protocol is
+unchanged.
+
+Shard processes are started with the ``spawn`` method (safe to use from
+threaded parents) and are daemons of the front-door process; killing the
+front door kills the fleet.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import threading
+import time
+import weakref
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..core.compiler import CompilerOptions
+from ..core.ir import Program
+from ..errors import EvaError, ServingError, TransportError
+
+#: Transport-level failures that justify failing over to another shard.
+_FAILOVER_ERRORS = (TransportError, OSError)
+
+
+# -- consistent hashing ------------------------------------------------------------
+def _ring_hash(data: str) -> int:
+    return int.from_bytes(hashlib.sha256(data.encode("utf-8")).digest()[:8], "big")
+
+
+class ConsistentHashRing:
+    """Classic consistent-hash ring with virtual nodes.
+
+    Each node is placed at ``replicas`` pseudo-random points of a 64-bit hash
+    circle; a key routes to the first node point at or after its own hash.
+    Removing a node only remaps the keys that routed to it, and adding one
+    claims ~``K/N`` keys from its neighbours — the property the serving layer
+    relies on so that shard membership changes do not flush every client's
+    warm caches.
+    """
+
+    def __init__(self, nodes: Tuple[int, ...] = (), replicas: int = 64) -> None:
+        if replicas < 1:
+            raise ValueError("the ring needs at least one replica per node")
+        self.replicas = replicas
+        self._points: List[Tuple[int, int]] = []  # sorted (hash, node)
+        self._nodes: set = set()
+        for node in nodes:
+            self.add(node)
+
+    def add(self, node: int) -> None:
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for replica in range(self.replicas):
+            self._points.append((_ring_hash(f"{node}#{replica}"), node))
+        self._points.sort()
+
+    def remove(self, node: int) -> None:
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        self._points = [point for point in self._points if point[1] != node]
+
+    def route(self, key: Any) -> int:
+        """The node responsible for ``key``; raises when the ring is empty."""
+        if not self._points:
+            raise LookupError("the hash ring has no nodes")
+        position = bisect_right(self._points, (_ring_hash(str(key)), -1))
+        if position == len(self._points):
+            position = 0
+        return self._points[position][1]
+
+    @property
+    def nodes(self) -> List[int]:
+        return sorted(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: int) -> bool:
+        return node in self._nodes
+
+
+# -- shard processes ---------------------------------------------------------------
+@dataclass
+class BackendSpec:
+    """Picklable recipe for building a backend inside a shard process.
+
+    ``op_latency`` (mock backends only) emulates a fixed per-homomorphic-op
+    hardware latency, so scaling measurements exercise the serving stack
+    rather than the host's core count.
+    """
+
+    name: str = "mock"
+    seed: int = 0
+    op_latency: float = 0.0
+
+    def build(self):
+        from ..backend import MockBackend
+
+        if self.name == "mock":
+            return MockBackend(seed=self.seed, op_latency=self.op_latency)
+        if self.name == "mock-exact":
+            return MockBackend(
+                error_model="none", seed=self.seed, op_latency=self.op_latency
+            )
+        if self.name == "ckks":
+            if self.op_latency:
+                raise EvaError("op_latency is a mock-backend knob")
+            from ..backend import CkksBackend
+
+            return CkksBackend(seed=self.seed)
+        raise EvaError(
+            f"unknown backend {self.name!r} (choose mock, mock-exact, or ckks)"
+        )
+
+
+@dataclass
+class _RegisteredProgram:
+    """One program as shipped to every shard (serialized for pickling)."""
+
+    name: str
+    data: bytes  # proto wire format of the source graph
+    options: Optional[CompilerOptions]
+    lane_width: Optional[int]
+
+
+@dataclass
+class ShardConfig:
+    """Everything a shard process needs to come up (must stay picklable)."""
+
+    index: int
+    programs: List[_RegisteredProgram]
+    backend: BackendSpec
+    session_dir: Optional[str]
+    host: str = "127.0.0.1"
+    workers: int = 2
+    queue_size: int = 256
+    max_batch: int = 8
+    batch_window: float = 0.0
+    executor_threads: int = 1
+
+
+def _shard_main(config: ShardConfig, ready) -> None:  # pragma: no cover - subprocess
+    """Entry point of one shard process: a full EvaServer behind TCP.
+
+    Runs in a fresh ``spawn``-ed interpreter.  Reports its bound port (or the
+    startup error) through the ``ready`` pipe, then serves forever until the
+    parent terminates it.
+    """
+    try:
+        from ..core.serialization.proto import deserialize
+        from .netserver import EvaTcpServer
+        from .server import EvaServer
+        from .store import SessionStore
+
+        server = EvaServer(
+            backend=config.backend.build(),
+            workers=config.workers,
+            queue_size=config.queue_size,
+            max_batch=config.max_batch,
+            batch_window=config.batch_window,
+            executor_threads=config.executor_threads,
+            session_store=(
+                SessionStore(config.session_dir) if config.session_dir else None
+            ),
+        )
+        for spec in config.programs:
+            server.register(
+                spec.name,
+                deserialize(spec.data, name=spec.name),
+                options=spec.options,
+                lane_width=spec.lane_width,
+            )
+        tcp = EvaTcpServer(server, host=config.host, port=0)
+    except BaseException as exc:
+        try:
+            ready.send(("error", f"{type(exc).__name__}: {exc}"))
+        finally:
+            ready.close()
+        return
+    ready.send(("ok", {"port": tcp.address[1]}))
+    ready.close()
+    try:
+        tcp.serve_forever()
+    finally:
+        tcp.shutdown()
+        server.close(wait=False)
+
+
+@dataclass
+class ShardHandle:
+    """A running shard as seen from the front door."""
+
+    index: int
+    process: Any
+    host: str
+    port: int
+    started_at: float = field(default_factory=time.time)
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.process.pid
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def info(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "pid": self.pid,
+            "host": self.host,
+            "port": self.port,
+            "alive": self.alive(),
+        }
+
+
+# -- the cluster front door --------------------------------------------------------
+class EvaCluster:
+    """Front door over N shard processes with consistent-hash client routing.
+
+    Usage mirrors :class:`~repro.serving.server.EvaServer`: register programs,
+    then :meth:`start`; every shard registers the same program set.  Requests
+    go through :meth:`request` / :meth:`create_session` /
+    :meth:`submit_bundle`, which route by ``client_id``, keep one upstream
+    connection per (thread, shard), and transparently fail over when a shard
+    dies — removing it from the ring so the affected clients get a stable new
+    home.
+    """
+
+    def __init__(
+        self,
+        shards: int = 2,
+        backend: Optional[BackendSpec] = None,
+        session_dir: Optional[str] = None,
+        replicas: int = 64,
+        workers: int = 2,
+        queue_size: int = 256,
+        max_batch: int = 8,
+        batch_window: float = 0.0,
+        executor_threads: int = 1,
+        host: str = "127.0.0.1",
+        start_timeout: float = 120.0,
+        request_timeout: Optional[float] = 60.0,
+        retries: int = 3,
+    ) -> None:
+        if shards < 1:
+            raise ServingError("a cluster needs at least one shard")
+        self.shards = int(shards)
+        self.backend = backend or BackendSpec()
+        self.session_dir = str(session_dir) if session_dir else None
+        self.host = host
+        self.workers = workers
+        self.queue_size = queue_size
+        self.max_batch = max_batch
+        self.batch_window = batch_window
+        self.executor_threads = executor_threads
+        self.start_timeout = float(start_timeout)
+        self.request_timeout = request_timeout
+        self.retries = max(int(retries), 1)
+        self.ring = ConsistentHashRing(replicas=replicas)
+        self._programs: List[_RegisteredProgram] = []
+        self._handles: Dict[int, ShardHandle] = {}
+        self._dead: List[int] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        #: Weak so that connections cached by a thread die with the thread
+        #: (ServingClient closes its socket on finalization); close() sweeps
+        #: whatever is still alive.
+        self._all_clients: "weakref.WeakSet[Any]" = weakref.WeakSet()
+        self._started = False
+        self._closed = False
+
+    # -- registration ------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        program: Any,
+        options: Optional[CompilerOptions] = None,
+        lane_width: Optional[int] = None,
+    ) -> None:
+        """Queue a program for registration on every shard (before start)."""
+        if self._started:
+            raise ServingError("programs must be registered before the cluster starts")
+        graph = getattr(program, "graph", program)
+        if not isinstance(graph, Program):
+            raise ServingError(f"cannot register {type(program).__name__} as a program")
+        from ..core.serialization.proto import serialize
+
+        self._programs.append(
+            _RegisteredProgram(
+                name=str(name),
+                data=serialize(graph),
+                options=options,
+                lane_width=lane_width,
+            )
+        )
+
+    # -- lifecycle ---------------------------------------------------------------
+    def start(self) -> "EvaCluster":
+        """Spawn the shard processes and wait for every one to bind its port."""
+        if self._started:
+            raise ServingError("the cluster is already started")
+        context = multiprocessing.get_context("spawn")
+        pending = []
+        for index in range(self.shards):
+            parent_end, child_end = context.Pipe(duplex=False)
+            config = ShardConfig(
+                index=index,
+                programs=list(self._programs),
+                backend=self.backend,
+                session_dir=self.session_dir,
+                host=self.host,
+                workers=self.workers,
+                queue_size=self.queue_size,
+                max_batch=self.max_batch,
+                batch_window=self.batch_window,
+                executor_threads=self.executor_threads,
+            )
+            process = context.Process(
+                target=_shard_main,
+                args=(config, child_end),
+                name=f"eva-shard-{index}",
+                daemon=True,
+            )
+            process.start()
+            child_end.close()
+            pending.append((index, process, parent_end))
+        deadline = time.monotonic() + self.start_timeout
+        try:
+            for index, process, parent_end in pending:
+                remaining = max(deadline - time.monotonic(), 0.0)
+                if not parent_end.poll(remaining):
+                    raise ServingError(
+                        f"shard {index} did not come up within "
+                        f"{self.start_timeout:g}s"
+                    )
+                try:
+                    status, payload = parent_end.recv()
+                except EOFError as exc:
+                    raise ServingError(
+                        f"shard {index} died during startup (no ready message)"
+                    ) from exc
+                parent_end.close()
+                if status != "ok":
+                    raise ServingError(f"shard {index} failed to start: {payload}")
+                self._handles[index] = ShardHandle(
+                    index=index,
+                    process=process,
+                    host=self.host,
+                    port=int(payload["port"]),
+                )
+                self.ring.add(index)
+        except BaseException:
+            for _index, process, _conn in pending:
+                if process.is_alive():
+                    process.terminate()
+            raise
+        self._started = True
+        return self
+
+    def close(self) -> None:
+        """Terminate every shard and drop all cached connections."""
+        if self._closed:
+            return
+        self._closed = True
+        with self._lock:
+            clients = list(self._all_clients)
+        for client in clients:
+            try:
+                client.close()
+            except Exception:
+                pass
+        for handle in self._handles.values():
+            if handle.process.is_alive():
+                handle.process.terminate()
+        for handle in self._handles.values():
+            handle.process.join(timeout=10)
+
+    def __enter__(self) -> "EvaCluster":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+    # -- routing -----------------------------------------------------------------
+    def shard_for(self, client_id: str) -> int:
+        """The live shard index ``client_id`` currently routes to."""
+        with self._lock:
+            try:
+                return self.ring.route(str(client_id))
+            except LookupError as exc:
+                raise ServingError("no live shards in the cluster") from exc
+
+    def describe_route(self, client_id: str) -> Dict[str, Any]:
+        """Routing info for one client (exposed as the wire ``route`` op)."""
+        index = self.shard_for(client_id)
+        handle = self._handles[index]
+        return {
+            "client_id": str(client_id),
+            "shard": index,
+            "pid": handle.pid,
+            "port": handle.port,
+        }
+
+    def shard_infos(self) -> List[Dict[str, Any]]:
+        return [self._handles[i].info() for i in sorted(self._handles)]
+
+    def mark_dead(self, index: int) -> None:
+        """Remove a shard from the ring (its clients reroute on next request)."""
+        with self._lock:
+            if index in self.ring:
+                self.ring.remove(index)
+                self._dead.append(index)
+
+    def kill_shard(self, index: int) -> None:
+        """Hard-kill one shard (test/chaos hook: SIGKILL, no cleanup)."""
+        handle = self._handles.get(index)
+        if handle is None:
+            raise ServingError(f"no shard {index}")
+        handle.process.kill()
+        handle.process.join(timeout=10)
+        self.mark_dead(index)
+
+    # -- request plumbing ---------------------------------------------------------
+    def _client_for(self, index: int):
+        """Thread-local cached connection to one shard (created on demand)."""
+        from .netserver import ServingClient
+
+        cache = getattr(self._local, "clients", None)
+        if cache is None:
+            cache = self._local.clients = {}
+        client = cache.get(index)
+        if client is None:
+            handle = self._handles[index]
+            client = ServingClient(
+                handle.host, handle.port, timeout=self.request_timeout
+            )
+            cache[index] = client
+            with self._lock:
+                self._all_clients.add(client)
+        return client
+
+    def _drop_client(self, index: int) -> None:
+        cache = getattr(self._local, "clients", None)
+        if cache is None:
+            return
+        client = cache.pop(index, None)
+        if client is not None:
+            try:
+                client.close()
+            except Exception:
+                pass
+            with self._lock:
+                self._all_clients.discard(client)
+
+    def _note_failure(self, index: int) -> None:
+        """A request to ``index`` failed at the transport level.
+
+        A dead process is removed from the ring so its clients reroute; a
+        live process (transient connection failure) stays — the retry loop
+        reconnects to it.
+        """
+        self._drop_client(index)
+        handle = self._handles.get(index)
+        if handle is not None and not handle.alive():
+            self.mark_dead(index)
+
+    def _call(self, client_id: str, fn: Callable[[Any], Any]) -> Any:
+        """Route ``client_id``, run ``fn(connection)``, fail over on dead shards."""
+        if not self._started:
+            raise ServingError("the cluster has not been started")
+        last_error: Optional[BaseException] = None
+        for _attempt in range(self.retries + 1):
+            index = self.shard_for(client_id)
+            try:
+                return fn(self._client_for(index))
+            except _FAILOVER_ERRORS as exc:
+                last_error = exc
+                self._note_failure(index)
+        raise ServingError(
+            f"request for client {client_id!r} failed after "
+            f"{self.retries + 1} attempts: {last_error}"
+        )
+
+    # -- client API ----------------------------------------------------------------
+    def request(
+        self,
+        name: str,
+        inputs: Dict[str, Any],
+        client_id: str = "default",
+        output_size: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Plaintext request: routed to the client's shard, decrypted outputs."""
+        return self._call(
+            client_id,
+            lambda client: client.submit(
+                name, inputs, client_id=client_id, output_size=output_size
+            ),
+        )
+
+    def create_session(
+        self, name: str, client_kit: Any, client_id: Optional[str] = None
+    ) -> Dict[str, Any]:
+        """Register a client's evaluation keys on its shard (persisted when
+        the cluster has a session directory)."""
+        client_id = client_id or getattr(client_kit, "client_id", "default")
+        return self._call(
+            client_id,
+            lambda client: client.create_session(name, client_kit, client_id=client_id),
+        )
+
+    def submit_bundle(
+        self, name: str, bundle_wire: Dict[str, Any], client_id: str = "default"
+    ) -> Dict[str, Any]:
+        """Pre-encrypted request; returns wire-encoded ciphertext outputs."""
+        return self._call(
+            client_id,
+            lambda client: client.submit_bundle(name, bundle_wire, client_id=client_id),
+        )
+
+    def request_encrypted(
+        self,
+        name: str,
+        client_kit: Any,
+        inputs: Dict[str, Any],
+        client_id: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """End-to-end encrypted request through the client's shard."""
+        client_id = client_id or getattr(client_kit, "client_id", "default")
+        return self._call(
+            client_id,
+            lambda client: client.submit_encrypted(
+                name, client_kit, inputs, client_id=client_id
+            ),
+        )
+
+    # -- introspection -------------------------------------------------------------
+    def programs(self) -> List[str]:
+        """Registered program names (identical on every shard)."""
+        return self._call("__cluster-meta__", lambda client: client.programs())
+
+    def stats(self) -> Dict[str, Any]:
+        """Cluster-level view plus the per-shard server stats of live shards."""
+        with self._lock:
+            live = list(self.ring.nodes)
+            dead = list(self._dead)
+        shard_stats: Dict[str, Any] = {}
+        for index in live:
+            try:
+                shard_stats[str(index)] = self._client_for(index).stats()
+            except _FAILOVER_ERRORS:
+                self._note_failure(index)
+        return {
+            "shards": self.shards,
+            "live": live,
+            "dead": dead,
+            "session_dir": self.session_dir,
+            "per_shard": shard_stats,
+        }

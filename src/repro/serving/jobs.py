@@ -19,7 +19,7 @@ import itertools
 import threading
 import time
 from collections import deque
-from concurrent.futures import Future
+from concurrent.futures import Future, InvalidStateError
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Hashable, List, Optional
 
@@ -51,6 +51,7 @@ class EngineMetrics:
     completed: int = 0
     failed: int = 0
     rejected: int = 0
+    cancelled: int = 0
     batches: int = 0
     largest_batch: int = 0
     queue_seconds_total: float = 0.0
@@ -71,6 +72,7 @@ class EngineMetrics:
             "completed": self.completed,
             "failed": self.failed,
             "rejected": self.rejected,
+            "cancelled": self.cancelled,
             "batches": self.batches,
             "largest_batch": self.largest_batch,
             "mean_batch_size": round(finished / self.batches, 3) if self.batches else 0.0,
@@ -205,6 +207,18 @@ class JobEngine:
             batch = self._take_batch()
             if batch is None:
                 return
+            # A caller may have cancelled a future while its job sat queued.
+            # Transitioning the survivors to RUNNING here makes later
+            # cancellation attempts fail cleanly instead of racing
+            # set_result below (an InvalidStateError in this loop would kill
+            # the worker and strand every future behind it).
+            live = [job for job in batch if job.future.set_running_or_notify_cancel()]
+            if len(live) != len(batch):
+                with self._cond:
+                    self.metrics.cancelled += len(batch) - len(live)
+            if not live:
+                continue
+            batch = live
             started = time.monotonic()
             for job in batch:
                 job.started_at = started
@@ -230,26 +244,62 @@ class JobEngine:
                     job.finished_at = finished
                     self.metrics.queue_seconds_total += job.queue_seconds
             for job, result in zip(batch, results):
-                if isinstance(result, BaseException):
-                    with self._cond:
-                        self.metrics.failed += 1
-                    job.future.set_exception(result)
-                else:
-                    with self._cond:
-                        self.metrics.completed += 1
-                    job.future.set_result(result)
+                try:
+                    if isinstance(result, BaseException):
+                        with self._cond:
+                            self.metrics.failed += 1
+                        job.future.set_exception(result)
+                    else:
+                        with self._cond:
+                            self.metrics.completed += 1
+                        job.future.set_result(result)
+                except InvalidStateError:  # pragma: no cover - narrow race
+                    # The future was resolved elsewhere; the worker must
+                    # survive to serve the rest of the queue either way.
+                    pass
 
     # -- lifecycle ---------------------------------------------------------------
-    def close(self, wait: bool = True) -> None:
-        """Stop accepting jobs; drain the queue, then stop the workers."""
+    def shutdown(self, wait: bool = True, cancel_pending: bool = False) -> None:
+        """Stop accepting jobs and settle every outstanding future.
+
+        By default queued jobs are *drained*: workers keep executing until the
+        queue is empty, so every future resolves with a result or exception.
+        With ``cancel_pending`` the queued-but-unstarted jobs are cancelled
+        immediately (their futures raise ``CancelledError``) and only the
+        batches already in flight run to completion.  With ``wait`` the call
+        blocks until the workers exit, at which point every future ever
+        accepted by :meth:`submit` is guaranteed to be done — resolved,
+        failed, or cancelled — never silently pending.
+        """
         with self._cond:
-            if self._closed:
-                return
+            first_close = not self._closed
             self._closed = True
+            doomed: List[Job] = []
+            if cancel_pending and first_close:
+                doomed = list(self._queue)
+                self._queue.clear()
             self._cond.notify_all()
+        cancelled = sum(1 for job in doomed if job.future.cancel())
+        if cancelled:
+            with self._cond:
+                self.metrics.cancelled += cancelled
         if wait:
             for thread in self._workers:
                 thread.join()
+            # Workers have exited; nothing can touch the queue anymore.  Any
+            # job still sitting in it (a worker died mid-loop) must not leave
+            # its caller blocked on a future that will never settle.
+            with self._cond:
+                leftover = list(self._queue)
+                self._queue.clear()
+            stranded = sum(1 for job in leftover if job.future.cancel())
+            if stranded:
+                with self._cond:
+                    self.metrics.cancelled += stranded
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting jobs; drain the queue, then stop the workers."""
+        self.shutdown(wait=wait)
 
     def __enter__(self) -> "JobEngine":
         return self

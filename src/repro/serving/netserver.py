@@ -1,4 +1,4 @@
-"""TCP front-end for :class:`~repro.serving.server.EvaServer`.
+"""TCP front-ends for single-process and sharded (cluster) serving.
 
 Transport is deliberately simple — newline-delimited JSON messages (see
 :mod:`repro.core.serialization.messages`) over a threading TCP server — so a
@@ -6,10 +6,21 @@ client can be a five-line script or ``repro.cli submit``.  Each connection may
 pipeline any number of requests; responses come back in order.  Connection
 threads block on the server's futures, so concurrency across connections is
 bounded by the job engine, not by the socket layer.
+
+Two servers share the wire format:
+
+* :class:`EvaTcpServer` wraps one in-process
+  :class:`~repro.serving.server.EvaServer` (the single-process mode).
+* :class:`ClusterTcpServer` is the *router* of an
+  :class:`~repro.serving.cluster.EvaCluster`: it owns the public listener and
+  forwards each framed request line to the shard its ``client_id``
+  consistent-hashes to, relaying the shard's reply verbatim.  Clients cannot
+  tell the difference — :class:`ServingClient` works against both.
 """
 
 from __future__ import annotations
 
+import json
 import socket
 import socketserver
 import threading
@@ -18,7 +29,7 @@ from typing import Any, Dict, Optional, Tuple
 import numpy as np
 
 from ..core.serialization import messages
-from ..errors import EvaError, ServingError
+from ..errors import EvaError, SerializationError, ServingError, TransportError
 from .server import EvaServer
 
 
@@ -53,6 +64,10 @@ class _RequestHandler(socketserver.StreamRequestHandler):
             return messages.encode_response(payload={"programs": eva.programs()})
         if op == "stats":
             return messages.encode_response(payload={"stats": eva.stats()})
+        if op == "route":
+            raise ServingError(
+                "route is a cluster operation; this is a single-process server"
+            )
         if op == "session":
             session = eva.create_session(
                 request["program"],
@@ -113,20 +128,123 @@ class EvaTcpServer(socketserver.ThreadingTCPServer):
         return thread
 
 
+class _RouterHandler(socketserver.StreamRequestHandler):
+    """One router connection: route each request line to its client's shard.
+
+    Forwarding goes through the cluster's own request plumbing
+    (:meth:`EvaCluster._call`), which keeps one upstream connection per
+    (handler thread, shard) — so pipelined requests keep their ordering per
+    shard and the router adds no per-request connect cost — and already
+    implements failover: a dead shard leaves the ring and the request retries
+    on the client's new home shard, safe because serving requests are pure
+    evaluations.
+    """
+
+    server: "ClusterTcpServer"
+
+    def handle(self) -> None:
+        while True:
+            line = self.rfile.readline()
+            if not line:
+                return
+            text = line.decode("utf-8").strip()
+            if not text:
+                continue
+            try:
+                reply = self._dispatch(text)
+            except EvaError as error:
+                reply = messages.encode_error(error)
+            except Exception as error:  # never let a request kill the connection
+                reply = messages.encode_error(ServingError(str(error)))
+            self.wfile.write(reply.encode("utf-8"))
+            self.wfile.flush()
+
+    def _dispatch(self, text: str) -> str:
+        cluster = self.server.cluster
+        try:
+            request = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SerializationError(f"malformed request JSON: {exc}") from exc
+        if not isinstance(request, dict):
+            raise SerializationError("request must be a JSON object")
+        op = request.get("op")
+        client_id = str(request.get("client_id", "default"))
+        # Ops the router answers itself: liveness, routing introspection, and
+        # the cluster-wide views that span shards.
+        if op == "ping":
+            return messages.encode_response(payload={"pong": True})
+        if op == "route":
+            return messages.encode_response(
+                payload={"route": cluster.describe_route(client_id)}
+            )
+        if op == "list":
+            return messages.encode_response(payload={"programs": cluster.programs()})
+        if op == "stats":
+            return messages.encode_response(payload={"stats": cluster.stats()})
+        # Everything else ("submit", "session") is forwarded verbatim to the
+        # client's shard; the shard validates the message itself.
+        return cluster._call(client_id, lambda upstream: upstream.roundtrip_raw(text))
+
+
+class ClusterTcpServer(socketserver.ThreadingTCPServer):
+    """Router front door of an :class:`~repro.serving.cluster.EvaCluster`.
+
+    Owns the public listener; every framed request is forwarded to the shard
+    its client consistent-hashes to.  The wire protocol is identical to
+    :class:`EvaTcpServer`'s, plus a ``route`` op reporting which shard (and
+    pid) a client maps to — useful for chaos drills and smoke tests.
+    """
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(
+        self, cluster: Any, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.cluster = cluster
+        super().__init__((host, port), _RouterHandler)
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.server_address[0], self.server_address[1]
+
+    def start_background(self) -> threading.Thread:
+        """Serve on a daemon thread; returns the (started) thread."""
+        thread = threading.Thread(
+            target=self.serve_forever, name="eva-cluster-router", daemon=True
+        )
+        thread.start()
+        return thread
+
+
 class ServingClient:
-    """Minimal line-protocol client for :class:`EvaTcpServer`."""
+    """Minimal line-protocol client for :class:`EvaTcpServer` (and the router)."""
 
     def __init__(self, host: str, port: int, timeout: Optional[float] = 30.0) -> None:
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._file = self._sock.makefile("rwb")
 
-    def _roundtrip(self, line: str) -> Dict[str, Any]:
-        self._file.write(line.encode("utf-8"))
-        self._file.flush()
-        reply = self._file.readline()
+    def roundtrip_raw(self, text: str) -> str:
+        """Send one raw request line, return the raw reply line.
+
+        Transport failures raise :class:`~repro.errors.TransportError` so
+        routing layers can distinguish "the connection died" (fail over) from
+        an application-level error reply (do not).
+        """
+        if not text.endswith("\n"):
+            text += "\n"
+        try:
+            self._file.write(text.encode("utf-8"))
+            self._file.flush()
+            reply = self._file.readline()
+        except OSError as exc:
+            raise TransportError(f"connection to server lost: {exc}") from exc
         if not reply:
-            raise ServingError("connection closed by server")
-        response = messages.decode_response(reply.decode("utf-8"))
+            raise TransportError("connection closed by server")
+        return reply.decode("utf-8")
+
+    def _roundtrip(self, line: str) -> Dict[str, Any]:
+        response = messages.decode_response(self.roundtrip_raw(line))
         if not response.get("ok"):
             raise ServingError(
                 f"{response.get('kind', 'ServingError')}: {response.get('error')}"
@@ -210,6 +328,12 @@ class ServingClient:
     def programs(self) -> list:
         return self._roundtrip(messages.encode_request("list")).get("programs", [])
 
+    def route(self, client_id: str = "default") -> Dict[str, Any]:
+        """Which shard serves ``client_id`` (cluster servers only)."""
+        return self._roundtrip(
+            messages.encode_request("route", client_id=client_id)
+        ).get("route", {})
+
     def stats(self) -> Dict[str, Any]:
         return self._roundtrip(messages.encode_request("stats")).get("stats", {})
 
@@ -221,6 +345,12 @@ class ServingClient:
             self._file.close()
         finally:
             self._sock.close()
+
+    def __del__(self) -> None:  # release the socket when a cached client dies
+        try:
+            self.close()
+        except Exception:
+            pass
 
     def __enter__(self) -> "ServingClient":
         return self

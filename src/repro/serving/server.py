@@ -49,6 +49,7 @@ from .batching import BatchInfo, SlotBatcher, pow2_ceil, request_width
 from .jobs import Job, JobEngine
 from .registry import ProgramRegistry
 from .sessions import SessionManager
+from .store import SessionStore
 
 
 @dataclass
@@ -177,6 +178,7 @@ class EvaServer:
         max_batch: int = 8,
         batch_window: float = 0.0,
         executor_threads: int = 1,
+        session_store: Optional[SessionStore] = None,
     ) -> None:
         if backend is None:
             from ..backend.mock_backend import MockBackend
@@ -185,6 +187,11 @@ class EvaServer:
         self.backend = backend
         self.registry = ProgramRegistry(capacity=registry_capacity)
         self.sessions = SessionManager(backend, capacity=session_capacity)
+        #: Optional disk persistence of client key blobs: sessions created
+        #: through :meth:`create_session` are saved, and an unknown client's
+        #: encrypted request triggers a lazy restore — which is how sessions
+        #: survive server restarts and (in a cluster) shard failures.
+        self.session_store = session_store
         self.batcher = SlotBatcher()
         self.executor_threads = max(int(executor_threads), 1)
         self._programs: Dict[str, ProgramSpec] = {}
@@ -332,6 +339,17 @@ class EvaServer:
             self.sessions.attach(compilation, client_id, context)
         except ValueError as exc:
             raise ServingError(str(exc)) from exc
+        if self.session_store is not None:
+            blob = evaluation_keys if isinstance(evaluation_keys, dict) else None
+            if blob is None:
+                # In-process callers hand over a live context; ask it for the
+                # exportable form so the session still survives a restart.
+                try:
+                    blob = context.export_evaluation_keys()
+                except NotImplementedError:
+                    blob = None
+            if blob is not None:
+                self.session_store.save(client_id, compilation, blob, program=name)
         return {
             "program": name,
             "client_id": str(client_id),
@@ -351,7 +369,39 @@ class EvaServer:
         try:
             return self.sessions.get_attached(compilation, str(client_id)).context
         except LookupError as exc:
-            raise ServingError(str(exc)) from exc
+            session = self._restore_session(compilation, str(client_id))
+            if session is None:
+                raise ServingError(str(exc)) from exc
+            return session.context
+
+    def _restore_session(self, compilation: CompilationResult, client_id: str):
+        """Rebuild a client-keyed session from the persisted key blob, if any.
+
+        Returns the attached session, or ``None`` when there is no store, no
+        record, or the blob cannot be rebuilt (a corrupt or stale record must
+        degrade to the ordinary "create a session first" error, not crash the
+        batch).
+        """
+        if self.session_store is None:
+            return None
+        blob = self.session_store.load(client_id, compilation)
+        if blob is None:
+            return None
+        try:
+            context = self.backend.create_evaluation_context(
+                compilation.parameters, blob
+            )
+            return self.sessions.attach(compilation, client_id, context)
+        except Exception as exc:
+            import warnings
+
+            warnings.warn(
+                f"persisted session of client {client_id!r} could not be "
+                f"restored: {type(exc).__name__}: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
 
     def submit_encrypted(
         self,
@@ -550,7 +600,12 @@ class EvaServer:
         try:
             session = self.sessions.get_attached(compilation, client_id)
         except LookupError as exc:
-            raise ServingError(str(exc)) from exc
+            # The client may have registered its keys with a previous process
+            # (server restart) or a different shard (reroute after a shard
+            # failure): restore from the persistent store before giving up.
+            session = self._restore_session(compilation, client_id)
+            if session is None:
+                raise ServingError(str(exc)) from exc
         engine = self._engine_for(spec.signature, compilation)
         responses: List[Any] = []
         with session.lock:
@@ -723,6 +778,9 @@ class EvaServer:
             "programs": self.programs(),
             "registry": self.registry.summary(),
             "sessions": self.sessions.summary(),
+            "session_store": (
+                self.session_store.summary() if self.session_store else None
+            ),
             "engine": self.engine.metrics.summary(),
             # (signature, width) pairs whose lane variant failed to compile
             # and were pinned to solo execution; non-zero deserves a look.

@@ -1,0 +1,210 @@
+"""Disk-backed persistence of client evaluation-key material.
+
+The session caches in :mod:`repro.serving.sessions` hold *live* backend
+contexts, so every session dies with its process: a server restart — or, in a
+sharded deployment, the loss of one shard — forces every client back through
+``create_session``.  The :class:`SessionStore` removes that coupling by
+persisting the exported evaluation-key blob (the JSON-able dictionary from
+``ClientKit.export_evaluation_keys()``, which never contains the secret key)
+to disk, keyed by the client identity plus everything key generation depends
+on: the encryption parameters and the rotation steps of the compilation.
+
+Any process that can read the store directory can then lazily rebuild an
+evaluation context for a returning client via
+``HomomorphicBackend.create_evaluation_context`` — which is exactly what
+:class:`~repro.serving.server.EvaServer` does when a pre-encrypted bundle
+arrives for a client it has never seen.  Sessions therefore survive both a
+full server restart and a shard failure followed by a reroute (the new shard
+reads the blob the old shard persisted).
+
+Records are single JSON files written atomically (temp file + ``os.replace``),
+so concurrent shard processes sharing one directory never observe a torn
+record; the last writer of a key wins, which is safe for the key material
+because every writer of one key holds the same client's blob.  The record's
+``programs`` list is advisory metadata: the in-process lock merges names
+saved by one process, but two *processes* saving the same key concurrently
+may keep only the last writer's list.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..core.compiler import CompilationResult
+
+#: Format version stamped into every record.
+STORE_VERSION = 1
+
+
+def session_digest(compilation: CompilationResult, client_id: str) -> str:
+    """Stable digest of (client, keygen-relevant parameters) for one session.
+
+    Mirrors :func:`repro.serving.sessions.session_key`: two compilations with
+    the same encryption parameters *and* rotation steps can share key
+    material, anything else cannot.
+    """
+    parameters = compilation.parameters
+    key = [
+        str(client_id),
+        int(parameters.poly_modulus_degree),
+        [int(b) for b in parameters.coeff_modulus_bits],
+        sorted(int(s) for s in compilation.rotation_steps),
+    ]
+    return hashlib.sha256(json.dumps(key, separators=(",", ":")).encode("utf-8")).hexdigest()[:32]
+
+
+class SessionStore:
+    """A directory of persisted evaluation-key records, one JSON file each.
+
+    The store is deliberately dumb: no index, no locking protocol beyond
+    atomic whole-file replacement.  That makes it safe to share between the
+    shard processes of an :class:`~repro.serving.cluster.EvaCluster` (and
+    across full server restarts) without any coordination.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+
+    # -- paths -------------------------------------------------------------------
+    def path_for(self, client_id: str, compilation: CompilationResult) -> Path:
+        return self.root / f"{session_digest(compilation, client_id)}.json"
+
+    # -- write -------------------------------------------------------------------
+    def save(
+        self,
+        client_id: str,
+        compilation: CompilationResult,
+        evaluation_keys: Dict[str, Any],
+        program: Optional[str] = None,
+    ) -> Path:
+        """Persist ``evaluation_keys`` for ``(client, compilation)``.
+
+        Re-saving the same session merges the ``program`` name into the
+        record's program list (several registered programs may share one set
+        of encryption parameters and hence one session).
+        """
+        if not isinstance(evaluation_keys, dict):
+            raise TypeError(
+                "evaluation_keys must be the JSON-able blob from "
+                "export_evaluation_keys(), got "
+                f"{type(evaluation_keys).__name__}"
+            )
+        path = self.path_for(client_id, compilation)
+        with self._lock:
+            programs = set()
+            existing = self._read(path)
+            if existing is not None:
+                programs.update(existing.get("programs", ()))
+            if program:
+                programs.add(str(program))
+            parameters = compilation.parameters
+            record = {
+                "version": STORE_VERSION,
+                "client_id": str(client_id),
+                "saved_at": time.time(),
+                "parameters": {
+                    "poly_modulus_degree": int(parameters.poly_modulus_degree),
+                    "coeff_modulus_bits": [int(b) for b in parameters.coeff_modulus_bits],
+                    "rotation_steps": sorted(int(s) for s in compilation.rotation_steps),
+                },
+                "programs": sorted(programs),
+                "evaluation_keys": evaluation_keys,
+            }
+            # Atomic publish: a concurrent reader (another shard) sees either
+            # the old record or the new one, never a torn file.
+            fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(record, handle)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        return path
+
+    # -- read --------------------------------------------------------------------
+    def load(
+        self, client_id: str, compilation: CompilationResult
+    ) -> Optional[Dict[str, Any]]:
+        """The persisted key blob for ``(client, compilation)``, or ``None``."""
+        record = self._read(self.path_for(client_id, compilation))
+        if record is None:
+            return None
+        keys = record.get("evaluation_keys")
+        return keys if isinstance(keys, dict) else None
+
+    @staticmethod
+    def _read(path: Path) -> Optional[Dict[str, Any]]:
+        """One record, or ``None`` for missing/corrupt/incompatible files."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        if not isinstance(record, dict) or record.get("version") != STORE_VERSION:
+            return None
+        return record
+
+    # -- maintenance -------------------------------------------------------------
+    def records(self) -> List[Dict[str, Any]]:
+        """Metadata of every readable record (key blobs omitted)."""
+        found = []
+        for path in sorted(self.root.glob("*.json")):
+            record = self._read(path)
+            if record is None:
+                continue
+            found.append(
+                {
+                    "client_id": record.get("client_id"),
+                    "programs": record.get("programs", []),
+                    "parameters": record.get("parameters", {}),
+                    "saved_at": record.get("saved_at"),
+                    "path": str(path),
+                }
+            )
+        return found
+
+    def delete(self, client_id: str) -> int:
+        """Drop every persisted session of ``client_id`` (e.g. key rotation)."""
+        count = 0
+        with self._lock:
+            for path in self.root.glob("*.json"):
+                record = self._read(path)
+                if record is not None and record.get("client_id") == str(client_id):
+                    try:
+                        path.unlink()
+                        count += 1
+                    except OSError:
+                        pass
+        return count
+
+    def __len__(self) -> int:
+        return sum(1 for path in self.root.glob("*.json") if self._read(path) is not None)
+
+    def summary(self) -> Dict[str, object]:
+        """Cheap monitoring view: counts files without parsing key blobs.
+
+        Real CKKS key blobs dominate record size, and ``summary`` runs on
+        every ``EvaServer.stats()`` call — so this must not read them.  The
+        count may include records :meth:`records` would reject as corrupt;
+        use :meth:`records` (which parses everything) for the exact view.
+        """
+        return {
+            "root": str(self.root),
+            "records": sum(1 for _ in self.root.glob("*.json")),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SessionStore root={str(self.root)!r}>"

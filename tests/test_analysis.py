@@ -2,19 +2,9 @@
 
 import pytest
 
-from repro.core.analysis import (
-    compute_levels,
-    compute_scales,
-    select_parameters,
-    select_rotation_steps,
-    validate,
-)
+from repro.core.analysis import compute_levels, compute_scales, select_rotation_steps, validate
 from repro.core.analysis.levels import compute_rescale_chains, merge_chains
-from repro.core.analysis.parameters import (
-    SECURITY_MAX_COEFF_MODULUS_BITS,
-    EncryptionParameters,
-    max_modulus_bits,
-)
+from repro.core.analysis.parameters import SECURITY_MAX_COEFF_MODULUS_BITS, max_modulus_bits
 from repro.core.analysis.rotations import normalize_step
 from repro.core.analysis.validation import compute_polynomial_counts
 from repro.core.compiler import CompilerOptions, compile_program
@@ -132,8 +122,8 @@ class TestValidation:
             validate(program)
 
     def test_negative_scale_rejected(self):
-        program = make_program_with_rescale(55.0)  # 60 - 55 > 0 but below zero after...
-        # scale after rescale = 60 - 55 = 5 > 0: fine; force a destructive rescale instead.
+        make_program_with_rescale(55.0)  # 60 - 55 = 5 > 0: still fine
+        # ... so force a destructive rescale instead.
         program2 = Program("p", vec_size=8)
         x = program2.input("x", ValueType.CIPHER, scale=20)
         square = program2.make_term(Op.MULTIPLY, [x, x])

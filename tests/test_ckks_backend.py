@@ -5,7 +5,6 @@ Python); they use small vectors and shallow programs, and confirm that the
 compiler's output runs on genuine ciphertexts with the expected accuracy.
 """
 
-import math
 
 import numpy as np
 import pytest

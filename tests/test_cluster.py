@@ -1,0 +1,497 @@
+"""Tests for sharded serving: hash ring, session store, cluster, failover."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.api import ClientKit, CompiledProgram, execute_reference
+from repro.backend import MockBackend
+from repro.core import compile_program
+from repro.errors import ServingError
+from repro.frontend import EvaProgram, input_encrypted, output
+from repro.serving import (
+    BackendSpec,
+    ClusterTcpServer,
+    ConsistentHashRing,
+    EvaCluster,
+    EvaServer,
+    ServingClient,
+    SessionStore,
+)
+
+
+def make_poly_program(name="poly", vec_size=32):
+    program = EvaProgram(name, vec_size=vec_size, default_scale=25)
+    with program:
+        x = input_encrypted("x", 25)
+        output("y", x * x + x + 1.0, 25)
+    return program
+
+
+class TestConsistentHashRing:
+    def test_same_client_always_routes_to_same_shard(self):
+        ring = ConsistentHashRing((0, 1, 2, 3))
+        fresh = ConsistentHashRing((0, 1, 2, 3))
+        for i in range(50):
+            client = f"client-{i}"
+            assert ring.route(client) == ring.route(client) == fresh.route(client)
+
+    def test_all_shards_receive_clients(self):
+        ring = ConsistentHashRing((0, 1, 2, 3))
+        homes = {ring.route(f"client-{i}") for i in range(200)}
+        assert homes == {0, 1, 2, 3}
+
+    def test_removal_remaps_only_the_removed_shards_clients(self):
+        clients = [f"client-{i}" for i in range(500)]
+        ring = ConsistentHashRing((0, 1, 2, 3))
+        before = {client: ring.route(client) for client in clients}
+        ring.remove(2)
+        for client in clients:
+            after = ring.route(client)
+            if before[client] == 2:
+                assert after != 2
+            else:
+                # Anyone not on the removed shard keeps their home (and its
+                # warm caches) — the property plain modulo hashing lacks.
+                assert after == before[client]
+
+    def test_addition_remaps_a_bounded_fraction(self):
+        clients = [f"client-{i}" for i in range(1000)]
+        ring = ConsistentHashRing((0, 1, 2, 3))
+        before = {client: ring.route(client) for client in clients}
+        ring.add(4)
+        moved = sum(1 for client in clients if ring.route(client) != before[client])
+        # Expected K/N = 1/5 of clients move to the new shard; allow slack
+        # for vnode placement variance but stay well under a full reshuffle.
+        assert moved / len(clients) <= 0.35
+        # ... and whoever moved, moved to the new shard, nowhere else.
+        for client in clients:
+            after = ring.route(client)
+            if after != before[client]:
+                assert after == 4
+
+    def test_empty_ring_raises(self):
+        ring = ConsistentHashRing()
+        with pytest.raises(LookupError):
+            ring.route("anyone")
+
+    def test_add_remove_roundtrip_restores_mapping(self):
+        clients = [f"client-{i}" for i in range(100)]
+        ring = ConsistentHashRing((0, 1, 2))
+        before = {client: ring.route(client) for client in clients}
+        ring.add(3)
+        ring.remove(3)
+        assert {client: ring.route(client) for client in clients} == before
+
+
+class TestBackendSpec:
+    def test_builds_mock_variants(self):
+        assert BackendSpec("mock", seed=3).build().error_model == "gaussian"
+        exact = BackendSpec("mock-exact", seed=3, op_latency=0.001).build()
+        assert exact.error_model == "none"
+        assert exact.op_latency == 0.001
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(Exception):
+            BackendSpec("nope").build()
+
+    def test_negative_op_latency_rejected(self):
+        with pytest.raises(ValueError):
+            MockBackend(op_latency=-1.0).create_context(
+                compile_program(make_poly_program().graph).parameters
+            )
+
+
+class TestSessionStore:
+    @pytest.fixture
+    def compilation(self):
+        return compile_program(make_poly_program().graph)
+
+    def test_save_load_roundtrip(self, tmp_path, compilation):
+        store = SessionStore(tmp_path)
+        blob = {"scheme": "mock", "error_model": "none"}
+        store.save("alice", compilation, blob, program="poly")
+        assert store.load("alice", compilation) == blob
+        assert len(store) == 1
+
+    def test_missing_record_returns_none(self, tmp_path, compilation):
+        store = SessionStore(tmp_path)
+        assert store.load("nobody", compilation) is None
+
+    def test_clients_are_isolated(self, tmp_path, compilation):
+        store = SessionStore(tmp_path)
+        store.save("alice", compilation, {"scheme": "mock", "who": "a"})
+        store.save("bob", compilation, {"scheme": "mock", "who": "b"})
+        assert store.load("alice", compilation)["who"] == "a"
+        assert store.load("bob", compilation)["who"] == "b"
+
+    def test_resave_merges_program_names(self, tmp_path, compilation):
+        store = SessionStore(tmp_path)
+        store.save("alice", compilation, {"scheme": "mock"}, program="a")
+        store.save("alice", compilation, {"scheme": "mock"}, program="b")
+        (record,) = store.records()
+        assert record["programs"] == ["a", "b"]
+
+    def test_corrupt_record_reads_as_missing(self, tmp_path, compilation):
+        store = SessionStore(tmp_path)
+        store.save("alice", compilation, {"scheme": "mock"})
+        store.path_for("alice", compilation).write_text("{not json")
+        assert store.load("alice", compilation) is None
+        assert len(store) == 0
+
+    def test_delete_client(self, tmp_path, compilation):
+        store = SessionStore(tmp_path)
+        store.save("alice", compilation, {"scheme": "mock"})
+        store.save("bob", compilation, {"scheme": "mock"})
+        assert store.delete("alice") == 1
+        assert store.load("alice", compilation) is None
+        assert store.load("bob", compilation) is not None
+
+    def test_shared_directory_between_stores(self, tmp_path, compilation):
+        """Two store objects (= two shard processes) see each other's writes."""
+        writer = SessionStore(tmp_path)
+        reader = SessionStore(tmp_path)
+        writer.save("alice", compilation, {"scheme": "mock", "n": 1})
+        assert reader.load("alice", compilation) == {"scheme": "mock", "n": 1}
+
+
+class TestSessionPersistence:
+    """EvaServer + SessionStore: encrypted sessions survive a restart."""
+
+    def _encrypted_roundtrip(self, server, kit, values):
+        bundle = kit.encrypt_inputs({"x": values})
+        response = server.request_encrypted(
+            "poly", kit.bundle_to_wire(bundle), client_id=kit.client_id
+        )
+        wire = response.to_wire()
+        response.release()
+        return kit.decrypt_outputs(kit.outputs_from_wire(wire))
+
+    def test_session_survives_server_restart(self, tmp_path):
+        program = make_poly_program()
+        store = SessionStore(tmp_path)
+        compiled = CompiledProgram.compile(program.graph)
+        kit = ClientKit(
+            compiled, backend=MockBackend(error_model="none"), client_id="alice"
+        )
+        expected = execute_reference(program.graph, {"x": [1.0, 2.0, 4.0, 8.0]})["y"][:4]
+
+        first = EvaServer(
+            backend=MockBackend(error_model="none"), session_store=store
+        )
+        first.register("poly", program)
+        first.create_session("poly", "alice", kit.export_evaluation_keys())
+        outputs = self._encrypted_roundtrip(first, kit, [1.0, 2.0, 4.0, 8.0])
+        np.testing.assert_allclose(outputs["y"][:4], expected, atol=1e-6)
+        first.close()
+
+        # A brand-new server over the same store directory: the client does
+        # NOT create a session again, yet its encrypted request is served —
+        # the persisted key blob rebuilt the evaluation context lazily.
+        second = EvaServer(
+            backend=MockBackend(error_model="none"), session_store=store
+        )
+        second.register("poly", program)
+        outputs = self._encrypted_roundtrip(second, kit, [1.0, 2.0, 4.0, 8.0])
+        np.testing.assert_allclose(outputs["y"][:4], expected, atol=1e-6)
+        assert second.sessions.summary()["client_keyed"] == 1
+        second.close()
+
+    def test_without_store_restart_loses_the_session(self):
+        program = make_poly_program()
+        kit = ClientKit(
+            CompiledProgram.compile(program.graph),
+            backend=MockBackend(error_model="none"),
+            client_id="alice",
+        )
+        server = EvaServer(backend=MockBackend(error_model="none"))
+        server.register("poly", program)
+        bundle = kit.encrypt_inputs({"x": [1.0]})
+        with pytest.raises(ServingError, match="not registered evaluation keys"):
+            server.request_encrypted(
+                "poly", kit.bundle_to_wire(bundle), client_id="alice"
+            )
+        server.close()
+
+    def test_corrupt_record_degrades_to_missing_session(self, tmp_path):
+        program = make_poly_program()
+        store = SessionStore(tmp_path)
+        kit = ClientKit(
+            CompiledProgram.compile(program.graph),
+            backend=MockBackend(error_model="none"),
+            client_id="alice",
+        )
+        server = EvaServer(
+            backend=MockBackend(error_model="none"), session_store=store
+        )
+        server.register("poly", program)
+        server.create_session("poly", "alice", kit.export_evaluation_keys())
+        # Corrupt the persisted blob, then restart: the restore must degrade
+        # to the ordinary "create a session first" error, not crash.
+        for path in Path(tmp_path).glob("*.json"):
+            path.write_text("garbage")
+        fresh = EvaServer(
+            backend=MockBackend(error_model="none"), session_store=store
+        )
+        fresh.register("poly", program)
+        bundle = kit.encrypt_inputs({"x": [1.0]})
+        with pytest.raises(ServingError, match="not registered evaluation keys"):
+            fresh.request_encrypted(
+                "poly", kit.bundle_to_wire(bundle), client_id="alice"
+            )
+        server.close()
+        fresh.close()
+
+    def test_create_session_persists_blob(self, tmp_path):
+        program = make_poly_program()
+        store = SessionStore(tmp_path)
+        kit = ClientKit(
+            CompiledProgram.compile(program.graph),
+            backend=MockBackend(error_model="none"),
+            client_id="alice",
+        )
+        server = EvaServer(
+            backend=MockBackend(error_model="none"), session_store=store
+        )
+        server.register("poly", program)
+        assert len(store) == 0
+        server.create_session("poly", "alice", kit.export_evaluation_keys())
+        (record,) = store.records()
+        assert record["client_id"] == "alice"
+        assert record["programs"] == ["poly"]
+        assert server.stats()["session_store"]["records"] == 1
+        server.close()
+
+
+@pytest.mark.filterwarnings("ignore::pytest.PytestUnhandledThreadExceptionWarning")
+class TestClusterEndToEnd:
+    """One 2-shard cluster exercised end to end, including a shard kill."""
+
+    def test_cluster_serves_routes_and_survives_shard_loss(self, tmp_path):
+        program = make_poly_program()
+        expected = execute_reference(program.graph, {"x": [1.0, 2.0]})["y"][:2]
+        cluster = EvaCluster(
+            shards=2,
+            backend=BackendSpec("mock-exact", seed=7),
+            session_dir=tmp_path,
+            batch_window=0.0,
+        )
+        cluster.register("poly", program)
+        cluster.start()
+        router = None
+        try:
+            # Plaintext requests route per client and match the reference.
+            for client_id in ("alice", "bob"):
+                outputs = cluster.request(
+                    "poly", {"x": [1.0, 2.0]}, client_id=client_id
+                )
+                np.testing.assert_allclose(outputs["y"][:2], expected, atol=1e-6)
+                assert cluster.shard_for(client_id) == cluster.shard_for(client_id)
+
+            # The router speaks the same wire protocol, plus `route`.
+            router = ClusterTcpServer(cluster, port=0)
+            router.start_background()
+            host, port = router.address
+            with ServingClient(host, port) as client:
+                assert client.ping()
+                assert client.programs() == ["poly"]
+                route = client.route("alice")
+                assert route["shard"] == cluster.shard_for("alice")
+                assert route["pid"] == cluster.shard_infos()[route["shard"]]["pid"]
+                outputs = client.submit("poly", {"x": [1.0, 2.0]}, client_id="alice")
+                np.testing.assert_allclose(outputs["y"][:2], expected, atol=1e-6)
+                stats = client.stats()
+                assert stats["live"] == [0, 1]
+
+            # Encrypted session for alice (keys stay client-side).
+            kit = ClientKit(
+                CompiledProgram.compile(program.graph),
+                backend=MockBackend(error_model="none"),
+                client_id="alice",
+            )
+            session = cluster.create_session("poly", kit)
+            assert session["program"] == "poly"
+            outputs = cluster.request_encrypted("poly", kit, {"x": [1.0, 2.0]})
+            np.testing.assert_allclose(outputs["y"][:2], expected, atol=1e-6)
+
+            # Kill alice's shard. Her next encrypted request must reroute to
+            # the surviving shard, which rebuilds her session from the
+            # persisted store — no new create_session.
+            victim = cluster.shard_for("alice")
+            cluster.kill_shard(victim)
+            outputs = cluster.request_encrypted("poly", kit, {"x": [1.0, 2.0]})
+            np.testing.assert_allclose(outputs["y"][:2], expected, atol=1e-6)
+            survivor = cluster.shard_for("alice")
+            assert survivor != victim
+            stats = cluster.stats()
+            assert stats["live"] == [survivor]
+            assert stats["dead"] == [victim]
+            # The survivor's session cache now holds the restored session.
+            per_shard = stats["per_shard"][str(survivor)]
+            assert per_shard["sessions"]["client_keyed"] >= 1
+
+            # Plaintext clients keep working after the loss too.
+            outputs = cluster.request("poly", {"x": [1.0, 2.0]}, client_id="bob")
+            np.testing.assert_allclose(outputs["y"][:2], expected, atol=1e-6)
+        finally:
+            if router is not None:
+                router.shutdown()
+            cluster.close()
+
+    def test_register_after_start_rejected(self):
+        cluster = EvaCluster(shards=1, backend=BackendSpec("mock-exact"))
+        cluster.register("poly", make_poly_program())
+        cluster.start()
+        try:
+            with pytest.raises(ServingError, match="before the cluster starts"):
+                cluster.register("other", make_poly_program())
+            with pytest.raises(ServingError):
+                cluster.start()
+        finally:
+            cluster.close()
+
+    def test_all_shards_dead_raises(self):
+        cluster = EvaCluster(
+            shards=1, backend=BackendSpec("mock-exact"), retries=1
+        )
+        cluster.register("poly", make_poly_program())
+        cluster.start()
+        try:
+            cluster.kill_shard(0)
+            with pytest.raises(ServingError, match="no live shards"):
+                cluster.request("poly", {"x": [1.0]}, client_id="alice")
+        finally:
+            cluster.close()
+
+
+class TestClusterCli:
+    def test_serve_shards_session_survives_shard_kill(self, tmp_path):
+        """`repro.cli serve --shards 2 --session-dir` + kill = session survives.
+
+        The same scenario the CI cluster-smoke job runs: two clients with
+        encrypted sessions, one shard SIGKILLed, the rerouted client resumes
+        (no new session) against the persisted store.
+        """
+        import repro
+        from repro.core.serialization import save
+
+        program = make_poly_program()
+        path = tmp_path / "poly.evaproto"
+        save(program.graph, path)
+        session_dir = tmp_path / "sessions"
+        env = dict(os.environ)
+        src_dir = str(Path(repro.__file__).resolve().parents[1])
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "serve",
+                str(path),
+                "--port",
+                "0",
+                "--backend",
+                "mock-exact",
+                "--batch-window",
+                "0",
+                "--shards",
+                "2",
+                "--session-dir",
+                str(session_dir),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        try:
+            banner = json.loads(process.stdout.readline())
+            assert banner["programs"] == ["poly"]
+            assert len(banner["shards"]) == 2
+            host, port = banner["serving"].rsplit(":", 1)
+            expected = execute_reference(program.graph, {"x": [1.0, 2.0]})["y"][:2]
+
+            # Compile with the exact options the serve CLI builds from its
+            # argparse defaults (float max_rescale_bits!), as `repro.cli
+            # submit --encrypt` does — signatures must match byte for byte.
+            from repro.core import CompilerOptions
+
+            cli_options = CompilerOptions(
+                policy="eva", max_rescale_bits=60.0, security_level=128
+            )
+            kits = {
+                client_id: ClientKit(
+                    CompiledProgram.compile(program.graph, options=cli_options),
+                    backend=MockBackend(error_model="none"),
+                    client_id=client_id,
+                )
+                for client_id in ("alice", "bob")
+            }
+            with ServingClient(host, int(port)) as client:
+                for client_id, kit in kits.items():
+                    client.create_session("poly", kit)
+                    outputs = client.submit_encrypted("poly", kit, {"x": [1.0, 2.0]})
+                    np.testing.assert_allclose(outputs["y"][:2], expected, atol=1e-6)
+                victim = client.route("alice")
+                os.kill(victim["pid"], signal.SIGKILL)
+                time.sleep(0.2)
+                # Resume WITHOUT create_session: the rerouted shard restores
+                # alice's session from the shared --session-dir store.
+                outputs = client.submit_encrypted(
+                    "poly", kits["alice"], {"x": [1.0, 2.0]}
+                )
+                np.testing.assert_allclose(outputs["y"][:2], expected, atol=1e-6)
+                rerouted = client.route("alice")
+                assert rerouted["pid"] != victim["pid"]
+                # Bob keeps working too (restored or still attached).
+                outputs = client.submit_encrypted(
+                    "poly", kits["bob"], {"x": [1.0, 2.0]}
+                )
+                np.testing.assert_allclose(outputs["y"][:2], expected, atol=1e-6)
+            assert session_dir.exists() and any(session_dir.glob("*.json"))
+
+            # The CLI resume flag rides the same restore path: no session op,
+            # straight to an encrypted submit against the surviving shard.
+            inputs_path = tmp_path / "inputs.json"
+            inputs_path.write_text(json.dumps({"x": [1.0, 2.0]}))
+            result = subprocess.run(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro.cli",
+                    "submit",
+                    "poly",
+                    "--inputs",
+                    str(inputs_path),
+                    "--port",
+                    port,
+                    "--encrypt",
+                    "--resume",
+                    "--program-file",
+                    str(path),
+                    "--backend",
+                    "mock-exact",
+                    "--client",
+                    "alice",
+                ],
+                capture_output=True,
+                text=True,
+                env=env,
+                timeout=60,
+            )
+            assert result.returncode == 0, result.stderr
+            payload = json.loads(result.stdout)
+            np.testing.assert_allclose(
+                payload["outputs"]["y"][:2], expected, atol=1e-6
+            )
+        finally:
+            process.terminate()
+            process.wait(20)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import CompilerOptions, EvaCompiler, compile_program, execute_reference
+from repro.core import CompilerOptions, compile_program, execute_reference
 from repro.core.analysis import validate
 from repro.core.ir import Program
 from repro.core.types import Op, ValueType

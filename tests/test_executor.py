@@ -7,7 +7,7 @@ import pytest
 
 from repro.backend import MockBackend
 from repro.backend.mock_backend import MockContext
-from repro.core import CompilerOptions, Executor, ReferenceExecutor, execute_reference
+from repro.core import Executor, ReferenceExecutor, execute_reference
 from repro.core.ir import Program
 from repro.core.types import Op, ValueType
 from repro.errors import ExecutionError

@@ -1,7 +1,6 @@
 """Cross-module integration tests: frontend -> compiler -> serialization -> executor."""
 
 import numpy as np
-import pytest
 
 from repro.backend import MockBackend
 from repro.core import CompilerOptions, Executor, compile_program, execute_reference, simulate_schedule

@@ -1,6 +1,5 @@
 """Unit tests for the term-graph IR (Program, Term, GraphEditor)."""
 
-import numpy as np
 import pytest
 
 from repro.core.ir import GraphEditor, Program, Term

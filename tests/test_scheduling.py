@@ -1,6 +1,5 @@
 """Tests for the cost model and the parallel-schedule simulator (Figure 7 machinery)."""
 
-import numpy as np
 import pytest
 
 from repro.backend.cost_model import CostModel, DEFAULT_COST_MODEL

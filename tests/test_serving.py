@@ -302,6 +302,94 @@ class TestJobEngine:
         with pytest.raises(ServingError):
             engine.submit("g", 0)
 
+    def test_shutdown_drains_queued_jobs_by_default(self):
+        """close()/shutdown() without cancel runs every queued job to a result."""
+        entered = threading.Event()
+        release = threading.Event()
+
+        def gated(jobs):
+            entered.set()
+            release.wait(10)
+            return [job.payload for job in jobs]
+
+        engine = JobEngine(gated, workers=1, max_batch=1)
+        first = engine.submit("g", "first")
+        assert entered.wait(10)
+        queued = [engine.submit("g", f"q{i}") for i in range(3)]
+        release.set()
+        engine.shutdown(wait=True)
+        assert first.result(0) == "first"
+        assert [future.result(0) for future in queued] == ["q0", "q1", "q2"]
+
+    def test_shutdown_cancel_pending_resolves_every_future(self):
+        """A stop during a busy batch must never leave a future unresolved.
+
+        Regression test: in-flight work completes, queued-but-unstarted jobs
+        are cancelled — nothing stays pending forever.
+        """
+        import concurrent.futures
+
+        entered = threading.Event()
+        release = threading.Event()
+
+        def gated(jobs):
+            entered.set()
+            release.wait(10)
+            return [job.payload for job in jobs]
+
+        engine = JobEngine(gated, workers=1, max_batch=1)
+        in_flight = engine.submit("g", "busy")
+        assert entered.wait(10)
+        pending = [engine.submit("g", i) for i in range(4)]
+
+        stopper = threading.Thread(
+            target=lambda: engine.shutdown(wait=True, cancel_pending=True)
+        )
+        stopper.start()
+        release.set()
+        stopper.join(10)
+        assert not stopper.is_alive()
+
+        assert in_flight.result(0) == "busy"
+        for future in pending:
+            assert future.done()
+            assert future.cancelled()
+            with pytest.raises(concurrent.futures.CancelledError):
+                future.result(0)
+        assert engine.metrics.cancelled == 4
+        assert engine.metrics.completed == 1
+
+    def test_caller_cancelled_future_does_not_kill_worker(self):
+        """A future cancelled while queued must not crash the worker thread.
+
+        Regression test: the worker used to call ``set_result`` on whatever it
+        processed; a caller-side ``cancel()`` made that raise
+        ``InvalidStateError``, killing the worker and stranding every job
+        behind it.
+        """
+        entered = threading.Event()
+        release = threading.Event()
+
+        def gated(jobs):
+            if jobs[0].payload == "block":
+                entered.set()
+                release.wait(10)
+            return [job.payload for job in jobs]
+
+        engine = JobEngine(gated, workers=1, max_batch=1)
+        try:
+            blocker = engine.submit("warmup", "block")
+            assert entered.wait(10)
+            doomed = engine.submit("g", "doomed")
+            assert doomed.cancel()
+            release.set()
+            assert blocker.result(10) == "block"
+            # The worker survived the cancelled job and still serves:
+            assert engine.submit("g", "after").result(10) == "after"
+            assert engine.metrics.cancelled == 1
+        finally:
+            engine.close()
+
 
 class TestEvaServer:
     def test_unknown_program_rejected_at_submit(self):
@@ -362,7 +450,6 @@ class TestEvaServer:
         )
         server.register("poly", program)
         errors = []
-        checked = threading.Event()
 
         def client(client_id: str, seed: int) -> None:
             try:
