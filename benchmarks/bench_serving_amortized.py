@@ -27,6 +27,7 @@ smoke, or under pytest-benchmark with the rest of the suite.
 
 from __future__ import annotations
 
+import json
 import sys
 import time
 
@@ -130,6 +131,19 @@ def run(benchmark=None) -> float:
         f"({batched_seconds:.3f}s vs {solo_seconds:.3f}s)"
     )
 
+    payload = {
+        "benchmark": "serving_amortized",
+        "requests": NUM_REQUESTS,
+        "lane_width": LANE,
+        "vec_size": VEC_SIZE,
+        "solo_seconds": solo_seconds,
+        "batched_seconds": batched_seconds,
+        "largest_batch": largest,
+        "speedup": speedup,
+        "min_speedup": MIN_SPEEDUP,
+    }
+    print(json.dumps(payload))
+
     if benchmark is not None:
         # Benchmark target: one full batched round end to end.
         def batched_round():
@@ -138,6 +152,18 @@ def run(benchmark=None) -> float:
                 future.result(120)
 
         benchmark.pedantic(batched_round, rounds=3, iterations=1)
+    else:
+        # Standalone (CI) runs leave the payload on disk for the regression
+        # gate and artifact upload.  Fresh output lives under bench-out/ so
+        # it can never collide with the committed BENCH_* baseline on a
+        # case-insensitive filesystem.
+        import os
+
+        os.makedirs("bench-out", exist_ok=True)
+        with open(
+            "bench-out/serving_amortized.json", "w", encoding="utf-8"
+        ) as handle:
+            json.dump(payload, handle, indent=2)
     server.close()
     return speedup
 

@@ -24,7 +24,7 @@ requests serially — as independent clients would — from its own thread.
 
 Runs standalone (``python benchmarks/bench_serving_scaling.py``) for CI, or
 under pytest-benchmark with the rest of the suite.  Standalone runs also
-write ``bench_serving_scaling.json`` next to the current directory for CI
+write ``bench-out/serving_scaling.json`` for the CI regression gate and
 artifact upload.
 """
 
@@ -214,7 +214,13 @@ def run(benchmark=None) -> float:
         finally:
             cluster.close()
     else:
-        with open("bench_serving_scaling.json", "w", encoding="utf-8") as handle:
+        # bench-out/ keeps the fresh payload apart from the committed
+        # BENCH_* baseline (which differs only by case — a collision on
+        # case-insensitive filesystems).
+        import os
+
+        os.makedirs("bench-out", exist_ok=True)
+        with open("bench-out/serving_scaling.json", "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)
     return speedup
 

@@ -1,0 +1,144 @@
+"""CI regression gate: compare a fresh benchmark run against a committed baseline.
+
+The serving benchmarks print (and, standalone, write) a JSON payload with a
+``benchmark`` name and their headline metrics.  The repository commits one
+baseline payload per gated benchmark (``BENCH_<name>.json`` at the repo
+root); CI re-runs the benchmark and calls::
+
+    python benchmarks/check_regression.py \
+        --baseline BENCH_serving_scaling.json \
+        --fresh bench_serving_scaling.json
+
+which fails (exit 1) when any gated metric regressed by more than the
+tolerance band (default 20%).  Metrics are chosen to be hardware-independent
+where possible — speedups and amortization ratios, plus throughput under the
+mock backend's *simulated* per-op latency, which dominates the measurement on
+any host — so the committed numbers transfer between the dev container and
+CI runners.
+
+When a legitimate speedup lands, refresh the baseline by re-running the
+benchmark and committing its fresh JSON over the old ``BENCH_*.json`` (see
+README "Operating the cluster").
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Tuple
+
+#: Gated metrics per benchmark: (dotted path, direction).  ``higher`` means
+#: bigger is better (a drop is a regression); ``lower`` the opposite.
+GATES: Dict[str, List[Tuple[str, str]]] = {
+    "serving_scaling": [
+        ("speedup_4_vs_1", "higher"),
+        ("per_shards.4.throughput_per_second", "higher"),
+    ],
+    "serving_amortized": [
+        ("speedup", "higher"),
+    ],
+    # bench_cluster_fairness.py asserts its own bars (p95 ratio, cold-start
+    # ratio) on every run and has no committed baseline yet; add a
+    # BENCH_cluster_fairness.json + a gate entry here once a few CI runs
+    # establish its variance (see ROADMAP).
+}
+
+
+def lookup(payload: Dict[str, Any], path: str) -> float:
+    value: Any = payload
+    for part in path.split("."):
+        if not isinstance(value, dict) or part not in value:
+            raise KeyError(f"metric {path!r} missing (at {part!r})")
+        value = value[part]
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise KeyError(f"metric {path!r} is not numeric: {value!r}")
+    return float(value)
+
+
+def load_payload(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or "benchmark" not in payload:
+        raise SystemExit(f"{path} is not a benchmark payload (no 'benchmark' key)")
+    return payload
+
+
+def compare(
+    baseline: Dict[str, Any], fresh: Dict[str, Any], tolerance: float
+) -> Tuple[List[str], List[str]]:
+    """Returns (regressions, notes) for the benchmark's gated metrics."""
+    name = baseline["benchmark"]
+    if fresh.get("benchmark") != name:
+        raise SystemExit(
+            f"benchmark mismatch: baseline is {name!r}, "
+            f"fresh is {fresh.get('benchmark')!r}"
+        )
+    gates = GATES.get(name)
+    if gates is None:
+        raise SystemExit(
+            f"no regression gates defined for benchmark {name!r} "
+            f"(known: {sorted(GATES)})"
+        )
+    regressions, notes = [], []
+    print(f"benchmark {name!r}, tolerance {tolerance:.0%}")
+    for path, direction in gates:
+        base = lookup(baseline, path)
+        now = lookup(fresh, path)
+        change = (now - base) / base if base else 0.0
+        line = (
+            f"  {path}: baseline {base:.4g} -> fresh {now:.4g} "
+            f"({change:+.1%}, {direction} is better)"
+        )
+        print(line)
+        if direction == "higher":
+            regressed = now < base * (1.0 - tolerance)
+            improved = now > base * (1.0 + tolerance)
+        else:
+            regressed = now > base * (1.0 + tolerance)
+            improved = now < base * (1.0 - tolerance)
+        if regressed:
+            regressions.append(line.strip())
+        elif improved:
+            notes.append(
+                f"{path} improved past the band — consider refreshing the "
+                f"committed baseline with this run's JSON"
+            )
+    return regressions, notes
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when a fresh benchmark run regresses past the baseline."
+    )
+    parser.add_argument("--baseline", required=True, help="committed BENCH_*.json")
+    parser.add_argument("--fresh", required=True, help="JSON written by the fresh run")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="allowed relative regression before failing (default 0.20)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 < args.tolerance < 1.0:
+        raise SystemExit("tolerance must be in (0, 1)")
+    regressions, notes = compare(
+        load_payload(args.baseline), load_payload(args.fresh), args.tolerance
+    )
+    for note in notes:
+        print(f"note: {note}")
+    if regressions:
+        print(
+            f"REGRESSION: {len(regressions)} gated metric(s) fell outside the "
+            f"{args.tolerance:.0%} band:",
+            file=sys.stderr,
+        )
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("regression gate ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -166,16 +166,52 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return _serve_single(args, options, programs)
 
 
-def _serve_single(args, options, programs) -> int:
-    from .serving import EvaServer, EvaTcpServer, SessionStore
+def _fairness_policy(args):
+    """A FairnessPolicy from the serve flags, or None when no quota is set."""
+    if args.quota_burst is not None and args.quota_rps is None:
+        # Burst is the rate limiter's bucket capacity; without a rate it
+        # would be silently ignored — refuse rather than mislead.
+        raise EvaError("--quota-burst requires --quota-rps")
+    if args.quota_rps is None and args.max_inflight is None:
+        return None
+    from .serving import FairnessPolicy
 
+    return FairnessPolicy(
+        quota_rps=args.quota_rps,
+        burst=args.quota_burst,
+        max_inflight=args.max_inflight,
+    )
+
+
+def _serve_single(args, options, programs) -> int:
+    from .serving import (
+        ArtifactCache,
+        EvaServer,
+        EvaTcpServer,
+        LaneWidthPolicy,
+        SessionStore,
+    )
+
+    session_store = None
+    if args.session_dir:
+        session_store = SessionStore(args.session_dir, ttl=args.session_ttl)
+        pruned = session_store.prune()
+        if pruned:
+            print(f"pruned {pruned} expired session record(s)", file=sys.stderr)
     server = EvaServer(
         backend=_make_backend(args.backend, args.seed),
         workers=args.workers,
         max_batch=args.max_batch,
         batch_window=args.batch_window,
         executor_threads=args.threads,
-        session_store=SessionStore(args.session_dir) if args.session_dir else None,
+        session_store=session_store,
+        artifact_cache=ArtifactCache(args.artifact_dir) if args.artifact_dir else None,
+        fairness=_fairness_policy(args),
+        precompile=(
+            LaneWidthPolicy(top_widths=args.precompile_widths)
+            if args.precompile_widths
+            else None
+        ),
     )
     for name, program in programs.items():
         server.register(name, program, options=options)
@@ -187,6 +223,7 @@ def _serve_single(args, options, programs) -> int:
                 "serving": f"{host}:{port}",
                 "programs": server.programs(),
                 "session_dir": args.session_dir,
+                "artifact_dir": args.artifact_dir,
             }
         ),
         flush=True,
@@ -213,6 +250,10 @@ def _serve_cluster(args, options, programs) -> int:
         batch_window=args.batch_window,
         executor_threads=args.threads,
         host=args.host,
+        session_ttl=args.session_ttl,
+        artifact_dir=args.artifact_dir,
+        fairness=_fairness_policy(args),
+        health_interval=args.health_interval or None,
     )
     for name, program in programs.items():
         cluster.register(name, program, options=options)
@@ -226,6 +267,7 @@ def _serve_cluster(args, options, programs) -> int:
                 "programs": sorted(programs),
                 "shards": cluster.shard_infos(),
                 "session_dir": args.session_dir,
+                "artifact_dir": args.artifact_dir,
             }
         ),
         flush=True,
@@ -277,6 +319,31 @@ def cmd_submit(args: argparse.Namespace) -> int:
             },
             "stats": client.last_stats,
         }
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    """Cluster administration against a running router: health, drain, rejoin."""
+    from .serving import ServingClient
+
+    with ServingClient(args.host, args.port, timeout=args.timeout) as client:
+        if args.action == "health":
+            payload = {"health": client.health()}
+        elif args.action == "stats":
+            payload = {"stats": client.stats()}
+        elif args.action == "route":
+            payload = {"route": client.route(args.client)}
+        elif args.action == "drain":
+            if args.shard is None:
+                raise EvaError("cluster drain needs --shard")
+            payload = {"drain": client.drain(args.shard)}
+        elif args.action == "rejoin":
+            if args.shard is None:
+                raise EvaError("cluster rejoin needs --shard")
+            payload = {"rejoin": client.rejoin(args.shard)}
+        else:  # pragma: no cover - argparse restricts the choices
+            raise EvaError(f"unknown cluster action {args.action!r}")
     print(json.dumps(payload, indent=2))
     return 0
 
@@ -343,6 +410,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory persisting client evaluation-key blobs, so encrypted "
         "sessions survive restarts and shard failures",
     )
+    serve.add_argument(
+        "--session-ttl",
+        type=float,
+        default=None,
+        help="seconds a persisted session record stays valid; expired records "
+        "are pruned at startup and read as missing, so --session-dir "
+        "directories don't grow unboundedly",
+    )
+    serve.add_argument(
+        "--artifact-dir",
+        default=None,
+        help="shared compiled-artifact cache directory: shards load programs "
+        "(and lane variants) their siblings already compiled instead of "
+        "recompiling",
+    )
+    serve.add_argument(
+        "--quota-rps",
+        type=float,
+        default=None,
+        help="per-client sustained requests/second (token bucket); violations "
+        "get a QuotaExceededError reply with retry_after",
+    )
+    serve.add_argument(
+        "--quota-burst",
+        type=float,
+        default=None,
+        help="per-client burst allowance (bucket capacity; default 2x the rate)",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        help="per-client cap on queued+executing requests",
+    )
+    serve.add_argument(
+        "--health-interval",
+        type=float,
+        default=2.0,
+        help="seconds between the cluster's shard health probes (shards >1; "
+        "0 disables)",
+    )
+    serve.add_argument(
+        "--precompile-widths",
+        type=int,
+        default=0,
+        help="pre-warm this many of the most-requested lane widths per "
+        "program in the background (0 disables; single-process serve only)",
+    )
     add_compile_options(serve)
     serve.set_defaults(func=cmd_serve)
 
@@ -380,6 +495,25 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--seed", type=int, default=0)
     add_compile_options(submit)
     submit.set_defaults(func=cmd_submit)
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="administer a running sharded server (health, drain, rejoin)",
+    )
+    cluster.add_argument(
+        "action",
+        choices=["health", "stats", "route", "drain", "rejoin"],
+        help="health: per-shard liveness; stats: cluster stats; route: a "
+        "client's shard; drain: remove a shard from the ring without "
+        "stopping it; rejoin: return a shard to the ring (respawning it "
+        "if dead)",
+    )
+    cluster.add_argument("--host", default="127.0.0.1")
+    cluster.add_argument("--port", type=int, default=8587)
+    cluster.add_argument("--shard", type=int, default=None, help="shard index for drain/rejoin")
+    cluster.add_argument("--client", default="default", help="client id for route")
+    cluster.add_argument("--timeout", type=float, default=30.0)
+    cluster.set_defaults(func=cmd_cluster)
     return parser
 
 

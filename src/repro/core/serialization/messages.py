@@ -43,10 +43,34 @@ import numpy as np
 
 from ...errors import SerializationError
 
-#: Operations a client may request.  ``route`` is answered by cluster routers
-#: only (which shard a client consistent-hashes to); single-process servers
-#: reject it with a ServingError reply.
-REQUEST_OPS = ("submit", "session", "stats", "list", "ping", "route")
+#: Operations a client may request.  ``route`` (which shard a client
+#: consistent-hashes to), ``drain`` (take a shard out of the ring without
+#: stopping it), and ``rejoin`` (return a shard to the ring, respawning it if
+#: dead) are answered by cluster routers only; single-process servers reject
+#: them with a ServingError reply.  ``health`` is answered by both.
+REQUEST_OPS = (
+    "submit",
+    "session",
+    "stats",
+    "list",
+    "ping",
+    "route",
+    "health",
+    "drain",
+    "rejoin",
+)
+
+#: Ops that address one shard and therefore require a ``shard`` index.
+SHARD_OPS = ("drain", "rejoin")
+
+
+def validate_shard(op: str, shard: Any) -> int:
+    """The validated shard index of a shard-addressed op (router + decoder)."""
+    if not isinstance(shard, int) or isinstance(shard, bool) or shard < 0:
+        raise SerializationError(
+            f"{op} requests need a non-negative integer 'shard', got {shard!r}"
+        )
+    return shard
 
 
 def encode_values(values: Dict[str, Any]) -> Dict[str, list]:
@@ -81,16 +105,20 @@ def encode_request(
     output_size: Optional[int] = None,
     bundle: Optional[Dict[str, Any]] = None,
     evaluation_keys: Optional[Dict[str, Any]] = None,
+    shard: Optional[int] = None,
 ) -> str:
     """Build one wire line for a client request.
 
     ``bundle`` (a wire-encoded cipher bundle) replaces ``inputs`` on the
-    encrypted path; ``evaluation_keys`` accompanies a ``session`` request.
+    encrypted path; ``evaluation_keys`` accompanies a ``session`` request;
+    ``shard`` addresses the cluster admin ops (``drain`` / ``rejoin``).
     """
     if op not in REQUEST_OPS:
         raise SerializationError(f"unknown request op {op!r}")
     if inputs is not None and bundle is not None:
         raise SerializationError("a request carries either inputs or a bundle, not both")
+    if op in SHARD_OPS and shard is None:
+        raise SerializationError(f"{op} requests need a 'shard' index")
     message: Dict[str, Any] = {"op": op}
     if program is not None:
         message["program"] = program
@@ -104,6 +132,8 @@ def encode_request(
         message["client_id"] = client_id
     if output_size is not None:
         message["output_size"] = int(output_size)
+    if shard is not None:
+        message["shard"] = int(shard)
     return json.dumps(message, separators=(",", ":")) + "\n"
 
 
@@ -143,6 +173,8 @@ def decode_request(line: str) -> Dict[str, Any]:
             raise SerializationError(
                 "session requests need an 'evaluation_keys' object"
             )
+    if op in SHARD_OPS:
+        validate_shard(op, message.get("shard"))
     message.setdefault("client_id", "default")
     return message
 
@@ -164,8 +196,20 @@ def encode_response(
 
 
 def encode_error(error: BaseException) -> str:
-    """Build one wire line reporting a failed request."""
-    message = {"ok": False, "error": str(error), "kind": type(error).__name__}
+    """Build one wire line reporting a failed request.
+
+    Quota rejections (anything carrying a ``retry_after`` attribute) include
+    it in the reply — the 429 ``Retry-After`` of this wire — so clients can
+    back off precisely.
+    """
+    message: Dict[str, Any] = {
+        "ok": False,
+        "error": str(error),
+        "kind": type(error).__name__,
+    }
+    retry_after = getattr(error, "retry_after", None)
+    if retry_after is not None:
+        message["retry_after"] = round(float(retry_after), 6)
     return json.dumps(message, separators=(",", ":")) + "\n"
 
 

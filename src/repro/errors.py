@@ -84,6 +84,20 @@ class QueueFullError(ServingError):
     """The serving job queue is at capacity and the submit deadline expired."""
 
 
+class QuotaExceededError(ServingError):
+    """A client exceeded its fairness quota (rate or in-flight cap).
+
+    The serving layer's 429: the request was rejected by admission control,
+    not by a failure — the client should back off and retry.  ``retry_after``
+    (seconds, possibly 0.0) is the admission layer's estimate of when a retry
+    could succeed; it travels on the wire so remote clients can honor it.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after = max(float(retry_after), 0.0)
+
+
 class TransportError(ServingError):
     """A network-level failure talking to a serving endpoint.
 

@@ -10,12 +10,23 @@ Turns the one-shot compiler + executor into a serving stack:
 * :class:`EvaTcpServer` / :class:`ServingClient` — newline-JSON TCP transport
   (also exposed as ``repro.cli serve`` / ``repro.cli submit``).
 * :class:`SessionStore` — disk persistence of client key blobs, so sessions
-  survive restarts and shard failures.
+  survive restarts and shard failures (with TTL-based ``prune`` GC).
+* :class:`ArtifactCache` — shared on-disk compiled-program cache: shards load
+  what their siblings already compiled instead of recompiling, and
+  :class:`LaneWidthPolicy` pre-warms the most-requested lane widths.
+* :class:`FairnessPolicy` / :class:`QuotaLedger` — per-client token-bucket
+  rate quotas and in-flight caps (the serving 429,
+  :class:`~repro.errors.QuotaExceededError`), enforced at the cluster router
+  and at each shard's job engine, which dequeues by weighted fair queueing
+  instead of global FIFO.
 * :class:`EvaCluster` / :class:`ClusterTcpServer` — multi-process sharding:
   N ``EvaServer`` shards, consistent-hash client routing, transparent
-  failover (``repro.cli serve --shards N --session-dir PATH``).
+  failover, health checks, and shard ``drain`` / ``rejoin``
+  (``repro.cli serve --shards N --session-dir PATH``; admin via
+  ``repro.cli cluster``).
 """
 
+from .artifacts import ArtifactCache, LaneWidthPolicy, WidthHistogram
 from .batching import (
     BatchInfo,
     BatchPlan,
@@ -33,6 +44,7 @@ from .cluster import (
 )
 from .jobs import EngineMetrics, Job, JobEngine
 from .netserver import ClusterTcpServer, EvaTcpServer, ServingClient
+from .quotas import FairnessPolicy, QuotaLedger, TokenBucket
 from .registry import CacheStats, ProgramRegistry, RegistryEntry
 from .server import (
     EncryptedServeRequest,
@@ -46,6 +58,12 @@ from .sessions import Session, SessionManager, session_key
 from .store import SessionStore, session_digest
 
 __all__ = [
+    "ArtifactCache",
+    "LaneWidthPolicy",
+    "WidthHistogram",
+    "FairnessPolicy",
+    "QuotaLedger",
+    "TokenBucket",
     "BatchInfo",
     "BatchPlan",
     "SlotBatcher",

@@ -1,0 +1,314 @@
+"""Shared on-disk cache of compiled-program artifacts.
+
+In a sharded deployment every :class:`~repro.serving.server.EvaServer` shard
+owns a private in-memory :class:`~repro.serving.registry.ProgramRegistry`, so
+each shard pays the full Transform/Validate/DetermineParameters pipeline for
+every program — and for every lane-width variant the batcher resolves — even
+when a sibling shard compiled the identical program minutes earlier.  The
+:class:`ArtifactCache` removes that duplication: the first shard to compile a
+``(program signature, lane width)`` pair publishes the finished compilation
+as one JSON file, and every other shard (or a restarted shard, or tomorrow's
+fleet) *loads* it instead of recompiling.
+
+A cached artifact stores everything :class:`~repro.core.compiler.CompilationResult`
+carries — the compiled graph, compiler options, scale maps, the selected
+encryption parameters, and the rotation steps — so loading skips not just the
+rewrite passes but parameter selection too.  The content signature
+(:func:`repro.core.compiler.program_signature`) keys the cache exactly as it
+keys the in-memory registry, which makes cache poisoning by name impossible:
+a record can only ever be loaded by a server that would have compiled the
+same source with the same options.
+
+Writes are atomic (temp file + ``os.replace``, the :class:`SessionStore`
+discipline), so shard processes sharing one directory never observe a torn
+record.  Two shards racing to compile the same signature both publish — the
+last writer wins, and both wrote byte-identical semantics because
+compilation is deterministic in the signature.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..core.analysis.parameters import EncryptionParameters
+from ..core.compiler import CompilationResult, CompilerOptions
+from ..core.serialization.json_format import dict_to_program, program_to_dict
+from .store import atomic_write_json
+
+#: Format marker / version stamped into every artifact record.
+ARTIFACT_FORMAT = "eva-serving-artifact"
+ARTIFACT_VERSION = 1
+
+
+class ArtifactCache:
+    """A directory of compiled-program artifacts keyed by (signature, lane width).
+
+    Like the session store, the cache is deliberately dumb — no index, no
+    cross-process locking beyond atomic whole-file replacement — so any
+    number of shard processes (or hosts sharing a filesystem) can use one
+    directory without coordination.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # -- paths -------------------------------------------------------------------
+    @staticmethod
+    def _key(signature: str, lane_width: Optional[int]) -> str:
+        return f"{signature}.w{int(lane_width or 0)}"
+
+    def path_for(self, signature: str, lane_width: Optional[int] = None) -> Path:
+        return self.root / f"{self._key(signature, lane_width)}.json"
+
+    # -- write -------------------------------------------------------------------
+    def save(
+        self, compilation: CompilationResult, signature: Optional[str] = None
+    ) -> Optional[Path]:
+        """Publish one finished compilation; returns its path (None if unkeyed).
+
+        ``signature`` defaults to the signature the compiler stamped on the
+        result; hand-assembled results without one cannot be cached (there is
+        no content key another process could look them up under).
+        """
+        signature = signature or compilation.signature
+        if signature is None:
+            return None
+        parameters = compilation.parameters
+        record = {
+            "format": ARTIFACT_FORMAT,
+            "version": ARTIFACT_VERSION,
+            "signature": signature,
+            "lane_width": compilation.lane_width,
+            "saved_at": time.time(),
+            "options": compilation.options.to_dict(),
+            "input_scales": {
+                k: float(v) for k, v in compilation.input_scales.items()
+            },
+            "output_scales": {
+                k: float(v) for k, v in compilation.output_scales.items()
+            },
+            "program": program_to_dict(compilation.program),
+            "parameters": {
+                "poly_modulus_degree": int(parameters.poly_modulus_degree),
+                "coeff_modulus_bits": [int(b) for b in parameters.coeff_modulus_bits],
+                "security_level": int(parameters.security_level),
+                "rotation_steps": [int(s) for s in parameters.rotation_steps],
+            },
+            "rotation_steps": [int(s) for s in compilation.rotation_steps],
+            "compile_seconds": float(compilation.compile_seconds),
+        }
+        path = self.path_for(signature, compilation.lane_width)
+        with self._lock:
+            # Atomic publish (the shared SessionStore discipline): a
+            # concurrent reader — another shard — sees nothing, the old
+            # record, or the new one, never a torn file.
+            atomic_write_json(self.root, path, record)
+            self.stores += 1
+        return path
+
+    # -- read --------------------------------------------------------------------
+    def load(
+        self, signature: str, lane_width: Optional[int] = None
+    ) -> Optional[CompilationResult]:
+        """Rebuild the cached compilation, or ``None`` on miss/corruption.
+
+        Corrupt, incompatible, or mismatched records degrade to a miss — the
+        caller compiles from source exactly as it would have without a cache.
+        """
+        record = self._read(self.path_for(signature, lane_width))
+        if record is None or record.get("signature") != signature:
+            with self._lock:
+                self.misses += 1
+            return None
+        try:
+            compilation = CompilationResult(
+                program=dict_to_program(record["program"]),
+                parameters=EncryptionParameters(
+                    poly_modulus_degree=int(record["parameters"]["poly_modulus_degree"]),
+                    coeff_modulus_bits=[
+                        int(b) for b in record["parameters"]["coeff_modulus_bits"]
+                    ],
+                    security_level=int(record["parameters"]["security_level"]),
+                    rotation_steps=[
+                        int(s) for s in record["parameters"]["rotation_steps"]
+                    ],
+                ),
+                rotation_steps=[int(s) for s in record["rotation_steps"]],
+                options=CompilerOptions.from_dict(record.get("options", {})),
+                input_scales={
+                    k: float(v) for k, v in record.get("input_scales", {}).items()
+                },
+                output_scales={
+                    k: float(v) for k, v in record.get("output_scales", {}).items()
+                },
+                compile_seconds=float(record.get("compile_seconds", 0.0)),
+                signature=signature,
+            )
+        except Exception:
+            with self._lock:
+                self.misses += 1
+            return None
+        with self._lock:
+            self.hits += 1
+        return compilation
+
+    @staticmethod
+    def _read(path: Path) -> Optional[Dict[str, Any]]:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        if (
+            not isinstance(record, dict)
+            or record.get("format") != ARTIFACT_FORMAT
+            or record.get("version") != ARTIFACT_VERSION
+        ):
+            return None
+        return record
+
+    # -- maintenance -------------------------------------------------------------
+    def records(self) -> List[Dict[str, Any]]:
+        """Metadata of every readable artifact (compiled graphs omitted)."""
+        found = []
+        for path in sorted(self.root.glob("*.json")):
+            record = self._read(path)
+            if record is None:
+                continue
+            found.append(
+                {
+                    "signature": record.get("signature"),
+                    "lane_width": record.get("lane_width"),
+                    "saved_at": record.get("saved_at"),
+                    "compile_seconds": record.get("compile_seconds"),
+                    "path": str(path),
+                }
+            )
+        return found
+
+    def prune(self, max_age: float) -> int:
+        """Delete artifacts older than ``max_age`` seconds; returns the count."""
+        cutoff = time.time() - float(max_age)
+        removed = 0
+        with self._lock:
+            for path in self.root.glob("*.json"):
+                record = self._read(path)
+                saved_at = record.get("saved_at") if record else None
+                if not isinstance(saved_at, (int, float)):
+                    # Unreadable record: fall back to the filesystem clock.
+                    try:
+                        saved_at = path.stat().st_mtime
+                    except OSError:
+                        continue
+                if saved_at < cutoff:
+                    try:
+                        path.unlink()
+                        removed += 1
+                    except OSError:
+                        pass
+        return removed
+
+    def __len__(self) -> int:
+        return sum(
+            1 for path in self.root.glob("*.json") if self._read(path) is not None
+        )
+
+    def summary(self) -> Dict[str, object]:
+        """Cheap monitoring view: counts files without parsing graphs."""
+        with self._lock:
+            return {
+                "root": str(self.root),
+                "records": sum(1 for _ in self.root.glob("*.json")),
+                "hits": self.hits,
+                "misses": self.misses,
+                "stores": self.stores,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ArtifactCache root={str(self.root)!r}>"
+
+
+# -- lane-width precompilation -----------------------------------------------------
+@dataclass
+class LaneWidthPolicy:
+    """When and how aggressively to pre-warm lane-width variants.
+
+    Lane-width selection is per-batch greedy: the first batch at a new width
+    pays the variant's full compilation inline.  This policy removes that
+    first-batch latency cliff by watching the *request-width histogram* of
+    each program and pre-compiling the most frequent widths in the background
+    (publishing them to the shared :class:`ArtifactCache`, so one shard's
+    pre-warm covers the whole fleet).
+
+    Attributes
+    ----------
+    min_samples:
+        Re-evaluate a program's histogram every ``min_samples`` requests.
+    top_widths:
+        How many of the most frequent widths to pre-warm per evaluation.
+    """
+
+    min_samples: int = 32
+    top_widths: int = 2
+
+    def __post_init__(self) -> None:
+        if self.min_samples < 1:
+            raise ValueError("min_samples must be at least 1")
+        if self.top_widths < 1:
+            raise ValueError("top_widths must be at least 1")
+
+
+class WidthHistogram:
+    """Thread-safe per-signature histogram of (power-of-two) request widths."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, Dict[int, int]] = {}
+        self._samples: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def record(self, signature: str, width: int) -> int:
+        """Count one request of ``width``; returns the signature's sample count."""
+        width = int(width)
+        with self._lock:
+            counts = self._counts.setdefault(signature, {})
+            counts[width] = counts.get(width, 0) + 1
+            total = self._samples.get(signature, 0) + 1
+            self._samples[signature] = total
+            return total
+
+    def top(self, signature: str, k: int) -> List[int]:
+        """The ``k`` most frequent widths (most frequent first, ties by width)."""
+        with self._lock:
+            counts = self._counts.get(signature, {})
+            ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+            return [width for width, _count in ranked[: max(int(k), 0)]]
+
+    def samples(self, signature: str) -> int:
+        with self._lock:
+            return self._samples.get(signature, 0)
+
+    def summary(self) -> Dict[str, Dict[int, int]]:
+        with self._lock:
+            return {
+                signature[:12]: dict(sorted(counts.items()))
+                for signature, counts in self._counts.items()
+            }
+
+
+__all__ = [
+    "ArtifactCache",
+    "LaneWidthPolicy",
+    "WidthHistogram",
+    "ARTIFACT_FORMAT",
+    "ARTIFACT_VERSION",
+]

@@ -43,6 +43,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from ..core.compiler import CompilerOptions
 from ..core.ir import Program
 from ..errors import EvaError, ServingError, TransportError
+from .quotas import FairnessPolicy
 
 #: Transport-level failures that justify failing over to another shard.
 _FAILOVER_ERRORS = (TransportError, OSError)
@@ -165,6 +166,9 @@ class ShardConfig:
     max_batch: int = 8
     batch_window: float = 0.0
     executor_threads: int = 1
+    session_ttl: Optional[float] = None
+    artifact_dir: Optional[str] = None
+    fairness: Optional[FairnessPolicy] = None
 
 
 def _shard_main(config: ShardConfig, ready) -> None:  # pragma: no cover - subprocess
@@ -176,10 +180,17 @@ def _shard_main(config: ShardConfig, ready) -> None:  # pragma: no cover - subpr
     """
     try:
         from ..core.serialization.proto import deserialize
+        from .artifacts import ArtifactCache
         from .netserver import EvaTcpServer
         from .server import EvaServer
         from .store import SessionStore
 
+        session_store = None
+        if config.session_dir:
+            session_store = SessionStore(config.session_dir, ttl=config.session_ttl)
+            # GC expired records at startup so a long-lived shared directory
+            # does not grow unboundedly across restarts.
+            session_store.prune()
         server = EvaServer(
             backend=config.backend.build(),
             workers=config.workers,
@@ -187,9 +198,11 @@ def _shard_main(config: ShardConfig, ready) -> None:  # pragma: no cover - subpr
             max_batch=config.max_batch,
             batch_window=config.batch_window,
             executor_threads=config.executor_threads,
-            session_store=(
-                SessionStore(config.session_dir) if config.session_dir else None
+            session_store=session_store,
+            artifact_cache=(
+                ArtifactCache(config.artifact_dir) if config.artifact_dir else None
             ),
+            fairness=config.fairness,
         )
         for spec in config.programs:
             server.register(
@@ -269,12 +282,26 @@ class EvaCluster:
         start_timeout: float = 120.0,
         request_timeout: Optional[float] = 60.0,
         retries: int = 3,
+        session_ttl: Optional[float] = None,
+        artifact_dir: Optional[str] = None,
+        fairness: Optional[FairnessPolicy] = None,
+        health_interval: Optional[float] = None,
     ) -> None:
         if shards < 1:
             raise ServingError("a cluster needs at least one shard")
+        if health_interval is not None and health_interval <= 0:
+            raise ServingError("health_interval must be positive (or None)")
         self.shards = int(shards)
         self.backend = backend or BackendSpec()
         self.session_dir = str(session_dir) if session_dir else None
+        self.session_ttl = session_ttl
+        #: Shared compiled-artifact directory: each shard's registry loads
+        #: programs (and lane variants) its siblings already compiled.
+        self.artifact_dir = str(artifact_dir) if artifact_dir else None
+        #: Per-client quotas, enforced twice: at the router (before a request
+        #: crosses to a shard) and at every shard's job engine.
+        self.fairness = fairness
+        self.health_interval = health_interval
         self.host = host
         self.workers = workers
         self.queue_size = queue_size
@@ -288,12 +315,22 @@ class EvaCluster:
         self._programs: List[_RegisteredProgram] = []
         self._handles: Dict[int, ShardHandle] = {}
         self._dead: List[int] = []
+        self._drained: List[int] = []
+        #: Bumped whenever a shard index is respawned on a new port, so
+        #: thread-local connections cached against the old process are
+        #: discarded instead of reused.
+        self._generations: Dict[int, int] = {}
         self._lock = threading.Lock()
         self._local = threading.local()
         #: Weak so that connections cached by a thread die with the thread
         #: (ServingClient closes its socket on finalization); close() sweeps
         #: whatever is still alive.
         self._all_clients: "weakref.WeakSet[Any]" = weakref.WeakSet()
+        self._health_stop = threading.Event()
+        self._health_thread: Optional[threading.Thread] = None
+        #: Serializes rejoin_shard: concurrent rejoins of one index (operator
+        #: retry racing automation) must not both respawn the process.
+        self._rejoin_lock = threading.Lock()
         self._started = False
         self._closed = False
 
@@ -323,58 +360,72 @@ class EvaCluster:
         )
 
     # -- lifecycle ---------------------------------------------------------------
+    def _shard_config(self, index: int) -> ShardConfig:
+        return ShardConfig(
+            index=index,
+            programs=list(self._programs),
+            backend=self.backend,
+            session_dir=self.session_dir,
+            host=self.host,
+            workers=self.workers,
+            queue_size=self.queue_size,
+            max_batch=self.max_batch,
+            batch_window=self.batch_window,
+            executor_threads=self.executor_threads,
+            session_ttl=self.session_ttl,
+            artifact_dir=self.artifact_dir,
+            fairness=self.fairness,
+        )
+
+    def _launch_shard(self, index: int):
+        """Fork one shard process; returns (process, ready-pipe)."""
+        context = multiprocessing.get_context("spawn")
+        parent_end, child_end = context.Pipe(duplex=False)
+        process = context.Process(
+            target=_shard_main,
+            args=(self._shard_config(index), child_end),
+            name=f"eva-shard-{index}",
+            daemon=True,
+        )
+        process.start()
+        child_end.close()
+        return process, parent_end
+
+    def _await_shard(self, index: int, process, parent_end, deadline: float) -> ShardHandle:
+        """Wait for one launched shard's ready message; returns its handle."""
+        remaining = max(deadline - time.monotonic(), 0.0)
+        if not parent_end.poll(remaining):
+            raise ServingError(
+                f"shard {index} did not come up within {self.start_timeout:g}s"
+            )
+        try:
+            status, payload = parent_end.recv()
+        except EOFError as exc:
+            raise ServingError(
+                f"shard {index} died during startup (no ready message)"
+            ) from exc
+        parent_end.close()
+        if status != "ok":
+            raise ServingError(f"shard {index} failed to start: {payload}")
+        return ShardHandle(
+            index=index,
+            process=process,
+            host=self.host,
+            port=int(payload["port"]),
+        )
+
     def start(self) -> "EvaCluster":
         """Spawn the shard processes and wait for every one to bind its port."""
         if self._started:
             raise ServingError("the cluster is already started")
-        context = multiprocessing.get_context("spawn")
-        pending = []
-        for index in range(self.shards):
-            parent_end, child_end = context.Pipe(duplex=False)
-            config = ShardConfig(
-                index=index,
-                programs=list(self._programs),
-                backend=self.backend,
-                session_dir=self.session_dir,
-                host=self.host,
-                workers=self.workers,
-                queue_size=self.queue_size,
-                max_batch=self.max_batch,
-                batch_window=self.batch_window,
-                executor_threads=self.executor_threads,
-            )
-            process = context.Process(
-                target=_shard_main,
-                args=(config, child_end),
-                name=f"eva-shard-{index}",
-                daemon=True,
-            )
-            process.start()
-            child_end.close()
-            pending.append((index, process, parent_end))
+        pending = [
+            (index, *self._launch_shard(index)) for index in range(self.shards)
+        ]
         deadline = time.monotonic() + self.start_timeout
         try:
             for index, process, parent_end in pending:
-                remaining = max(deadline - time.monotonic(), 0.0)
-                if not parent_end.poll(remaining):
-                    raise ServingError(
-                        f"shard {index} did not come up within "
-                        f"{self.start_timeout:g}s"
-                    )
-                try:
-                    status, payload = parent_end.recv()
-                except EOFError as exc:
-                    raise ServingError(
-                        f"shard {index} died during startup (no ready message)"
-                    ) from exc
-                parent_end.close()
-                if status != "ok":
-                    raise ServingError(f"shard {index} failed to start: {payload}")
-                self._handles[index] = ShardHandle(
-                    index=index,
-                    process=process,
-                    host=self.host,
-                    port=int(payload["port"]),
+                self._handles[index] = self._await_shard(
+                    index, process, parent_end, deadline
                 )
                 self.ring.add(index)
         except BaseException:
@@ -383,6 +434,11 @@ class EvaCluster:
                     process.terminate()
             raise
         self._started = True
+        if self.health_interval is not None:
+            self._health_thread = threading.Thread(
+                target=self._health_loop, name="eva-cluster-health", daemon=True
+            )
+            self._health_thread.start()
         return self
 
     def close(self) -> None:
@@ -390,6 +446,9 @@ class EvaCluster:
         if self._closed:
             return
         self._closed = True
+        self._health_stop.set()
+        if self._health_thread is not None:
+            self._health_thread.join(timeout=10)
         with self._lock:
             clients = list(self._all_clients)
         for client in clients:
@@ -448,31 +507,194 @@ class EvaCluster:
         handle.process.join(timeout=10)
         self.mark_dead(index)
 
+    # -- health / drain / rejoin ---------------------------------------------------
+    def _ping_shard(self, handle: ShardHandle, timeout: float = 2.0) -> bool:
+        """One throwaway-connection liveness probe of a shard's TCP front."""
+        from .netserver import ServingClient
+
+        try:
+            with ServingClient(handle.host, handle.port, timeout=timeout) as probe:
+                return probe.ping()
+        except Exception:
+            return False
+
+    def check_health(self, probe: bool = True) -> List[Dict[str, Any]]:
+        """Probe every shard; demote dead ones from the ring.  Returns a report.
+
+        ``status`` per shard: ``live`` (in the ring, serving), ``drained``
+        (process up, removed from the ring by an operator), or ``dead``
+        (process gone or unresponsive — its clients reroute).  This is also
+        the body of the periodic health loop and the wire ``health`` op.
+        """
+        report = []
+        for index in sorted(self._handles):
+            handle = self._handles[index]
+            alive = handle.alive()
+            responsive = alive and (self._ping_shard(handle) if probe else True)
+            if not responsive and self._handles.get(index) is not handle:
+                # The shard was respawned while we probed its predecessor;
+                # judge the *current* process, not the corpse — otherwise a
+                # stale probe would eject a freshly rejoined shard with no
+                # automatic path back into the ring.
+                handle = self._handles[index]
+                alive = handle.alive()
+                responsive = alive and (self._ping_shard(handle) if probe else True)
+            with self._lock:
+                in_ring = index in self.ring
+                drained = index in self._drained
+                if drained and not alive:
+                    # A parked shard whose process died is dead, not
+                    # "drained": monitoring reading stats() must see it in
+                    # the dead list or no alert ever fires.
+                    self._drained.remove(index)
+                    if index not in self._dead:
+                        self._dead.append(index)
+                    drained = False
+            if in_ring and not responsive:
+                self.mark_dead(index)
+                in_ring = False
+            if drained and alive:
+                status = "drained"
+            elif in_ring and responsive:
+                status = "live"
+            else:
+                status = "dead"
+            report.append(
+                {
+                    "index": index,
+                    "pid": handle.pid,
+                    "port": handle.port,
+                    "alive": alive,
+                    "responsive": responsive,
+                    "in_ring": in_ring,
+                    "status": status,
+                }
+            )
+        return report
+
+    def _health_loop(self) -> None:
+        """Periodic health checks so dead shards leave the ring proactively
+        (before any client request trips over them)."""
+        while not self._health_stop.wait(self.health_interval):
+            try:
+                self.check_health()
+            except Exception:  # pragma: no cover - monitoring must not die
+                pass
+
+    def drain_shard(self, index: int) -> Dict[str, Any]:
+        """Remove a live shard from the ring without stopping its process.
+
+        Its clients consistent-hash to new homes on their next request
+        (encrypted sessions follow via the shared session store); the process
+        keeps running so in-flight work finishes — the graceful half of
+        :meth:`kill_shard`, for rolling restarts and maintenance.
+        """
+        handle = self._handles.get(index)
+        if handle is None:
+            raise ServingError(f"no shard {index}")
+        with self._lock:
+            if index in self.ring:
+                if len(self.ring) == 1:
+                    # Draining the last live shard is a full outage, not
+                    # maintenance; demand an explicit kill instead.
+                    raise ServingError(
+                        f"refusing to drain shard {index}: it is the last "
+                        "shard in the ring (rejoin another shard first)"
+                    )
+                self.ring.remove(index)
+                if index not in self._drained:
+                    self._drained.append(index)
+            elif index not in self._drained:
+                raise ServingError(f"shard {index} is not in the ring (already dead?)")
+        return {"shard": index, "status": "drained", "pid": handle.pid}
+
+    def rejoin_shard(self, index: int) -> Dict[str, Any]:
+        """Return a shard to the ring, respawning its process if it died.
+
+        The complement of :meth:`kill_shard` / :meth:`drain_shard`: a drained
+        shard is simply re-added; a dead one is restarted from the cluster's
+        registered program set first (same index, fresh process and port).
+        Only ~1/N of clients remap onto the rejoined shard, and any of them
+        with persisted sessions restore lazily from the shared session store
+        — so membership can now grow back, not only shrink.
+        """
+        if not self._started:
+            raise ServingError("the cluster has not been started")
+        with self._rejoin_lock:
+            # Re-check liveness under the lock: a concurrent rejoin of the
+            # same index must find the winner's fresh process and not spawn
+            # a duplicate (which would leak until the cluster closes).
+            handle = self._handles.get(index)
+            if handle is None:
+                raise ServingError(f"no shard {index}")
+            respawned = False
+            if not handle.alive():
+                process, parent_end = self._launch_shard(index)
+                deadline = time.monotonic() + self.start_timeout
+                try:
+                    handle = self._await_shard(index, process, parent_end, deadline)
+                except BaseException:
+                    # A failed respawn must not leak the half-started
+                    # process (start() gives its pending shards the same
+                    # courtesy); the old dead handle stays for a retry.
+                    if process.is_alive():
+                        process.terminate()
+                    raise
+                self._handles[index] = handle
+                respawned = True
+        with self._lock:
+            if respawned:
+                # Old cached connections point at the dead process; the
+                # generation bump makes every thread reconnect lazily.
+                self._generations[index] = self._generations.get(index, 0) + 1
+            if index in self._dead:
+                self._dead.remove(index)
+            if index in self._drained:
+                self._drained.remove(index)
+            self.ring.add(index)
+        return {
+            "shard": index,
+            "status": "rejoined",
+            "respawned": respawned,
+            "pid": handle.pid,
+            "port": handle.port,
+        }
+
     # -- request plumbing ---------------------------------------------------------
     def _client_for(self, index: int):
-        """Thread-local cached connection to one shard (created on demand)."""
+        """Thread-local cached connection to one shard (created on demand).
+
+        Connections are cached per (thread, shard, *generation*): a respawned
+        shard bumps its generation, so connections to the dead predecessor
+        are dropped instead of reused.
+        """
         from .netserver import ServingClient
 
         cache = getattr(self._local, "clients", None)
         if cache is None:
             cache = self._local.clients = {}
-        client = cache.get(index)
-        if client is None:
-            handle = self._handles[index]
-            client = ServingClient(
-                handle.host, handle.port, timeout=self.request_timeout
-            )
-            cache[index] = client
-            with self._lock:
-                self._all_clients.add(client)
+        with self._lock:
+            generation = self._generations.get(index, 0)
+        cached = cache.get(index)
+        if cached is not None:
+            cached_generation, client = cached
+            if cached_generation == generation:
+                return client
+            self._drop_client(index)
+        handle = self._handles[index]
+        client = ServingClient(handle.host, handle.port, timeout=self.request_timeout)
+        cache[index] = (generation, client)
+        with self._lock:
+            self._all_clients.add(client)
         return client
 
     def _drop_client(self, index: int) -> None:
         cache = getattr(self._local, "clients", None)
         if cache is None:
             return
-        client = cache.pop(index, None)
-        if client is not None:
+        cached = cache.pop(index, None)
+        if cached is not None:
+            _generation, client = cached
             try:
                 client.close()
             except Exception:
@@ -571,6 +793,7 @@ class EvaCluster:
         with self._lock:
             live = list(self.ring.nodes)
             dead = list(self._dead)
+            drained = list(self._drained)
         shard_stats: Dict[str, Any] = {}
         for index in live:
             try:
@@ -581,6 +804,12 @@ class EvaCluster:
             "shards": self.shards,
             "live": live,
             "dead": dead,
+            "drained": drained,
             "session_dir": self.session_dir,
+            "artifact_dir": self.artifact_dir,
+            "health_interval": self.health_interval,
+            "fairness": (
+                self.fairness is not None and self.fairness.enabled
+            ),
             "per_shard": shard_stats,
         }

@@ -1,4 +1,4 @@
-"""Futures-based async job engine: bounded queue, worker pool, group batching.
+"""Futures-based async job engine: bounded queue, fair dequeue, group batching.
 
 The engine decouples request admission from execution.  ``submit`` enqueues a
 :class:`Job` onto a bounded queue (applying back-pressure when full) and
@@ -7,6 +7,21 @@ the queue and hand them to the server's handler.  Jobs carry a *group key*
 (program name + client) and a worker drains every queued job of the group it
 picked up — optionally lingering ``batch_window`` seconds for stragglers — so
 the slot batcher downstream sees whole batches, not single requests.
+
+Scheduling is **weighted fair queueing** across clients, not global FIFO:
+each client has its own arrival queue and a virtual-time counter advanced by
+``1 / weight`` per dequeued job, and workers always serve the client with the
+smallest virtual time.  Under contention a client flooding the queue is
+served in proportion to its weight instead of monopolizing the workers, so a
+light client's jobs never sit behind a greedy client's entire backlog.  With
+one client (or balanced arrivals) this degenerates to the old FIFO order.
+
+Admission additionally enforces a per-client
+:class:`~repro.serving.quotas.FairnessPolicy` when one is configured: a rate
+quota (token bucket) and an in-flight cap, rejected with
+:class:`~repro.errors.QuotaExceededError` carrying ``retry_after`` — the
+serving layer's 429.  The global bounded queue (``QueueFullError``) remains
+the server-protecting backstop.
 
 Per-stage latency (queue wait, execution) and throughput are accumulated in
 :class:`EngineMetrics`; the serving benchmarks read them to report amortized
@@ -18,12 +33,13 @@ from __future__ import annotations
 import itertools
 import threading
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from concurrent.futures import Future, InvalidStateError
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Hashable, List, Optional
 
 from ..errors import QueueFullError, ServingError
+from .quotas import FairnessPolicy, QuotaLedger
 
 
 @dataclass
@@ -35,6 +51,7 @@ class Job:
     payload: Any
     future: "Future[Any]"
     submitted_at: float
+    client: str = "default"
     started_at: float = 0.0
     finished_at: float = 0.0
 
@@ -51,6 +68,7 @@ class EngineMetrics:
     completed: int = 0
     failed: int = 0
     rejected: int = 0
+    throttled: int = 0
     cancelled: int = 0
     batches: int = 0
     largest_batch: int = 0
@@ -72,6 +90,7 @@ class EngineMetrics:
             "completed": self.completed,
             "failed": self.failed,
             "rejected": self.rejected,
+            "throttled": self.throttled,
             "cancelled": self.cancelled,
             "batches": self.batches,
             "largest_batch": self.largest_batch,
@@ -95,6 +114,10 @@ class JobEngine:
     ``handler(jobs)`` receives a non-empty list of jobs sharing one group key
     and returns one result per job (an item may be an exception to fail just
     that job); if the handler itself raises, the whole batch fails.
+
+    ``fairness`` (a :class:`~repro.serving.quotas.FairnessPolicy`) enables
+    per-client admission control — rate quota and in-flight cap — and
+    supplies the per-client weights of the fair dequeue.
     """
 
     def __init__(
@@ -104,6 +127,7 @@ class JobEngine:
         queue_size: int = 256,
         max_batch: int = 8,
         batch_window: float = 0.0,
+        fairness: Optional[FairnessPolicy] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("the engine needs at least one worker")
@@ -113,8 +137,18 @@ class JobEngine:
         self.queue_size = queue_size
         self.max_batch = max(int(max_batch), 1)
         self.batch_window = max(float(batch_window), 0.0)
+        self.fairness = fairness
+        self.ledger = QuotaLedger(fairness)
         self.metrics = EngineMetrics()
-        self._queue: "deque[Job]" = deque()
+        #: Per-client arrival queues; jobs of one client stay FIFO relative
+        #: to each other, but *clients* are interleaved by virtual time.
+        self._queues: "OrderedDict[str, deque[Job]]" = OrderedDict()
+        #: Virtual finish time per active client, and the engine-wide virtual
+        #: clock a newly active client starts from (so returning clients do
+        #: not replay the service they missed while idle).
+        self._vtime: Dict[str, float] = {}
+        self._clock = 0.0
+        self._queued = 0
         self._cond = threading.Condition()
         self._closed = False
         self._ids = itertools.count()
@@ -125,56 +159,113 @@ class JobEngine:
         for thread in self._workers:
             thread.start()
 
+    def _weight_of(self, client: str) -> float:
+        if self.fairness is None:
+            return 1.0
+        return self.fairness.weight_of(client)
+
     # -- submission --------------------------------------------------------------
     def submit(
-        self, group: Hashable, payload: Any, timeout: Optional[float] = None
+        self,
+        group: Hashable,
+        payload: Any,
+        timeout: Optional[float] = None,
+        client: str = "default",
     ) -> "Future[Any]":
-        """Enqueue a job and return its future.
+        """Enqueue a job for ``client`` and return its future.
 
-        Blocks while the queue is full; with a ``timeout``, raises
-        :class:`~repro.errors.QueueFullError` when space does not free up in
-        time (the back-pressure signal a front-end turns into "try later").
+        Per-client quotas are checked first: a violated rate or in-flight cap
+        raises :class:`~repro.errors.QuotaExceededError` immediately (no
+        queue-space wait — a throttled client must back off, not block).
+        Then blocks while the global queue is full; with a ``timeout``,
+        raises :class:`~repro.errors.QueueFullError` when space does not free
+        up in time (the back-pressure signal a front-end turns into "try
+        later").
         """
+        client = str(client)
+        try:
+            self.ledger.admit(client)
+        except ServingError:
+            with self._cond:
+                self.metrics.throttled += 1
+            raise
+        admitted = self.ledger.enabled
         future: "Future[Any]" = Future()
+        if admitted:
+            # Exactly one release per admitted request, however it settles
+            # (result, exception, or cancellation).
+            future.add_done_callback(lambda _f, c=client: self.ledger.release(c))
         deadline = None if timeout is None else time.monotonic() + timeout
-        with self._cond:
-            while len(self._queue) >= self.queue_size and not self._closed:
-                remaining = None if deadline is None else deadline - time.monotonic()
-                if remaining is not None and remaining <= 0:
-                    self.metrics.rejected += 1
-                    raise QueueFullError(
-                        f"job queue is full ({self.queue_size} jobs) and the "
-                        f"submit deadline of {timeout:g}s expired"
-                    )
-                self._cond.wait(remaining)
-            if self._closed:
-                raise ServingError("the job engine has been shut down")
-            now = time.monotonic()
-            job = Job(
-                id=next(self._ids),
-                group=group,
-                payload=payload,
-                future=future,
-                submitted_at=now,
-            )
-            self._queue.append(job)
-            self.metrics.submitted += 1
-            if self.metrics.first_submit_at is None:
-                self.metrics.first_submit_at = now
-            self._cond.notify_all()
+        try:
+            with self._cond:
+                while self._queued >= self.queue_size and not self._closed:
+                    remaining = None if deadline is None else deadline - time.monotonic()
+                    if remaining is not None and remaining <= 0:
+                        self.metrics.rejected += 1
+                        raise QueueFullError(
+                            f"job queue is full ({self.queue_size} jobs) and the "
+                            f"submit deadline of {timeout:g}s expired"
+                        )
+                    self._cond.wait(remaining)
+                if self._closed:
+                    raise ServingError("the job engine has been shut down")
+                now = time.monotonic()
+                job = Job(
+                    id=next(self._ids),
+                    group=group,
+                    payload=payload,
+                    future=future,
+                    submitted_at=now,
+                    client=client,
+                )
+                queue = self._queues.get(client)
+                if queue is None:
+                    queue = self._queues[client] = deque()
+                    # A newly active client starts at the engine's virtual
+                    # clock: it competes fairly from now on, it does not get
+                    # to "catch up" on service it never requested.
+                    self._vtime[client] = max(self._clock, self._vtime.get(client, 0.0))
+                queue.append(job)
+                self._queued += 1
+                self.metrics.submitted += 1
+                if self.metrics.first_submit_at is None:
+                    self.metrics.first_submit_at = now
+                self._cond.notify_all()
+        except BaseException:
+            # The job never entered the queue; settle the future so the
+            # done-callback returns the in-flight slot taken by admit().
+            future.cancel()
+            raise
         return future
 
     # -- worker side -------------------------------------------------------------
+    def _next_client(self) -> Optional[str]:
+        """The active client with the smallest virtual time (lock held)."""
+        best: Optional[str] = None
+        best_vtime = float("inf")
+        for client, queue in self._queues.items():
+            if not queue:
+                continue
+            vtime = self._vtime.get(client, 0.0)
+            if vtime < best_vtime:
+                best, best_vtime = client, vtime
+        return best
+
     def _take_batch(self) -> Optional[List[Job]]:
-        """Pop the next job plus queued same-group jobs (None on shutdown)."""
+        """Pop the fair-share client's next job plus its queued same-group
+        jobs (None on shutdown)."""
         with self._cond:
-            while not self._queue and not self._closed:
+            while self._queued == 0 and not self._closed:
                 self._cond.wait()
-            if not self._queue:
+            if self._queued == 0:
                 return None
-            first = self._queue.popleft()
+            client = self._next_client()
+            assert client is not None  # _queued > 0 implies an active queue
+            queue = self._queues[client]
+            first = queue.popleft()
+            self._queued -= 1
             batch = [first]
-            self._drain_group(batch)
+            self._drain_group(batch, queue)
             deadline = time.monotonic() + self.batch_window
             while (
                 len(batch) < self.max_batch
@@ -185,22 +276,37 @@ class JobEngine:
                 if remaining <= 0:
                     break
                 self._cond.wait(remaining)
-                self._drain_group(batch)
+                self._drain_group(batch, self._queues.get(client, deque()))
+            # Charge the client's virtual time for the service received: one
+            # unit per job, scaled down by its weight.  The engine clock
+            # advances with the served client so newly active clients start
+            # at "now" in virtual time.
+            self._vtime[client] = self._vtime.get(client, 0.0) + (
+                len(batch) / self._weight_of(client)
+            )
+            self._clock = max(self._clock, self._vtime[client])
+            if not self._queues.get(client):
+                # Drop empty queues (and their vtime) so per-client state
+                # stays bounded by the number of *active* clients.
+                self._queues.pop(client, None)
+                self._vtime.pop(client, None)
             self._cond.notify_all()
             return batch
 
-    def _drain_group(self, batch: List[Job]) -> None:
+    def _drain_group(self, batch: List[Job], queue: "deque[Job]") -> None:
+        """Pull same-group jobs out of one client's queue (lock held)."""
         group = batch[0].group
         kept: "deque[Job]" = deque()
-        while self._queue and len(batch) < self.max_batch:
-            job = self._queue.popleft()
+        while queue and len(batch) < self.max_batch:
+            job = queue.popleft()
             if job.group == group:
                 batch.append(job)
+                self._queued -= 1
             else:
                 kept.append(job)
-        kept.extend(self._queue)
-        self._queue.clear()
-        self._queue.extend(kept)
+        kept.extend(queue)
+        queue.clear()
+        queue.extend(kept)
 
     def _worker_loop(self) -> None:
         while True:
@@ -259,6 +365,17 @@ class JobEngine:
                     pass
 
     # -- lifecycle ---------------------------------------------------------------
+    def _drain_all(self) -> List[Job]:
+        """Remove and return every queued job (lock held)."""
+        doomed: List[Job] = []
+        for queue in self._queues.values():
+            doomed.extend(queue)
+            queue.clear()
+        self._queues.clear()
+        self._vtime.clear()
+        self._queued = 0
+        return doomed
+
     def shutdown(self, wait: bool = True, cancel_pending: bool = False) -> None:
         """Stop accepting jobs and settle every outstanding future.
 
@@ -276,8 +393,7 @@ class JobEngine:
             self._closed = True
             doomed: List[Job] = []
             if cancel_pending and first_close:
-                doomed = list(self._queue)
-                self._queue.clear()
+                doomed = self._drain_all()
             self._cond.notify_all()
         cancelled = sum(1 for job in doomed if job.future.cancel())
         if cancelled:
@@ -290,8 +406,7 @@ class JobEngine:
             # job still sitting in it (a worker died mid-loop) must not leave
             # its caller blocked on a future that will never settle.
             with self._cond:
-                leftover = list(self._queue)
-                self._queue.clear()
+                leftover = self._drain_all()
             stranded = sum(1 for job in leftover if job.future.cancel())
             if stranded:
                 with self._cond:

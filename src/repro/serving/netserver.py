@@ -29,7 +29,14 @@ from typing import Any, Dict, Optional, Tuple
 import numpy as np
 
 from ..core.serialization import messages
-from ..errors import EvaError, SerializationError, ServingError, TransportError
+from ..errors import (
+    EvaError,
+    QuotaExceededError,
+    SerializationError,
+    ServingError,
+    TransportError,
+)
+from .quotas import FairnessPolicy, QuotaLedger
 from .server import EvaServer
 
 
@@ -64,9 +71,22 @@ class _RequestHandler(socketserver.StreamRequestHandler):
             return messages.encode_response(payload={"programs": eva.programs()})
         if op == "stats":
             return messages.encode_response(payload={"stats": eva.stats()})
-        if op == "route":
+        if op == "health":
+            return messages.encode_response(
+                payload={
+                    "health": [
+                        {
+                            "index": 0,
+                            "status": "live",
+                            "alive": True,
+                            "mode": "single-process",
+                        }
+                    ]
+                }
+            )
+        if op in ("route", "drain", "rejoin"):
             raise ServingError(
-                "route is a cluster operation; this is a single-process server"
+                f"{op} is a cluster operation; this is a single-process server"
             )
         if op == "session":
             session = eva.create_session(
@@ -169,20 +189,48 @@ class _RouterHandler(socketserver.StreamRequestHandler):
             raise SerializationError("request must be a JSON object")
         op = request.get("op")
         client_id = str(request.get("client_id", "default"))
-        # Ops the router answers itself: liveness, routing introspection, and
-        # the cluster-wide views that span shards.
+        # Ops the router answers itself: liveness, routing introspection,
+        # shard lifecycle administration, and the cluster-wide views that
+        # span shards.
         if op == "ping":
             return messages.encode_response(payload={"pong": True})
         if op == "route":
             return messages.encode_response(
                 payload={"route": cluster.describe_route(client_id)}
             )
+        if op == "health":
+            return messages.encode_response(
+                payload={"health": cluster.check_health()}
+            )
+        if op == "drain":
+            shard = messages.validate_shard(op, request.get("shard"))
+            return messages.encode_response(
+                payload={"drain": cluster.drain_shard(shard)}
+            )
+        if op == "rejoin":
+            shard = messages.validate_shard(op, request.get("shard"))
+            return messages.encode_response(
+                payload={"rejoin": cluster.rejoin_shard(shard)}
+            )
         if op == "list":
             return messages.encode_response(payload={"programs": cluster.programs()})
         if op == "stats":
             return messages.encode_response(payload={"stats": cluster.stats()})
         # Everything else ("submit", "session") is forwarded verbatim to the
-        # client's shard; the shard validates the message itself.
+        # client's shard; the shard validates the message itself.  Both pass
+        # per-client admission first — sessions are the *heaviest* op (key
+        # import + persistence), so exempting them would leave the biggest
+        # hole — and the router is the cheap place to say 429, before the
+        # request ever crosses to a shard.
+        ledger = self.server.ledger
+        if op in ("submit", "session") and ledger.enabled:
+            ledger.admit(client_id)  # raises QuotaExceededError (encoded above)
+            try:
+                return cluster._call(
+                    client_id, lambda upstream: upstream.roundtrip_raw(text)
+                )
+            finally:
+                ledger.release(client_id)
         return cluster._call(client_id, lambda upstream: upstream.roundtrip_raw(text))
 
 
@@ -191,17 +239,32 @@ class ClusterTcpServer(socketserver.ThreadingTCPServer):
 
     Owns the public listener; every framed request is forwarded to the shard
     its client consistent-hashes to.  The wire protocol is identical to
-    :class:`EvaTcpServer`'s, plus a ``route`` op reporting which shard (and
-    pid) a client maps to — useful for chaos drills and smoke tests.
+    :class:`EvaTcpServer`'s, plus the cluster admin ops: ``route`` (which
+    shard/pid a client maps to), ``health`` (per-shard liveness), ``drain``
+    and ``rejoin`` (shard lifecycle) — useful for chaos drills, rolling
+    restarts, and smoke tests.
+
+    When the cluster carries a :class:`~repro.serving.quotas.FairnessPolicy`
+    (or one is passed explicitly), the router enforces per-client rate and
+    in-flight quotas *before* forwarding: a throttled client gets a
+    ``QuotaExceededError`` reply with ``retry_after`` and its request never
+    costs a shard anything.
     """
 
     allow_reuse_address = True
     daemon_threads = True
 
     def __init__(
-        self, cluster: Any, host: str = "127.0.0.1", port: int = 0
+        self,
+        cluster: Any,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        fairness: Optional[FairnessPolicy] = None,
     ) -> None:
         self.cluster = cluster
+        if fairness is None:
+            fairness = getattr(cluster, "fairness", None)
+        self.ledger = QuotaLedger(fairness)
         super().__init__((host, port), _RouterHandler)
 
     @property
@@ -246,9 +309,16 @@ class ServingClient:
     def _roundtrip(self, line: str) -> Dict[str, Any]:
         response = messages.decode_response(self.roundtrip_raw(line))
         if not response.get("ok"):
-            raise ServingError(
-                f"{response.get('kind', 'ServingError')}: {response.get('error')}"
-            )
+            kind = response.get("kind", "ServingError")
+            if kind == "QuotaExceededError":
+                # The serving layer's 429: re-raise typed, with the server's
+                # retry-after hint, so callers can back off instead of just
+                # failing.
+                raise QuotaExceededError(
+                    str(response.get("error")),
+                    retry_after=float(response.get("retry_after", 0.0) or 0.0),
+                )
+            raise ServingError(f"{kind}: {response.get('error')}")
         return response
 
     def submit(
@@ -333,6 +403,22 @@ class ServingClient:
         return self._roundtrip(
             messages.encode_request("route", client_id=client_id)
         ).get("route", {})
+
+    def health(self) -> list:
+        """Per-shard health report (single servers report one live shard)."""
+        return self._roundtrip(messages.encode_request("health")).get("health", [])
+
+    def drain(self, shard: int) -> Dict[str, Any]:
+        """Take ``shard`` out of the ring without stopping it (cluster only)."""
+        return self._roundtrip(
+            messages.encode_request("drain", shard=shard)
+        ).get("drain", {})
+
+    def rejoin(self, shard: int) -> Dict[str, Any]:
+        """Return ``shard`` to the ring, respawning it if dead (cluster only)."""
+        return self._roundtrip(
+            messages.encode_request("rejoin", shard=shard)
+        ).get("rejoin", {})
 
     def stats(self) -> Dict[str, Any]:
         return self._roundtrip(messages.encode_request("stats")).get("stats", {})

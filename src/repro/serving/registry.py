@@ -13,7 +13,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from ..core.compiler import (
     CompilationResult,
@@ -67,12 +67,19 @@ class ProgramRegistry:
     exceed it.  All methods are thread-safe: concurrent workers serving
     the same program race to compile only on the very first request (the
     compile itself runs outside the lock, and the first finisher wins).
+
+    ``artifacts`` (an :class:`~repro.serving.artifacts.ArtifactCache`) adds
+    a second, on-disk tier shared across processes: a memory miss first
+    tries to *load* the finished compilation a sibling shard published
+    before falling back to compiling from source, and every fresh compile
+    is published for the rest of the fleet.
     """
 
-    def __init__(self, capacity: int = 64) -> None:
+    def __init__(self, capacity: int = 64, artifacts: Optional[Any] = None) -> None:
         if capacity < 1:
             raise ValueError("registry capacity must be at least 1")
         self.capacity = capacity
+        self.artifacts = artifacts
         self.stats = CacheStats()
         self._entries: "OrderedDict[str, RegistryEntry]" = OrderedDict()
         #: Index from (base signature, lane width) to the variant's own
@@ -119,7 +126,24 @@ class ProgramRegistry:
         cached = self.lookup(signature)
         if cached is not None:
             return cached
+        if self.artifacts is not None:
+            lane_width = (options or CompilerOptions()).lane_width
+            loaded = self.artifacts.load(signature, lane_width)
+            if loaded is not None:
+                return self._insert(signature, loaded)
         compilation = EvaCompiler(options).compile(program, input_scales, output_scales)
+        if self.artifacts is not None:
+            try:
+                self.artifacts.save(compilation, signature=signature)
+            except Exception as exc:  # publishing is best-effort, serving is not
+                import warnings
+
+                warnings.warn(
+                    f"could not publish compiled artifact {signature[:12]}...: "
+                    f"{type(exc).__name__}: {exc}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
         return self._insert(signature, compilation)
 
     def get_or_compile_variant(
@@ -199,8 +223,11 @@ class ProgramRegistry:
 
     def summary(self) -> Dict[str, object]:
         with self._lock:
-            return {
+            summary = {
                 "capacity": self.capacity,
                 "entries": len(self._entries),
                 **self.stats.summary(),
             }
+        if self.artifacts is not None:
+            summary["artifacts"] = self.artifacts.summary()
+        return summary

@@ -45,8 +45,10 @@ from ..core.compiler import CompilationResult, CompilerOptions, program_signatur
 from ..core.executor import EvaluationEngine, Executor
 from ..core.ir import Program
 from ..errors import EvaError, ServingError, UnknownProgramError
+from .artifacts import ArtifactCache, LaneWidthPolicy, WidthHistogram
 from .batching import BatchInfo, SlotBatcher, pow2_ceil, request_width
 from .jobs import Job, JobEngine
+from .quotas import FairnessPolicy
 from .registry import ProgramRegistry
 from .sessions import SessionManager
 from .store import SessionStore
@@ -179,13 +181,22 @@ class EvaServer:
         batch_window: float = 0.0,
         executor_threads: int = 1,
         session_store: Optional[SessionStore] = None,
+        artifact_cache: Optional[ArtifactCache] = None,
+        fairness: Optional[FairnessPolicy] = None,
+        precompile: Optional[LaneWidthPolicy] = None,
     ) -> None:
         if backend is None:
             from ..backend.mock_backend import MockBackend
 
             backend = MockBackend()
         self.backend = backend
-        self.registry = ProgramRegistry(capacity=registry_capacity)
+        #: Optional cross-process compiled-artifact cache: a registry miss
+        #: loads what a sibling shard already compiled instead of recompiling,
+        #: and fresh compilations are published back for the fleet.
+        self.artifact_cache = artifact_cache
+        self.registry = ProgramRegistry(
+            capacity=registry_capacity, artifacts=artifact_cache
+        )
         self.sessions = SessionManager(backend, capacity=session_capacity)
         #: Optional disk persistence of client key blobs: sessions created
         #: through :meth:`create_session` are saved, and an unknown client's
@@ -202,12 +213,22 @@ class EvaServer:
         #: failed; remembered so a failing width is not recompiled per batch.
         self._lane_failures: Set[Tuple[str, int]] = set()
         self._lock = threading.Lock()
+        #: Request-width histogram feeding the lane-width precompile policy.
+        self.widths = WidthHistogram()
+        self.precompile = precompile
+        self._precompiled: Set[Tuple[str, int]] = set()
+        self._precompile_pending = 0
+        self._precompile_cond = threading.Condition()
+        self._precompile_queue: "Optional[Any]" = None
+        self._precompile_thread: Optional[threading.Thread] = None
+        self._precompile_closed = False
         self.engine = JobEngine(
             self._handle_batch,
             workers=workers,
             queue_size=queue_size,
             max_batch=max_batch,
             batch_window=batch_window,
+            fairness=fairness,
         )
 
     # -- registration ------------------------------------------------------------
@@ -284,11 +305,16 @@ class EvaServer:
             if output_size < 1:
                 raise ServingError(f"output_size must be positive, got {output_size}")
         payload = ServeRequest(inputs=dict(inputs), output_size=output_size, name=name)
+        if self.precompile is not None:
+            self._observe_width(spec, payload)
         # Group by compilation signature, not name: packed execution depends
         # only on the compiled graph, so identical programs registered under
         # different names share batches (clients still never mix).
         return self.engine.submit(
-            ("plain", spec.signature, str(client_id)), payload, timeout=timeout
+            ("plain", spec.signature, str(client_id)),
+            payload,
+            timeout=timeout,
+            client=str(client_id),
         )
 
     def request(
@@ -321,7 +347,22 @@ class EvaServer:
         JSON-able blob from ``ClientKit.export_evaluation_keys()`` (wire
         callers).  Once the session exists, pre-encrypted bundles from this
         client are evaluated under its keys; the server can never decrypt them.
+
+        Sessions count against the client's fairness quota: they are the
+        heaviest request type (key import + context build + persistence), so
+        a server with a policy must not let them bypass admission — this is
+        the shot at 429 for transports that call straight into the server.
         """
+        ledger = self.engine.ledger
+        ledger.admit(str(client_id))  # raises QuotaExceededError when violated
+        try:
+            return self._create_session(name, client_id, evaluation_keys)
+        finally:
+            ledger.release(str(client_id))
+
+    def _create_session(
+        self, name: str, client_id: str, evaluation_keys: Any
+    ) -> Dict[str, object]:
         spec, compilation, _cached = self._resolve(name)
         if isinstance(evaluation_keys, BackendContext):
             context = evaluation_keys
@@ -435,7 +476,10 @@ class EvaServer:
             )
         payload = EncryptedServeRequest(bundle=bundle, wire=wire, name=name)
         return self.engine.submit(
-            ("encrypted", spec.signature, str(client_id)), payload, timeout=timeout
+            ("encrypted", spec.signature, str(client_id)),
+            payload,
+            timeout=timeout,
+            client=str(client_id),
         )
 
     def request_encrypted(
@@ -546,6 +590,113 @@ class EvaServer:
                 with self._lock:
                     self._lane_failures.add(key)
             return None
+
+    # -- lane-width precompilation -------------------------------------------------
+    def _observe_width(self, spec: ProgramSpec, request: ServeRequest) -> None:
+        """Feed the width histogram; kick the precompile policy when due."""
+        width = pow2_ceil(
+            max(request_width(request.inputs), int(request.output_size or 1))
+        )
+        samples = self.widths.record(spec.signature, width)
+        if samples % self.precompile.min_samples == 0:
+            self._schedule_precompile(spec)
+
+    def _schedule_precompile(self, spec: ProgramSpec) -> None:
+        """Queue a background pre-warm of ``spec``'s top lane widths."""
+        import queue as queue_module
+
+        with self._precompile_cond:
+            if self._precompile_closed:
+                # A request racing close() must not enqueue behind the stop
+                # sentinel (its pending count would never drain) or start a
+                # worker thread nobody will stop.
+                return
+            if self._precompile_queue is None:
+                self._precompile_queue = queue_module.Queue()
+                self._precompile_thread = threading.Thread(
+                    target=self._precompile_loop,
+                    name="eva-precompile",
+                    daemon=True,
+                )
+                self._precompile_thread.start()
+            self._precompile_pending += 1
+            self._precompile_queue.put(spec)
+
+    def _precompile_loop(self) -> None:
+        while True:
+            spec = self._precompile_queue.get()
+            if spec is None:
+                return
+            try:
+                self._precompile_for(spec)
+            except Exception as exc:  # pre-warming must never hurt serving
+                import warnings
+
+                warnings.warn(
+                    f"lane-width precompile of {spec.name!r} failed: "
+                    f"{type(exc).__name__}: {exc}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            finally:
+                with self._precompile_cond:
+                    self._precompile_pending -= 1
+                    self._precompile_cond.notify_all()
+
+    def _precompile_for(self, spec: ProgramSpec) -> None:
+        """Compile (and publish) the histogram's top widths for one program.
+
+        The widths a policy pre-warms are exactly the ones
+        :meth:`_lane_variant_for` would resolve inline for a batch of the
+        observed shape — so the first real batch at a popular width finds the
+        variant already in the registry (or, fleet-wide, in the artifact
+        cache) instead of paying the compile on the request path.
+        """
+        compilation = self.registry.get_or_compile(
+            spec.program,
+            spec.options,
+            spec.input_scales,
+            spec.output_scales,
+            signature=spec.signature,
+        )
+        info = self.batcher.inspect(compilation)
+        if info.slotwise or info.lane_width is not None:
+            # Slotwise programs batch without lane variants; a pinned lane
+            # width is already compiled in.
+            return
+        for width in self.widths.top(spec.signature, self.precompile.top_widths):
+            width = max(int(width), info.min_lane)
+            if width >= info.vec_size:
+                continue
+            key = (spec.signature, width)
+            with self._lock:
+                if key in self._lane_failures or key in self._precompiled:
+                    continue
+            try:
+                self.registry.get_or_compile_variant(
+                    spec.program,
+                    spec.options,
+                    spec.input_scales,
+                    spec.output_scales,
+                    lane_width=width,
+                    base_signature=spec.signature,
+                )
+                with self._lock:
+                    self._precompiled.add(key)
+            except EvaError:
+                with self._lock:
+                    self._lane_failures.add(key)
+
+    def drain_precompiles(self, timeout: Optional[float] = 30.0) -> bool:
+        """Wait for queued pre-warms to finish (tests/benchmarks); True if idle."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._precompile_cond:
+            while self._precompile_pending > 0:
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._precompile_cond.wait(remaining)
+            return True
 
     def _executor_for(
         self, signature: str, compilation: CompilationResult
@@ -773,6 +924,7 @@ class EvaServer:
     def stats(self) -> Dict[str, object]:
         with self._lock:
             lane_failures = len(self._lane_failures)
+            precompiled = sorted(self._precompiled)
         return {
             "backend": getattr(self.backend, "name", "unknown"),
             "programs": self.programs(),
@@ -782,13 +934,27 @@ class EvaServer:
                 self.session_store.summary() if self.session_store else None
             ),
             "engine": self.engine.metrics.summary(),
+            "quota": self.engine.ledger.summary(),
+            "precompile": {
+                "enabled": self.precompile is not None,
+                "compiled_widths": [
+                    [signature[:12], width] for signature, width in precompiled
+                ],
+                "width_histogram": self.widths.summary(),
+            },
             # (signature, width) pairs whose lane variant failed to compile
             # and were pinned to solo execution; non-zero deserves a look.
             "lane_variant_failures": lane_failures,
         }
 
     def close(self, wait: bool = True) -> None:
+        with self._precompile_cond:
+            self._precompile_closed = True
+            if self._precompile_queue is not None:
+                self._precompile_queue.put(None)
         self.engine.close(wait=wait)
+        if self._precompile_thread is not None and wait:
+            self._precompile_thread.join(timeout=10)
 
     def __enter__(self) -> "EvaServer":
         return self

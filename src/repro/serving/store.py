@@ -43,6 +43,28 @@ from ..core.compiler import CompilationResult
 STORE_VERSION = 1
 
 
+def atomic_write_json(root: Path, path: Path, record: Dict[str, Any]) -> None:
+    """Publish ``record`` at ``path`` atomically (temp file + ``os.replace``).
+
+    The write discipline shared by every on-disk store of the serving layer
+    (:class:`SessionStore`, :class:`~repro.serving.artifacts.ArtifactCache`):
+    a concurrent reader sees nothing, the old record, or the new one — never
+    a torn file.  ``root`` must be on the same filesystem as ``path`` (the
+    temp file is created there so the final rename stays atomic).
+    """
+    fd, tmp_name = tempfile.mkstemp(dir=root, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(record, handle)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
 def session_digest(compilation: CompilationResult, client_id: str) -> str:
     """Stable digest of (client, keygen-relevant parameters) for one session.
 
@@ -69,10 +91,26 @@ class SessionStore:
     across full server restarts) without any coordination.
     """
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    def __init__(self, root: Union[str, Path], ttl: Optional[float] = None) -> None:
+        if ttl is not None and ttl <= 0:
+            raise ValueError("ttl must be positive seconds (or None to disable)")
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        #: Optional record lifetime in seconds: reads treat older records as
+        #: missing, and :meth:`prune` deletes them.  Without a TTL a
+        #: long-lived ``--session-dir`` grows one record per (client,
+        #: parameters) pair forever.
+        self.ttl = float(ttl) if ttl is not None else None
         self._lock = threading.Lock()
+
+    def _expired(self, record: Dict[str, Any], max_age: Optional[float] = None) -> bool:
+        max_age = max_age if max_age is not None else self.ttl
+        if max_age is None:
+            return False
+        saved_at = record.get("saved_at")
+        if not isinstance(saved_at, (int, float)):
+            return True
+        return (time.time() - float(saved_at)) > float(max_age)
 
     # -- paths -------------------------------------------------------------------
     def path_for(self, client_id: str, compilation: CompilationResult) -> Path:
@@ -119,28 +157,36 @@ class SessionStore:
                 "programs": sorted(programs),
                 "evaluation_keys": evaluation_keys,
             }
-            # Atomic publish: a concurrent reader (another shard) sees either
-            # the old record or the new one, never a torn file.
-            fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
-            try:
-                with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                    json.dump(record, handle)
-                os.replace(tmp_name, path)
-            except BaseException:
-                try:
-                    os.unlink(tmp_name)
-                except OSError:
-                    pass
-                raise
+            atomic_write_json(self.root, path, record)
         return path
 
     # -- read --------------------------------------------------------------------
     def load(
         self, client_id: str, compilation: CompilationResult
     ) -> Optional[Dict[str, Any]]:
-        """The persisted key blob for ``(client, compilation)``, or ``None``."""
-        record = self._read(self.path_for(client_id, compilation))
+        """The persisted key blob for ``(client, compilation)``, or ``None``.
+
+        With a TTL configured, records past it read as missing (and are
+        deleted opportunistically): an expired session must force the client
+        back through ``create_session``, not silently serve stale keys.
+        """
+        path = self.path_for(client_id, compilation)
+        record = self._read(path)
         if record is None:
+            return None
+        if self._expired(record):
+            # Delete under the lock, after re-reading: a concurrent save()
+            # may have just republished fresh keys at this path, and deleting
+            # those would silently destroy a live session.  (save() holds the
+            # same lock, so the in-process race is closed; a cross-process
+            # saver stamps a fresh saved_at, which the re-read observes.)
+            with self._lock:
+                current = self._read(path)
+                if current is not None and self._expired(current):
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
             return None
         keys = record.get("evaluation_keys")
         return keys if isinstance(keys, dict) else None
@@ -176,6 +222,38 @@ class SessionStore:
             )
         return found
 
+    def prune(self, max_age: Optional[float] = None) -> int:
+        """Delete records older than ``max_age`` seconds (defaults to the TTL).
+
+        The session GC for long-lived ``--session-dir`` directories: without
+        it the store grows one record per (client, parameters) pair forever.
+        Corrupt records are aged by file mtime so they get swept too.
+        Returns the number of files removed; a no-op without a bound.
+        """
+        max_age = max_age if max_age is not None else self.ttl
+        if max_age is None:
+            return 0
+        removed = 0
+        with self._lock:
+            for path in self.root.glob("*.json"):
+                record = self._read(path)
+                if record is None:
+                    # Unreadable records degrade to misses anyway; sweep them
+                    # once they are old by the filesystem clock.
+                    try:
+                        expired = (time.time() - path.stat().st_mtime) > float(max_age)
+                    except OSError:
+                        continue
+                else:
+                    expired = self._expired(record, max_age)
+                if expired:
+                    try:
+                        path.unlink()
+                        removed += 1
+                    except OSError:
+                        pass
+        return removed
+
     def delete(self, client_id: str) -> int:
         """Drop every persisted session of ``client_id`` (e.g. key rotation)."""
         count = 0
@@ -203,6 +281,7 @@ class SessionStore:
         """
         return {
             "root": str(self.root),
+            "ttl": self.ttl,
             "records": sum(1 for _ in self.root.glob("*.json")),
         }
 

@@ -345,6 +345,206 @@ class TestClusterEndToEnd:
                 router.shutdown()
             cluster.close()
 
+    def test_kill_then_rejoin_restores_membership(self, tmp_path):
+        """The full chaos loop in-process: kill -> rejoin -> same home serves."""
+        program = make_poly_program()
+        expected = execute_reference(program.graph, {"x": [1.0, 2.0]})["y"][:2]
+        cluster = EvaCluster(
+            shards=2,
+            backend=BackendSpec("mock-exact", seed=7),
+            session_dir=tmp_path,
+            batch_window=0.0,
+        )
+        cluster.register("poly", program)
+        cluster.start()
+        try:
+            outputs = cluster.request("poly", {"x": [1.0, 2.0]}, client_id="alice")
+            np.testing.assert_allclose(outputs["y"][:2], expected, atol=1e-6)
+            victim = cluster.shard_for("alice")
+            old_pid = cluster.shard_infos()[victim]["pid"]
+            cluster.kill_shard(victim)
+            statuses = {h["index"]: h["status"] for h in cluster.check_health()}
+            assert statuses[victim] == "dead"
+
+            info = cluster.rejoin_shard(victim)
+            assert info["respawned"] and info["pid"] != old_pid
+            # Consistent hashing puts alice right back on her old home, and
+            # the respawned shard serves her (cached connections to the dead
+            # process were invalidated by the generation bump).
+            assert cluster.shard_for("alice") == victim
+            outputs = cluster.request("poly", {"x": [1.0, 2.0]}, client_id="alice")
+            np.testing.assert_allclose(outputs["y"][:2], expected, atol=1e-6)
+            stats = cluster.stats()
+            assert stats["live"] == [0, 1] and stats["dead"] == []
+            statuses = {h["index"]: h["status"] for h in cluster.check_health()}
+            assert statuses == {0: "live", 1: "live"}
+            # Rejoining a live in-ring shard is a no-op, not an error.
+            assert not cluster.rejoin_shard(victim)["respawned"]
+        finally:
+            cluster.close()
+
+    def test_drain_reroutes_then_rejoin_without_respawn(self):
+        program = make_poly_program()
+        cluster = EvaCluster(
+            shards=2, backend=BackendSpec("mock-exact", seed=7), batch_window=0.0
+        )
+        cluster.register("poly", program)
+        cluster.start()
+        try:
+            home = cluster.shard_for("alice")
+            info = cluster.drain_shard(home)
+            assert info["status"] == "drained"
+            # Drained: out of the ring (clients reroute) but still alive.
+            assert cluster.shard_for("alice") != home
+            statuses = {h["index"]: h["status"] for h in cluster.check_health()}
+            assert statuses[home] == "drained"
+            cluster.request("poly", {"x": [1.0]}, client_id="alice")
+            # The last in-ring shard cannot be drained: that would be an
+            # outage, not maintenance.
+            survivor = cluster.shard_for("alice")
+            with pytest.raises(ServingError, match="last shard"):
+                cluster.drain_shard(survivor)
+            info = cluster.rejoin_shard(home)
+            assert not info["respawned"]
+            assert cluster.shard_for("alice") == home
+            cluster.request("poly", {"x": [1.0]}, client_id="alice")
+            with pytest.raises(ServingError, match="no shard"):
+                cluster.drain_shard(99)
+        finally:
+            cluster.close()
+
+    def test_router_admin_ops_and_quota_enforcement(self, tmp_path):
+        """health/drain/rejoin over the wire, plus router-level 429s."""
+        from repro.errors import QuotaExceededError
+        from repro.serving import FairnessPolicy
+
+        program = make_poly_program()
+        cluster = EvaCluster(
+            shards=2,
+            backend=BackendSpec("mock-exact", seed=7),
+            session_dir=tmp_path,
+            batch_window=0.0,
+            fairness=FairnessPolicy(quota_rps=2.0, burst=3),
+        )
+        cluster.register("poly", program)
+        cluster.start()
+        router = None
+        try:
+            router = ClusterTcpServer(cluster, port=0)
+            router.start_background()
+            host, port = router.address
+            with ServingClient(host, port) as client:
+                # A pipelined burst past the quota: the router answers 429
+                # with retry_after before the request costs a shard anything.
+                served = throttled = 0
+                retry_after = None
+                for _ in range(8):
+                    try:
+                        client.submit("poly", {"x": [1.0]}, client_id="greedy")
+                        served += 1
+                    except QuotaExceededError as exc:
+                        throttled += 1
+                        retry_after = exc.retry_after
+                # At least the burst is served; the rest is throttled modulo
+                # whatever tokens refill while the loop runs (first-compile
+                # roundtrips on a slow machine can fund an extra token).
+                assert served + throttled == 8
+                assert served >= 3 and throttled >= 1, (served, throttled)
+                assert retry_after is not None and retry_after > 0.0
+                # A different client proceeds while greedy is throttled.
+                client.submit("poly", {"x": [1.0]}, client_id="light")
+
+                victim = client.route("light")["shard"]
+                cluster.kill_shard(victim)
+                health = {h["index"]: h["status"] for h in client.health()}
+                assert health[victim] == "dead"
+                rejoined = client.rejoin(victim)
+                assert rejoined["respawned"]
+                health = {h["index"]: h["status"] for h in client.health()}
+                assert set(health.values()) == {"live"}
+                client.submit("poly", {"x": [1.0]}, client_id="light")
+                drained = client.drain(victim)
+                assert drained["status"] == "drained"
+                assert client.rejoin(victim)["status"] == "rejoined"
+        finally:
+            if router is not None:
+                router.shutdown()
+            cluster.close()
+
+    def test_drained_shard_that_dies_is_reported_dead(self):
+        cluster = EvaCluster(
+            shards=2, backend=BackendSpec("mock-exact", seed=7), batch_window=0.0
+        )
+        cluster.register("poly", make_poly_program())
+        cluster.start()
+        try:
+            cluster.drain_shard(0)
+            # The parked process crashes: health must reclassify it as dead
+            # (and stats' drained/dead lists must agree), not keep reporting
+            # a healthy-looking parked shard.
+            cluster._handles[0].process.kill()
+            cluster._handles[0].process.join(10)
+            statuses = {h["index"]: h["status"] for h in cluster.check_health()}
+            assert statuses[0] == "dead"
+            stats = cluster.stats()
+            assert 0 in stats["dead"] and 0 not in stats["drained"]
+            # ... and rejoin still brings it back (respawned).
+            assert cluster.rejoin_shard(0)["respawned"]
+        finally:
+            cluster.close()
+
+    def test_session_ops_count_against_quota(self, tmp_path):
+        """create_session is the heaviest op; it must not bypass admission."""
+        from repro.errors import QuotaExceededError
+        from repro.serving import FairnessPolicy
+
+        program = make_poly_program()
+        server = EvaServer(
+            backend=MockBackend(error_model="none"),
+            batch_window=0.0,
+            fairness=FairnessPolicy(quota_rps=0.5, burst=2),
+        )
+        server.register("poly", program)
+        kit = ClientKit(
+            CompiledProgram.compile(program.graph),
+            backend=MockBackend(error_model="none"),
+            client_id="alice",
+        )
+        keys = kit.export_evaluation_keys()
+        server.create_session("poly", "alice", keys)
+        server.create_session("poly", "alice", keys)
+        with pytest.raises(QuotaExceededError):
+            server.create_session("poly", "alice", keys)
+        server.close()
+
+    def test_cluster_shares_artifact_directory(self, tmp_path):
+        """Shards publish compilations into the shared artifact cache."""
+        from repro.serving import ArtifactCache
+
+        artifact_dir = tmp_path / "artifacts"
+        program = make_poly_program()
+        cluster = EvaCluster(
+            shards=2,
+            backend=BackendSpec("mock-exact", seed=7),
+            batch_window=0.0,
+            artifact_dir=str(artifact_dir),
+        )
+        cluster.register("poly", program)
+        cluster.start()
+        try:
+            # Hit both shards (different clients) so each resolves the program.
+            clients = ["alice", "bob", "carol", "dave"]
+            for client_id in clients:
+                cluster.request("poly", {"x": [1.0]}, client_id=client_id)
+            cache = ArtifactCache(artifact_dir)
+            records = cache.records()
+            # One program, one signature: however many shards compiled, the
+            # cache converged on a single record (atomic last-writer-wins).
+            assert len(records) == 1
+            assert records[0]["lane_width"] is None
+        finally:
+            cluster.close()
+
     def test_register_after_start_rejected(self):
         cluster = EvaCluster(shards=1, backend=BackendSpec("mock-exact"))
         cluster.register("poly", make_poly_program())
