@@ -190,8 +190,11 @@ def _serve_single(args, options, programs) -> int:
         EvaTcpServer,
         LaneWidthPolicy,
         SessionStore,
+        Telemetry,
+        configure_logging,
     )
 
+    configure_logging(json_logs=args.log_json, level=args.log_level)
     session_store = None
     if args.session_dir:
         session_store = SessionStore(args.session_dir, ttl=args.session_ttl)
@@ -212,6 +215,7 @@ def _serve_single(args, options, programs) -> int:
             if args.precompile_widths
             else None
         ),
+        telemetry=Telemetry(slow_threshold=args.slow_threshold),
     )
     for name, program in programs.items():
         server.register(name, program, options=options)
@@ -239,8 +243,9 @@ def _serve_single(args, options, programs) -> int:
 
 
 def _serve_cluster(args, options, programs) -> int:
-    from .serving import BackendSpec, ClusterTcpServer, EvaCluster
+    from .serving import BackendSpec, ClusterTcpServer, EvaCluster, configure_logging
 
+    configure_logging(json_logs=args.log_json, level=args.log_level)
     cluster = EvaCluster(
         shards=args.shards,
         backend=BackendSpec(name=args.backend, seed=args.seed),
@@ -254,11 +259,16 @@ def _serve_cluster(args, options, programs) -> int:
         artifact_dir=args.artifact_dir,
         fairness=_fairness_policy(args),
         health_interval=args.health_interval or None,
+        slow_threshold=args.slow_threshold,
+        log_json=args.log_json,
+        log_level=args.log_level,
     )
     for name, program in programs.items():
         cluster.register(name, program, options=options)
     cluster.start()
-    tcp = ClusterTcpServer(cluster, host=args.host, port=args.port)
+    tcp = ClusterTcpServer(
+        cluster, host=args.host, port=args.port, slow_threshold=args.slow_threshold
+    )
     host, port = tcp.address
     print(
         json.dumps(
@@ -309,9 +319,11 @@ def cmd_submit(args: argparse.Namespace) -> int:
             )
             if not args.resume:
                 client.create_session(args.program, kit)
-            outputs = client.submit_encrypted(args.program, kit, inputs)
+            outputs = client.submit_encrypted(args.program, kit, inputs, trace=args.trace)
         else:
-            outputs = client.submit(args.program, inputs, client_id=args.client)
+            outputs = client.submit(
+                args.program, inputs, client_id=args.client, trace=args.trace
+            )
         payload = {
             "outputs": {
                 name: np.asarray(values)[: args.head].tolist()
@@ -319,6 +331,18 @@ def cmd_submit(args: argparse.Namespace) -> int:
             },
             "stats": client.last_stats,
         }
+        if args.trace:
+            payload["trace"] = client.last_trace
+            if client.last_trace:
+                # A human-readable per-stage breakdown alongside the raw spans
+                # (summed per stage, in case a merged trace repeats one).
+                breakdown: Dict[str, float] = {}
+                for span in client.last_trace.get("spans", []):
+                    stage = str(span.get("stage"))
+                    breakdown[stage] = round(
+                        breakdown.get(stage, 0.0) + float(span.get("seconds", 0.0)), 6
+                    )
+                payload["trace_breakdown"] = breakdown
     print(json.dumps(payload, indent=2))
     return 0
 
@@ -342,6 +366,19 @@ def cmd_cluster(args: argparse.Namespace) -> int:
             if args.shard is None:
                 raise EvaError("cluster rejoin needs --shard")
             payload = {"rejoin": client.rejoin(args.shard)}
+        elif args.action == "metrics":
+            reply = client.metrics(prometheus=args.prometheus)
+            if args.prometheus:
+                # Raw text exposition, ready for a scraper — not JSON.
+                print(reply.get("prometheus", ""))
+                return 0
+            payload = reply
+        elif args.action == "trace":
+            if not args.trace_id:
+                raise EvaError("cluster trace needs a trace id argument")
+            payload = {"trace": client.trace_of(args.trace_id)}
+        elif args.action == "slow":
+            payload = {"slow": client.slow(limit=args.limit)}
         else:  # pragma: no cover - argparse restricts the choices
             raise EvaError(f"unknown cluster action {args.action!r}")
     print(json.dumps(payload, indent=2))
@@ -452,6 +489,24 @@ def build_parser() -> argparse.ArgumentParser:
         "0 disables)",
     )
     serve.add_argument(
+        "--slow-threshold",
+        type=float,
+        default=1.0,
+        help="seconds above which a request is recorded in the slow-request "
+        "ring and logged as a structured WARNING",
+    )
+    serve.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit one-line JSON log events (trace_id, client, op fields) "
+        "instead of plain text",
+    )
+    serve.add_argument(
+        "--log-level",
+        default="INFO",
+        help="logging level for the serving logger tree (DEBUG, INFO, ...)",
+    )
+    serve.add_argument(
         "--precompile-widths",
         type=int,
         default=0,
@@ -493,26 +548,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="client-side backend for --encrypt (must match the server's)",
     )
     submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument(
+        "--trace",
+        action="store_true",
+        help="mint a trace id, have the server record per-stage spans, and "
+        "print the stage breakdown with the outputs",
+    )
     add_compile_options(submit)
     submit.set_defaults(func=cmd_submit)
 
     cluster = sub.add_parser(
         "cluster",
-        help="administer a running sharded server (health, drain, rejoin)",
+        help="administer a running sharded server (health, drain, rejoin, "
+        "metrics, trace, slow)",
     )
     cluster.add_argument(
         "action",
-        choices=["health", "stats", "route", "drain", "rejoin"],
+        choices=["health", "stats", "route", "drain", "rejoin", "metrics", "trace", "slow"],
         help="health: per-shard liveness; stats: cluster stats; route: a "
         "client's shard; drain: remove a shard from the ring without "
         "stopping it; rejoin: return a shard to the ring (respawning it "
-        "if dead)",
+        "if dead); metrics: aggregated metrics snapshot (--prometheus for "
+        "text exposition); trace: per-stage spans of one trace id; slow: "
+        "recent slow requests",
+    )
+    cluster.add_argument(
+        "trace_id",
+        nargs="?",
+        default=None,
+        help="trace id for the trace action",
     )
     cluster.add_argument("--host", default="127.0.0.1")
     cluster.add_argument("--port", type=int, default=8587)
     cluster.add_argument("--shard", type=int, default=None, help="shard index for drain/rejoin")
     cluster.add_argument("--client", default="default", help="client id for route")
     cluster.add_argument("--timeout", type=float, default=30.0)
+    cluster.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="with metrics: print the Prometheus text exposition",
+    )
+    cluster.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        help="with slow: cap the number of records returned",
+    )
     cluster.set_defaults(func=cmd_cluster)
     return parser
 

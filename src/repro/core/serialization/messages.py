@@ -47,7 +47,11 @@ from ...errors import SerializationError
 #: consistent-hashes to), ``drain`` (take a shard out of the ring without
 #: stopping it), and ``rejoin`` (return a shard to the ring, respawning it if
 #: dead) are answered by cluster routers only; single-process servers reject
-#: them with a ServingError reply.  ``health`` is answered by both.
+#: them with a ServingError reply.  ``health`` is answered by both.  The
+#: telemetry ops — ``metrics`` (registry snapshot, optionally rendered as
+#: Prometheus text), ``trace`` (the recorded spans of one trace id), and
+#: ``slow`` (recent slow requests) — are answered by both, with the router
+#: aggregating across shards.
 REQUEST_OPS = (
     "submit",
     "session",
@@ -58,6 +62,9 @@ REQUEST_OPS = (
     "health",
     "drain",
     "rejoin",
+    "metrics",
+    "trace",
+    "slow",
 )
 
 #: Ops that address one shard and therefore require a ``shard`` index.
@@ -106,12 +113,21 @@ def encode_request(
     bundle: Optional[Dict[str, Any]] = None,
     evaluation_keys: Optional[Dict[str, Any]] = None,
     shard: Optional[int] = None,
+    trace_id: Optional[str] = None,
+    trace: bool = False,
+    fmt: Optional[str] = None,
+    limit: Optional[int] = None,
 ) -> str:
     """Build one wire line for a client request.
 
     ``bundle`` (a wire-encoded cipher bundle) replaces ``inputs`` on the
     encrypted path; ``evaluation_keys`` accompanies a ``session`` request;
     ``shard`` addresses the cluster admin ops (``drain`` / ``rejoin``).
+
+    ``trace_id`` propagates a distributed-trace id (a ``trace`` op *queries*
+    one); ``trace=True`` additionally asks the server to echo the recorded
+    spans in the reply.  ``fmt`` selects the exposition format of a
+    ``metrics`` op (``"prometheus"``); ``limit`` caps a ``slow`` op's rows.
     """
     if op not in REQUEST_OPS:
         raise SerializationError(f"unknown request op {op!r}")
@@ -119,6 +135,8 @@ def encode_request(
         raise SerializationError("a request carries either inputs or a bundle, not both")
     if op in SHARD_OPS and shard is None:
         raise SerializationError(f"{op} requests need a 'shard' index")
+    if op == "trace" and not trace_id:
+        raise SerializationError("trace requests need a 'trace_id'")
     message: Dict[str, Any] = {"op": op}
     if program is not None:
         message["program"] = program
@@ -134,6 +152,14 @@ def encode_request(
         message["output_size"] = int(output_size)
     if shard is not None:
         message["shard"] = int(shard)
+    if trace_id is not None:
+        message["trace_id"] = str(trace_id)
+    if trace:
+        message["trace"] = True
+    if fmt is not None:
+        message["format"] = str(fmt)
+    if limit is not None:
+        message["limit"] = int(limit)
     return json.dumps(message, separators=(",", ":")) + "\n"
 
 
@@ -175,6 +201,11 @@ def decode_request(line: str) -> Dict[str, Any]:
             )
     if op in SHARD_OPS:
         validate_shard(op, message.get("shard"))
+    if op == "trace" and not isinstance(message.get("trace_id"), str):
+        raise SerializationError("trace requests need a string 'trace_id'")
+    trace_id = message.get("trace_id")
+    if trace_id is not None and not isinstance(trace_id, str):
+        raise SerializationError("'trace_id' must be a string")
     message.setdefault("client_id", "default")
     return message
 
@@ -195,12 +226,14 @@ def encode_response(
     return json.dumps(message, separators=(",", ":")) + "\n"
 
 
-def encode_error(error: BaseException) -> str:
+def encode_error(error: BaseException, trace_id: Optional[str] = None) -> str:
     """Build one wire line reporting a failed request.
 
     Quota rejections (anything carrying a ``retry_after`` attribute) include
     it in the reply — the 429 ``Retry-After`` of this wire — so clients can
-    back off precisely.
+    back off precisely.  ``trace_id`` echoes the request's trace id so a
+    failed request stays correlatable (``cluster trace <id>`` finds the spans
+    recorded before the failure).
     """
     message: Dict[str, Any] = {
         "ok": False,
@@ -210,7 +243,30 @@ def encode_error(error: BaseException) -> str:
     retry_after = getattr(error, "retry_after", None)
     if retry_after is not None:
         message["retry_after"] = round(float(retry_after), 6)
+    if trace_id is not None:
+        message["trace_id"] = str(trace_id)
     return json.dumps(message, separators=(",", ":")) + "\n"
+
+
+def splice_field(line: str, key: str, value: Any) -> str:
+    """Insert one top-level field into an encoded wire line without reparsing.
+
+    The cluster router forwards request/response lines *verbatim* — it never
+    pays a decode/re-encode of a possibly multi-megabyte ciphertext payload.
+    This keeps that property for telemetry: injecting a ``trace_id`` into a
+    forwarded request (or attaching a ``trace`` object to a reply) is a
+    string splice at the closing brace.  The line must be one encoded JSON
+    object (as produced by the encode_* functions); behaviour on anything
+    else is undefined.
+    """
+    stripped = line.rstrip("\n")
+    end = stripped.rfind("}")
+    if end < 0:
+        raise SerializationError("cannot splice into a non-object wire line")
+    body = stripped[:end].rstrip()
+    separator = "" if body.endswith("{") else ","
+    encoded = json.dumps({key: value}, separators=(",", ":"))[1:-1]
+    return f"{body}{separator}{encoded}}}\n"
 
 
 def decode_response(line: str) -> Dict[str, Any]:

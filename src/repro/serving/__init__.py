@@ -24,6 +24,12 @@ Turns the one-shot compiler + executor into a serving stack:
   failover, health checks, and shard ``drain`` / ``rejoin``
   (``repro.cli serve --shards N --session-dir PATH``; admin via
   ``repro.cli cluster``).
+* :class:`Telemetry` / :class:`MetricsRegistry` / :class:`Histogram` — the
+  unified telemetry plane: dotted-name counters/gauges/latency histograms
+  (p50/p95/p99 from log buckets), per-stage request tracing with a
+  client-or-router-minted ``trace_id``, slow-request detection, Prometheus
+  text exposition, and cluster-wide aggregation
+  (``repro.cli cluster metrics|trace|slow``; ``submit --trace``).
 """
 
 from .artifacts import ArtifactCache, LaneWidthPolicy, WidthHistogram
@@ -56,6 +62,16 @@ from .server import (
 )
 from .sessions import Session, SessionManager, session_key
 from .store import SessionStore, session_digest
+from .telemetry import (
+    Histogram,
+    MetricsRegistry,
+    Telemetry,
+    aggregate_snapshots,
+    configure_logging,
+    merge_traces,
+    new_trace_id,
+    render_prometheus,
+)
 
 __all__ = [
     "ArtifactCache",
@@ -95,4 +111,12 @@ __all__ = [
     "Session",
     "SessionManager",
     "session_key",
+    "Histogram",
+    "MetricsRegistry",
+    "Telemetry",
+    "aggregate_snapshots",
+    "configure_logging",
+    "merge_traces",
+    "new_trace_id",
+    "render_prometheus",
 ]

@@ -44,6 +44,7 @@ from ..core.compiler import CompilerOptions
 from ..core.ir import Program
 from ..errors import EvaError, ServingError, TransportError
 from .quotas import FairnessPolicy
+from .telemetry import aggregate_snapshots, merge_traces, new_trace_id
 
 #: Transport-level failures that justify failing over to another shard.
 _FAILOVER_ERRORS = (TransportError, OSError)
@@ -169,6 +170,14 @@ class ShardConfig:
     session_ttl: Optional[float] = None
     artifact_dir: Optional[str] = None
     fairness: Optional[FairnessPolicy] = None
+    #: Requests slower than this (seconds, end-to-end in the shard) emit one
+    #: structured WARNING line and join the shard's slow ring buffer.
+    slow_threshold: float = 1.0
+    #: Structured-logging switches (``serve --log-json`` / ``--log-level``):
+    #: applied inside the spawned interpreter, where the parent's logging
+    #: configuration does not exist.
+    log_json: bool = False
+    log_level: str = "INFO"
 
 
 def _shard_main(config: ShardConfig, ready) -> None:  # pragma: no cover - subprocess
@@ -184,7 +193,9 @@ def _shard_main(config: ShardConfig, ready) -> None:  # pragma: no cover - subpr
         from .netserver import EvaTcpServer
         from .server import EvaServer
         from .store import SessionStore
+        from .telemetry import Telemetry, configure_logging
 
+        configure_logging(json_logs=config.log_json, level=config.log_level)
         session_store = None
         if config.session_dir:
             session_store = SessionStore(config.session_dir, ttl=config.session_ttl)
@@ -203,6 +214,9 @@ def _shard_main(config: ShardConfig, ready) -> None:  # pragma: no cover - subpr
                 ArtifactCache(config.artifact_dir) if config.artifact_dir else None
             ),
             fairness=config.fairness,
+            telemetry=Telemetry(
+                slow_threshold=config.slow_threshold, shard=config.index
+            ),
         )
         for spec in config.programs:
             server.register(
@@ -286,6 +300,9 @@ class EvaCluster:
         artifact_dir: Optional[str] = None,
         fairness: Optional[FairnessPolicy] = None,
         health_interval: Optional[float] = None,
+        slow_threshold: float = 1.0,
+        log_json: bool = False,
+        log_level: str = "INFO",
     ) -> None:
         if shards < 1:
             raise ServingError("a cluster needs at least one shard")
@@ -302,6 +319,11 @@ class EvaCluster:
         #: crosses to a shard) and at every shard's job engine.
         self.fairness = fairness
         self.health_interval = health_interval
+        #: Shard-side slow-request threshold and structured-logging switches,
+        #: shipped to every shard process via its :class:`ShardConfig`.
+        self.slow_threshold = float(slow_threshold)
+        self.log_json = bool(log_json)
+        self.log_level = str(log_level)
         self.host = host
         self.workers = workers
         self.queue_size = queue_size
@@ -310,6 +332,8 @@ class EvaCluster:
         self.executor_threads = executor_threads
         self.start_timeout = float(start_timeout)
         self.request_timeout = request_timeout
+        #: Trace id of the most recent traced request (None when untraced).
+        self.last_trace_id: Optional[str] = None
         self.retries = max(int(retries), 1)
         self.ring = ConsistentHashRing(replicas=replicas)
         self._programs: List[_RegisteredProgram] = []
@@ -375,6 +399,9 @@ class EvaCluster:
             session_ttl=self.session_ttl,
             artifact_dir=self.artifact_dir,
             fairness=self.fairness,
+            slow_threshold=self.slow_threshold,
+            log_json=self.log_json,
+            log_level=self.log_level,
         )
 
     def _launch_shard(self, index: int):
@@ -738,12 +765,27 @@ class EvaCluster:
         inputs: Dict[str, Any],
         client_id: str = "default",
         output_size: Optional[int] = None,
+        trace: bool = False,
     ) -> Dict[str, Any]:
-        """Plaintext request: routed to the client's shard, decrypted outputs."""
+        """Plaintext request: routed to the client's shard, decrypted outputs.
+
+        With ``trace`` the trace id is minted *here*, before the retry loop,
+        so a request that fails over after a shard death keeps one id across
+        attempts — the spans of the successful attempt land on the new shard
+        under the same trace.  The minted id is kept as ``last_trace_id`` so
+        the caller can look the trace up afterwards.
+        """
+        trace_id = new_trace_id() if trace else None
+        self.last_trace_id = trace_id
         return self._call(
             client_id,
             lambda client: client.submit(
-                name, inputs, client_id=client_id, output_size=output_size
+                name,
+                inputs,
+                client_id=client_id,
+                output_size=output_size,
+                trace=trace,
+                trace_id=trace_id,
             ),
         )
 
@@ -759,12 +801,20 @@ class EvaCluster:
         )
 
     def submit_bundle(
-        self, name: str, bundle_wire: Dict[str, Any], client_id: str = "default"
+        self,
+        name: str,
+        bundle_wire: Dict[str, Any],
+        client_id: str = "default",
+        trace: bool = False,
     ) -> Dict[str, Any]:
         """Pre-encrypted request; returns wire-encoded ciphertext outputs."""
+        trace_id = new_trace_id() if trace else None
+        self.last_trace_id = trace_id
         return self._call(
             client_id,
-            lambda client: client.submit_bundle(name, bundle_wire, client_id=client_id),
+            lambda client: client.submit_bundle(
+                name, bundle_wire, client_id=client_id, trace=trace, trace_id=trace_id
+            ),
         )
 
     def request_encrypted(
@@ -773,15 +823,23 @@ class EvaCluster:
         client_kit: Any,
         inputs: Dict[str, Any],
         client_id: Optional[str] = None,
+        trace: bool = False,
     ) -> Dict[str, Any]:
-        """End-to-end encrypted request through the client's shard."""
+        """End-to-end encrypted request through the client's shard.
+
+        With ``trace`` the bundle submission is traced under one id (minted
+        before the failover retry loop, like :meth:`request`), available
+        afterwards as ``last_trace_id``.
+        """
         client_id = client_id or getattr(client_kit, "client_id", "default")
-        return self._call(
-            client_id,
-            lambda client: client.submit_encrypted(
-                name, client_kit, inputs, client_id=client_id
-            ),
+        bundle = client_kit.encrypt_inputs(inputs)
+        reply = self.submit_bundle(
+            name,
+            client_kit.bundle_to_wire(bundle),
+            client_id=client_id,
+            trace=trace,
         )
+        return client_kit.decrypt_outputs(client_kit.outputs_from_wire(reply))
 
     # -- introspection -------------------------------------------------------------
     def programs(self) -> List[str]:
@@ -813,3 +871,60 @@ class EvaCluster:
             ),
             "per_shard": shard_stats,
         }
+
+    # -- telemetry fan-out ---------------------------------------------------------
+    def _live_shards(self) -> List[int]:
+        with self._lock:
+            return list(self.ring.nodes)
+
+    def shard_metrics(self) -> Dict[str, Dict[str, Any]]:
+        """Each live shard's registry snapshot, keyed by shard index."""
+        snapshots: Dict[str, Dict[str, Any]] = {}
+        for index in self._live_shards():
+            try:
+                snapshots[str(index)] = self._client_for(index).metrics()["metrics"]
+            except _FAILOVER_ERRORS:
+                self._note_failure(index)
+        return snapshots
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """The cluster-wide snapshot: shard registries aggregated into one.
+
+        Every series appears per-shard (labeled ``shard=<i>``) and summed
+        into an unlabeled aggregate, with histogram percentiles recomputed
+        from the merged buckets.  The TCP router adds its own registry on
+        top when serving the wire ``metrics`` op.
+        """
+        return aggregate_snapshots(self.shard_metrics())
+
+    def shard_traces(self, trace_id: str) -> List[Optional[Dict[str, Any]]]:
+        """Each live shard's view of one trace (None entries for unknown)."""
+        parts: List[Optional[Dict[str, Any]]] = []
+        for index in self._live_shards():
+            try:
+                parts.append(self._client_for(index).trace_of(trace_id))
+            except _FAILOVER_ERRORS:
+                self._note_failure(index)
+        return parts
+
+    def trace_of(self, trace_id: str) -> Optional[Dict[str, Any]]:
+        """One trace merged across shards (spans in timestamp order)."""
+        return merge_traces(self.shard_traces(trace_id))
+
+    def shard_slow(self, limit: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Every live shard's recent slow requests, merged (unsorted)."""
+        records: List[Dict[str, Any]] = []
+        for index in self._live_shards():
+            try:
+                records.extend(self._client_for(index).slow(limit))
+            except _FAILOVER_ERRORS:
+                self._note_failure(index)
+        return records
+
+    def slow_requests(self, limit: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Cluster-wide slow requests, newest first."""
+        records = self.shard_slow(limit)
+        records.sort(key=lambda record: record.get("ts", 0.0), reverse=True)
+        if limit is not None:
+            records = records[: max(int(limit), 0)]
+        return records

@@ -40,6 +40,7 @@ from typing import Any, Callable, Dict, Hashable, List, Optional
 
 from ..errors import QueueFullError, ServingError
 from .quotas import FairnessPolicy, QuotaLedger
+from .telemetry import Telemetry
 
 
 @dataclass
@@ -54,6 +55,14 @@ class Job:
     client: str = "default"
     started_at: float = 0.0
     finished_at: float = 0.0
+    #: Distributed-trace id propagated from the wire request (None when the
+    #: request was untraced); spans recorded for this job carry it.
+    trace_id: Optional[str] = None
+    #: Program name for metric labels (the group key is opaque to the engine).
+    program: Optional[str] = None
+    #: Time this job's batch spent forming (drain + linger), set by the
+    #: dequeue side so the worker can attribute it as a span.
+    batch_form_seconds: float = 0.0
 
     @property
     def queue_seconds(self) -> float:
@@ -128,6 +137,7 @@ class JobEngine:
         max_batch: int = 8,
         batch_window: float = 0.0,
         fairness: Optional[FairnessPolicy] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("the engine needs at least one worker")
@@ -140,6 +150,9 @@ class JobEngine:
         self.fairness = fairness
         self.ledger = QuotaLedger(fairness)
         self.metrics = EngineMetrics()
+        #: Unified telemetry plane (histograms, spans); None keeps the engine
+        #: standalone-usable with only the legacy EngineMetrics totals.
+        self.telemetry = telemetry
         #: Per-client arrival queues; jobs of one client stay FIFO relative
         #: to each other, but *clients* are interleaved by virtual time.
         self._queues: "OrderedDict[str, deque[Job]]" = OrderedDict()
@@ -171,6 +184,8 @@ class JobEngine:
         payload: Any,
         timeout: Optional[float] = None,
         client: str = "default",
+        trace_id: Optional[str] = None,
+        program: Optional[str] = None,
     ) -> "Future[Any]":
         """Enqueue a job for ``client`` and return its future.
 
@@ -181,14 +196,28 @@ class JobEngine:
         raises :class:`~repro.errors.QueueFullError` when space does not free
         up in time (the back-pressure signal a front-end turns into "try
         later").
+
+        ``trace_id`` labels every span the engine records for this job;
+        ``program`` labels its metric series.
         """
         client = str(client)
+        telemetry = self.telemetry
+        admit_started = time.perf_counter()
         try:
             self.ledger.admit(client)
         except ServingError:
             with self._cond:
                 self.metrics.throttled += 1
+            if telemetry is not None:
+                telemetry.inc("serving.requests.throttled", client=client)
             raise
+        if telemetry is not None:
+            telemetry.span(
+                trace_id,
+                "quota_admission",
+                time.perf_counter() - admit_started,
+                client=client,
+            )
         admitted = self.ledger.enabled
         future: "Future[Any]" = Future()
         if admitted:
@@ -202,6 +231,8 @@ class JobEngine:
                     remaining = None if deadline is None else deadline - time.monotonic()
                     if remaining is not None and remaining <= 0:
                         self.metrics.rejected += 1
+                        if telemetry is not None:
+                            telemetry.inc("serving.requests.rejected", client=client)
                         raise QueueFullError(
                             f"job queue is full ({self.queue_size} jobs) and the "
                             f"submit deadline of {timeout:g}s expired"
@@ -217,6 +248,8 @@ class JobEngine:
                     future=future,
                     submitted_at=now,
                     client=client,
+                    trace_id=trace_id,
+                    program=program,
                 )
                 queue = self._queues.get(client)
                 if queue is None:
@@ -230,6 +263,11 @@ class JobEngine:
                 self.metrics.submitted += 1
                 if self.metrics.first_submit_at is None:
                     self.metrics.first_submit_at = now
+                if telemetry is not None:
+                    telemetry.inc(
+                        "serving.requests.submitted", client=client, program=program
+                    )
+                    telemetry.set_gauge("serving.queue.depth", self._queued)
                 self._cond.notify_all()
         except BaseException:
             # The job never entered the queue; settle the future so the
@@ -262,6 +300,7 @@ class JobEngine:
             client = self._next_client()
             assert client is not None  # _queued > 0 implies an active queue
             queue = self._queues[client]
+            form_started = time.perf_counter()
             first = queue.popleft()
             self._queued -= 1
             batch = [first]
@@ -290,6 +329,11 @@ class JobEngine:
                 # stays bounded by the number of *active* clients.
                 self._queues.pop(client, None)
                 self._vtime.pop(client, None)
+            form_seconds = time.perf_counter() - form_started
+            for job in batch:
+                job.batch_form_seconds = form_seconds
+            if self.telemetry is not None:
+                self.telemetry.set_gauge("serving.queue.depth", self._queued)
             self._cond.notify_all()
             return batch
 
@@ -322,6 +366,12 @@ class JobEngine:
             if len(live) != len(batch):
                 with self._cond:
                     self.metrics.cancelled += len(batch) - len(live)
+                if self.telemetry is not None:
+                    for job in batch:
+                        if job not in live:
+                            self.telemetry.inc(
+                                "serving.requests.cancelled", client=job.client
+                            )
             if not live:
                 continue
             batch = live
@@ -349,20 +399,77 @@ class JobEngine:
                 for job in batch:
                     job.finished_at = finished
                     self.metrics.queue_seconds_total += job.queue_seconds
+            if self.telemetry is not None:
+                # This is the single per-job accounting site: solo batches
+                # (len == 1, including degraded-to-solo fallbacks inside the
+                # handler) and grouped batches both pass through here exactly
+                # once per job, so queue wait and the batch-amortized execute
+                # time are reported uniformly.
+                job_execute = execute_seconds / len(batch)
+                self.telemetry.observe("serving.batch.size", len(batch))
+                for job in batch:
+                    self.telemetry.observe(
+                        "serving.queue.seconds",
+                        job.queue_seconds,
+                        client=job.client,
+                        program=job.program,
+                    )
+                    self.telemetry.observe(
+                        "serving.execute.seconds",
+                        job_execute,
+                        client=job.client,
+                        program=job.program,
+                    )
+                    self.telemetry.span(
+                        job.trace_id, "queue_wait", job.queue_seconds,
+                        client=job.client,
+                    )
+                    self.telemetry.span(
+                        job.trace_id, "batch_form", job.batch_form_seconds,
+                        batch_size=len(batch),
+                    )
+                    self.telemetry.span(
+                        job.trace_id, "execute", job_execute,
+                        batch_size=len(batch), program=job.program,
+                    )
             for job, result in zip(batch, results):
                 try:
                     if isinstance(result, BaseException):
                         with self._cond:
                             self.metrics.failed += 1
+                        if self.telemetry is not None:
+                            self.telemetry.inc(
+                                "serving.requests.failed",
+                                client=job.client,
+                                program=job.program,
+                            )
                         job.future.set_exception(result)
                     else:
                         with self._cond:
                             self.metrics.completed += 1
+                        if self.telemetry is not None:
+                            self.telemetry.inc(
+                                "serving.requests.completed",
+                                client=job.client,
+                                program=job.program,
+                            )
                         job.future.set_result(result)
                 except InvalidStateError:  # pragma: no cover - narrow race
                     # The future was resolved elsewhere; the worker must
                     # survive to serve the rest of the queue either way.
                     pass
+
+    # -- introspection -----------------------------------------------------------
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """The :class:`EngineMetrics` summary, read under the engine lock.
+
+        Workers mutate the metrics under ``self._cond``; stats paths that
+        read ``self.metrics.summary()`` without it can observe torn
+        mid-batch state (e.g. ``batches`` advanced but ``completed`` not
+        yet).  Every stats/exposition path goes through here instead.
+        """
+        with self._cond:
+            return self.metrics.summary()
 
     # -- lifecycle ---------------------------------------------------------------
     def _drain_all(self) -> List[Job]:

@@ -24,6 +24,7 @@ import json
 import socket
 import socketserver
 import threading
+import time
 from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
@@ -38,6 +39,13 @@ from ..errors import (
 )
 from .quotas import FairnessPolicy, QuotaLedger
 from .server import EvaServer
+from .telemetry import (
+    Telemetry,
+    aggregate_snapshots,
+    merge_traces,
+    new_trace_id,
+    render_prometheus,
+)
 
 
 class _RequestHandler(socketserver.StreamRequestHandler):
@@ -53,12 +61,20 @@ class _RequestHandler(socketserver.StreamRequestHandler):
             text = line.decode("utf-8").strip()
             if not text:
                 continue
+            # Captured as soon as the request parses, so even an error reply
+            # echoes the trace id the request carried (quota rejections
+            # included — the client can still look the trace up).
+            trace_id: Optional[str] = None
             try:
-                reply = self._dispatch(messages.decode_request(text))
+                request = messages.decode_request(text)
+                trace_id = request.get("trace_id")
+                reply = self._dispatch(request)
             except EvaError as error:
-                reply = messages.encode_error(error)
+                reply = messages.encode_error(error, trace_id=trace_id)
             except Exception as error:  # never let a request kill the connection
-                reply = messages.encode_error(ServingError(str(error)))
+                reply = messages.encode_error(
+                    ServingError(str(error)), trace_id=trace_id
+                )
             self.wfile.write(reply.encode("utf-8"))
             self.wfile.flush()
 
@@ -71,6 +87,20 @@ class _RequestHandler(socketserver.StreamRequestHandler):
             return messages.encode_response(payload={"programs": eva.programs()})
         if op == "stats":
             return messages.encode_response(payload={"stats": eva.stats()})
+        if op == "metrics":
+            snapshot = eva.metrics_snapshot()
+            payload: Dict[str, Any] = {"metrics": snapshot}
+            if request.get("format") == "prometheus":
+                payload["prometheus"] = render_prometheus(snapshot)
+            return messages.encode_response(payload=payload)
+        if op == "trace":
+            return messages.encode_response(
+                payload={"trace": eva.telemetry.trace_of(request["trace_id"])}
+            )
+        if op == "slow":
+            return messages.encode_response(
+                payload={"slow": eva.telemetry.slow(request.get("limit"))}
+            )
         if op == "health":
             return messages.encode_response(
                 payload={
@@ -88,39 +118,89 @@ class _RequestHandler(socketserver.StreamRequestHandler):
             raise ServingError(
                 f"{op} is a cluster operation; this is a single-process server"
             )
+        started = time.perf_counter()
+        trace_id = request.get("trace_id")
+        client_id = request.get("client_id", "default")
+        program = request.get("program")
         if op == "session":
             session = eva.create_session(
                 request["program"],
-                request.get("client_id", "default"),
+                client_id,
                 request["evaluation_keys"],
             )
-            return messages.encode_response(payload={"session": session})
+            reply = messages.encode_response(payload={"session": session})
+            eva.telemetry.finish(
+                trace_id,
+                time.perf_counter() - started,
+                op="session",
+                client=client_id,
+                program=program,
+            )
+            return reply
         if "bundle" in request:
             name = request["program"]
-            client_id = request.get("client_id", "default")
             response = eva.request_encrypted(
-                name, request["bundle"], client_id=client_id
+                name, request["bundle"], client_id=client_id, trace_id=trace_id
             )
             # Encode the ciphertext reply with the session context the worker
             # evaluated under (carried on the response, so an eviction between
             # evaluation and encoding cannot fail a completed request); the
             # server never decrypts — only the submitting client can.
+            encode_started = time.perf_counter()
             reply = messages.encode_response(
                 stats=response.stats_dict(),
                 payload={"encrypted_outputs": response.to_wire()},
             )
             # The transport owns the output handles once encoded.
             response.release()
+            eva.telemetry.span(
+                trace_id,
+                "serialize_reply",
+                time.perf_counter() - encode_started,
+            )
+            reply = self._finish_submit(
+                request, reply, started, client_id, program
+            )
             return reply
         response = eva.request(
             request["program"],
             request["inputs"],
-            client_id=request.get("client_id", "default"),
+            client_id=client_id,
             output_size=request.get("output_size"),
+            trace_id=trace_id,
         )
-        return messages.encode_response(
+        encode_started = time.perf_counter()
+        reply = messages.encode_response(
             outputs=response.outputs, stats=response.stats_dict()
         )
+        eva.telemetry.span(
+            trace_id, "serialize_reply", time.perf_counter() - encode_started
+        )
+        return self._finish_submit(request, reply, started, client_id, program)
+
+    def _finish_submit(
+        self,
+        request: Dict[str, Any],
+        reply: str,
+        started: float,
+        client_id: str,
+        program: Optional[str],
+    ) -> str:
+        """Close out one submit: total-latency metrics, slow log, trace echo."""
+        eva = self.server.eva_server
+        trace_id = request.get("trace_id")
+        eva.telemetry.finish(
+            trace_id,
+            time.perf_counter() - started,
+            op="submit",
+            client=client_id,
+            program=program,
+        )
+        if trace_id and request.get("trace"):
+            trace = eva.telemetry.trace_of(trace_id)
+            if trace is not None:
+                reply = messages.splice_field(reply, "trace", trace)
+        return reply
 
 
 class EvaTcpServer(socketserver.ThreadingTCPServer):
@@ -170,17 +250,23 @@ class _RouterHandler(socketserver.StreamRequestHandler):
             text = line.decode("utf-8").strip()
             if not text:
                 continue
+            trace_id: Optional[str] = None
             try:
-                reply = self._dispatch(text)
+                reply, trace_id = self._dispatch(text)
             except EvaError as error:
-                reply = messages.encode_error(error)
+                reply = messages.encode_error(
+                    error, trace_id=getattr(error, "trace_id", None) or trace_id
+                )
             except Exception as error:  # never let a request kill the connection
-                reply = messages.encode_error(ServingError(str(error)))
+                reply = messages.encode_error(
+                    ServingError(str(error)), trace_id=trace_id
+                )
             self.wfile.write(reply.encode("utf-8"))
             self.wfile.flush()
 
-    def _dispatch(self, text: str) -> str:
+    def _dispatch(self, text: str) -> Tuple[str, Optional[str]]:
         cluster = self.server.cluster
+        telemetry = self.server.telemetry
         try:
             request = json.loads(text)
         except json.JSONDecodeError as exc:
@@ -189,49 +275,176 @@ class _RouterHandler(socketserver.StreamRequestHandler):
             raise SerializationError("request must be a JSON object")
         op = request.get("op")
         client_id = str(request.get("client_id", "default"))
+        trace_id = request.get("trace_id")
+        if trace_id is not None and not isinstance(trace_id, str):
+            raise SerializationError("'trace_id' must be a string")
         # Ops the router answers itself: liveness, routing introspection,
         # shard lifecycle administration, and the cluster-wide views that
         # span shards.
         if op == "ping":
-            return messages.encode_response(payload={"pong": True})
+            return messages.encode_response(payload={"pong": True}), trace_id
         if op == "route":
-            return messages.encode_response(
-                payload={"route": cluster.describe_route(client_id)}
+            return (
+                messages.encode_response(
+                    payload={"route": cluster.describe_route(client_id)}
+                ),
+                trace_id,
             )
         if op == "health":
-            return messages.encode_response(
-                payload={"health": cluster.check_health()}
+            return (
+                messages.encode_response(payload={"health": cluster.check_health()}),
+                trace_id,
             )
         if op == "drain":
             shard = messages.validate_shard(op, request.get("shard"))
-            return messages.encode_response(
-                payload={"drain": cluster.drain_shard(shard)}
+            return (
+                messages.encode_response(payload={"drain": cluster.drain_shard(shard)}),
+                trace_id,
             )
         if op == "rejoin":
             shard = messages.validate_shard(op, request.get("shard"))
-            return messages.encode_response(
-                payload={"rejoin": cluster.rejoin_shard(shard)}
+            return (
+                messages.encode_response(
+                    payload={"rejoin": cluster.rejoin_shard(shard)}
+                ),
+                trace_id,
             )
         if op == "list":
-            return messages.encode_response(payload={"programs": cluster.programs()})
+            return (
+                messages.encode_response(payload={"programs": cluster.programs()}),
+                trace_id,
+            )
         if op == "stats":
-            return messages.encode_response(payload={"stats": cluster.stats()})
+            return (
+                messages.encode_response(payload={"stats": cluster.stats()}),
+                trace_id,
+            )
+        if op == "metrics":
+            # The cluster-wide snapshot: every live shard's registry plus the
+            # router's own, aggregated (per-shard labeled series + summed
+            # totals with percentiles recomputed from merged buckets).
+            snapshots = cluster.shard_metrics()
+            snapshots["router"] = telemetry.registry.snapshot()
+            snapshot = aggregate_snapshots(snapshots)
+            payload: Dict[str, Any] = {"metrics": snapshot}
+            if request.get("format") == "prometheus":
+                payload["prometheus"] = render_prometheus(snapshot)
+            return messages.encode_response(payload=payload), trace_id
+        if op == "trace":
+            queried = request.get("trace_id")
+            if not isinstance(queried, str):
+                raise SerializationError("trace requests need a string 'trace_id'")
+            parts = cluster.shard_traces(queried)
+            parts.append(telemetry.trace_of(queried))
+            return (
+                messages.encode_response(payload={"trace": merge_traces(parts)}),
+                trace_id,
+            )
+        if op == "slow":
+            limit = request.get("limit")
+            records = cluster.shard_slow(limit)
+            records.extend(telemetry.slow(limit))
+            records.sort(key=lambda r: r.get("ts", 0.0), reverse=True)
+            if limit is not None:
+                records = records[: max(int(limit), 0)]
+            return messages.encode_response(payload={"slow": records}), trace_id
         # Everything else ("submit", "session") is forwarded verbatim to the
         # client's shard; the shard validates the message itself.  Both pass
         # per-client admission first — sessions are the *heaviest* op (key
         # import + persistence), so exempting them would leave the biggest
         # hole — and the router is the cheap place to say 429, before the
         # request ever crosses to a shard.
+        if op in ("submit", "session") and trace_id is None:
+            # Mint at the router for untraced clients: every request crossing
+            # the cluster is correlatable even when the client is a five-line
+            # script.  A string splice, not a re-encode — the payload may be
+            # megabytes of ciphertext.
+            trace_id = new_trace_id()
+            text = messages.splice_field(text, "trace_id", trace_id)
+        started = time.perf_counter()
         ledger = self.server.ledger
         if op in ("submit", "session") and ledger.enabled:
-            ledger.admit(client_id)  # raises QuotaExceededError (encoded above)
+            admit_started = time.perf_counter()
             try:
-                return cluster._call(
-                    client_id, lambda upstream: upstream.roundtrip_raw(text)
-                )
+                ledger.admit(client_id)  # raises QuotaExceededError (encoded above)
+            except EvaError as exc:
+                telemetry.inc("serving.router.throttled", client=client_id)
+                # The handler's except path never saw the parsed request, so
+                # carry the trace id on the exception — a throttled client
+                # still gets a correlatable reply.
+                exc.trace_id = trace_id
+                raise
+            telemetry.span(
+                trace_id,
+                "quota_admission",
+                time.perf_counter() - admit_started,
+                client=client_id,
+            )
+            try:
+                reply = self._forward(text, request, client_id, trace_id)
             finally:
                 ledger.release(client_id)
-        return cluster._call(client_id, lambda upstream: upstream.roundtrip_raw(text))
+        else:
+            reply = self._forward(text, request, client_id, trace_id)
+        if op in ("submit", "session"):
+            telemetry.finish(
+                trace_id,
+                time.perf_counter() - started,
+                op=str(op),
+                client=client_id,
+                program=request.get("program"),
+            )
+            if request.get("trace"):
+                reply = self._merge_reply_trace(reply, trace_id)
+        return reply, trace_id
+
+    def _forward(
+        self,
+        text: str,
+        request: Dict[str, Any],
+        client_id: str,
+        trace_id: Optional[str],
+    ) -> str:
+        """Forward one line to the client's shard, timing the hop as a span."""
+        cluster = self.server.cluster
+        forward_started = time.perf_counter()
+        reply = cluster._call(
+            client_id, lambda upstream: upstream.roundtrip_raw(text)
+        )
+        self.server.telemetry.span(
+            trace_id,
+            "router_forward",
+            time.perf_counter() - forward_started,
+            client=client_id,
+            op=request.get("op"),
+        )
+        self.server.telemetry.inc(
+            "serving.router.forwarded", client=client_id, op=request.get("op")
+        )
+        return reply
+
+    def _merge_reply_trace(self, reply: str, trace_id: Optional[str]) -> str:
+        """Fold the router's spans into the trace object a shard echoed.
+
+        Only runs for requests that asked for an echo (``"trace": true``), so
+        the decode/re-encode cost is opt-in; untraced ciphertext replies are
+        still relayed verbatim.
+        """
+        if not trace_id:
+            return reply
+        router_view = self.server.telemetry.trace_of(trace_id)
+        if router_view is None:
+            return reply
+        try:
+            message = json.loads(reply)
+        except json.JSONDecodeError:
+            return reply
+        if not isinstance(message, dict):
+            return reply
+        merged = merge_traces([message.get("trace"), router_view])
+        if merged is not None:
+            message["trace"] = merged
+        return json.dumps(message, separators=(",", ":")) + "\n"
 
 
 class ClusterTcpServer(socketserver.ThreadingTCPServer):
@@ -260,11 +473,16 @@ class ClusterTcpServer(socketserver.ThreadingTCPServer):
         host: str = "127.0.0.1",
         port: int = 0,
         fairness: Optional[FairnessPolicy] = None,
+        slow_threshold: float = 1.0,
     ) -> None:
         self.cluster = cluster
         if fairness is None:
             fairness = getattr(cluster, "fairness", None)
         self.ledger = QuotaLedger(fairness)
+        #: The router's own telemetry plane: forward/admission spans, router
+        #: counters, and router-side slow-request detection (end-to-end
+        #: latency as the client experienced it, including the shard hop).
+        self.telemetry = Telemetry(slow_threshold=slow_threshold, shard="router")
         super().__init__((host, port), _RouterHandler)
 
     @property
@@ -313,11 +531,14 @@ class ServingClient:
             if kind == "QuotaExceededError":
                 # The serving layer's 429: re-raise typed, with the server's
                 # retry-after hint, so callers can back off instead of just
-                # failing.
-                raise QuotaExceededError(
+                # failing.  The echoed trace id rides along so a throttled
+                # request stays correlatable.
+                error = QuotaExceededError(
                     str(response.get("error")),
                     retry_after=float(response.get("retry_after", 0.0) or 0.0),
                 )
+                error.trace_id = response.get("trace_id")
+                raise error
             raise ServingError(f"{kind}: {response.get('error')}")
         return response
 
@@ -327,8 +548,19 @@ class ServingClient:
         inputs: Dict[str, Any],
         client_id: str = "default",
         output_size: Optional[int] = None,
+        trace: bool = False,
+        trace_id: Optional[str] = None,
     ) -> Dict[str, np.ndarray]:
-        """Execute ``program`` on the server; returns decrypted outputs."""
+        """Execute ``program`` on the server; returns decrypted outputs.
+
+        With ``trace=True`` the client mints a trace id (unless the caller
+        supplies one — e.g. a retry loop keeping one id across attempts), the
+        server records a span per stage, and the reply echoes them —
+        available afterwards as ``self.last_trace`` (``submit --trace``
+        prints this breakdown).
+        """
+        if trace and trace_id is None:
+            trace_id = new_trace_id()
         response = self._roundtrip(
             messages.encode_request(
                 "submit",
@@ -336,9 +568,12 @@ class ServingClient:
                 inputs=inputs,
                 client_id=client_id,
                 output_size=output_size,
+                trace_id=trace_id,
+                trace=trace,
             )
         )
         self.last_stats: Dict[str, Any] = response.get("stats", {})
+        self.last_trace: Optional[Dict[str, Any]] = response.get("trace")
         return response.get("outputs", {})
 
     def create_session(self, program: str, client_kit: Any, client_id: Optional[str] = None) -> Dict[str, Any]:
@@ -362,14 +597,24 @@ class ServingClient:
         program: str,
         bundle_wire: Dict[str, Any],
         client_id: str = "default",
+        trace: bool = False,
+        trace_id: Optional[str] = None,
     ) -> Dict[str, Any]:
         """Submit a wire-encoded cipher bundle; returns wire-encoded ciphertext outputs."""
+        if trace and trace_id is None:
+            trace_id = new_trace_id()
         response = self._roundtrip(
             messages.encode_request(
-                "submit", program=program, bundle=bundle_wire, client_id=client_id
+                "submit",
+                program=program,
+                bundle=bundle_wire,
+                client_id=client_id,
+                trace_id=trace_id,
+                trace=trace,
             )
         )
         self.last_stats = response.get("stats", {})
+        self.last_trace = response.get("trace")
         return response.get("encrypted_outputs", {})
 
     def submit_encrypted(
@@ -378,6 +623,7 @@ class ServingClient:
         client_kit: Any,
         inputs: Dict[str, Any],
         client_id: Optional[str] = None,
+        trace: bool = False,
     ) -> Dict[str, np.ndarray]:
         """End-to-end encrypted request: encrypt, submit, decrypt — keys stay local.
 
@@ -392,6 +638,7 @@ class ServingClient:
             program,
             client_kit.bundle_to_wire(bundle),
             client_id=client_id or getattr(client_kit, "client_id", "default"),
+            trace=trace,
         )
         return client_kit.decrypt_outputs(client_kit.outputs_from_wire(reply))
 
@@ -422,6 +669,34 @@ class ServingClient:
 
     def stats(self) -> Dict[str, Any]:
         return self._roundtrip(messages.encode_request("stats")).get("stats", {})
+
+    def metrics(self, prometheus: bool = False) -> Dict[str, Any]:
+        """The server's unified metrics snapshot (cluster-aggregated on routers).
+
+        With ``prometheus=True`` the reply additionally carries the rendered
+        text exposition under ``"prometheus"``.
+        """
+        response = self._roundtrip(
+            messages.encode_request(
+                "metrics", fmt="prometheus" if prometheus else None
+            )
+        )
+        result = {"metrics": response.get("metrics", {})}
+        if "prometheus" in response:
+            result["prometheus"] = response["prometheus"]
+        return result
+
+    def trace_of(self, trace_id: str) -> Optional[Dict[str, Any]]:
+        """The recorded per-stage spans of one trace id (None when unknown)."""
+        return self._roundtrip(
+            messages.encode_request("trace", trace_id=trace_id)
+        ).get("trace")
+
+    def slow(self, limit: Optional[int] = None) -> list:
+        """Recent slow requests, newest first (cluster-merged on routers)."""
+        return self._roundtrip(
+            messages.encode_request("slow", limit=limit)
+        ).get("slow", [])
 
     def ping(self) -> bool:
         return bool(self._roundtrip(messages.encode_request("ping")).get("pong"))

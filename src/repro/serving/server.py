@@ -52,6 +52,7 @@ from .quotas import FairnessPolicy
 from .registry import ProgramRegistry
 from .sessions import SessionManager
 from .store import SessionStore
+from .telemetry import Telemetry, absorb_summary
 
 
 @dataclass
@@ -184,12 +185,17 @@ class EvaServer:
         artifact_cache: Optional[ArtifactCache] = None,
         fairness: Optional[FairnessPolicy] = None,
         precompile: Optional[LaneWidthPolicy] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if backend is None:
             from ..backend.mock_backend import MockBackend
 
             backend = MockBackend()
         self.backend = backend
+        #: The unified telemetry plane (metrics registry + trace/slow rings).
+        #: Every server owns one so metrics exposition is always available;
+        #: transports share it to record their own spans.
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
         #: Optional cross-process compiled-artifact cache: a registry miss
         #: loads what a sibling shard already compiled instead of recompiling,
         #: and fresh compilations are published back for the fleet.
@@ -229,6 +235,7 @@ class EvaServer:
             max_batch=max_batch,
             batch_window=batch_window,
             fairness=fairness,
+            telemetry=self.telemetry,
         )
 
     # -- registration ------------------------------------------------------------
@@ -284,6 +291,7 @@ class EvaServer:
         client_id: str = "default",
         output_size: Optional[int] = None,
         timeout: Optional[float] = None,
+        trace_id: Optional[str] = None,
     ) -> "Future[ServeResponse]":
         """Queue one request; the future resolves to a :class:`ServeResponse`."""
         with self._lock:
@@ -315,6 +323,8 @@ class EvaServer:
             payload,
             timeout=timeout,
             client=str(client_id),
+            trace_id=trace_id,
+            program=name,
         )
 
     def request(
@@ -324,6 +334,7 @@ class EvaServer:
         client_id: str = "default",
         output_size: Optional[int] = None,
         timeout: Optional[float] = None,
+        trace_id: Optional[str] = None,
     ) -> ServeResponse:
         """Synchronous convenience wrapper around :meth:`submit`.
 
@@ -333,7 +344,7 @@ class EvaServer:
         """
         return self.submit(
             name, inputs, client_id=client_id, output_size=output_size,
-            timeout=timeout,
+            timeout=timeout, trace_id=trace_id,
         ).result(timeout)
 
     # -- encrypted request path ----------------------------------------------------
@@ -450,6 +461,7 @@ class EvaServer:
         bundle: Any,
         client_id: Optional[str] = None,
         timeout: Optional[float] = None,
+        trace_id: Optional[str] = None,
     ) -> "Future[EncryptedServeResponse]":
         """Queue one pre-encrypted bundle; future resolves to ciphertext outputs.
 
@@ -480,6 +492,8 @@ class EvaServer:
             payload,
             timeout=timeout,
             client=str(client_id),
+            trace_id=trace_id,
+            program=name,
         )
 
     def request_encrypted(
@@ -488,13 +502,14 @@ class EvaServer:
         bundle: Any,
         client_id: Optional[str] = None,
         timeout: Optional[float] = None,
+        trace_id: Optional[str] = None,
     ) -> EncryptedServeResponse:
         """Synchronous convenience wrapper around :meth:`submit_encrypted`.
 
         ``timeout`` bounds each stage: queue admission and the result wait.
         """
         return self.submit_encrypted(
-            name, bundle, client_id=client_id, timeout=timeout
+            name, bundle, client_id=client_id, timeout=timeout, trace_id=trace_id
         ).result(timeout)
 
     # -- execution (worker side) -------------------------------------------------
@@ -745,19 +760,38 @@ class EvaServer:
         from ..api.bundles import EncryptedOutputs, bundle_from_wire
 
         _, signature, client_id = jobs[0].group
+        resolve_started = time.perf_counter()
         spec, compilation, cached_program = self._resolve_any(
             [job.payload.name for job in jobs], signature
         )
+        restored = False
         try:
             session = self.sessions.get_attached(compilation, client_id)
         except LookupError as exc:
             # The client may have registered its keys with a previous process
             # (server restart) or a different shard (reroute after a shard
             # failure): restore from the persistent store before giving up.
+            restore_started = time.perf_counter()
             session = self._restore_session(compilation, client_id)
             if session is None:
                 raise ServingError(str(exc)) from exc
+            restored = True
+            restore_seconds = time.perf_counter() - restore_started
         engine = self._engine_for(spec.signature, compilation)
+        resolve_seconds = time.perf_counter() - resolve_started
+        for job in jobs:
+            self.telemetry.span(
+                job.trace_id,
+                "compile_or_cache",
+                resolve_seconds - (restore_seconds if restored else 0.0),
+                cached=cached_program,
+                program=spec.name,
+            )
+            if restored:
+                self.telemetry.span(
+                    job.trace_id, "session_restore", restore_seconds,
+                    client=client_id,
+                )
         responses: List[Any] = []
         with session.lock:
             for job in jobs:
@@ -815,10 +849,20 @@ class EvaServer:
             return self._handle_encrypted_batch(jobs)
         _, signature, client_id = group
         requests: List[ServeRequest] = [job.payload for job in jobs]
+        resolve_started = time.perf_counter()
         spec, compilation, cached_program = self._resolve_any(
             [request.name for request in requests], signature
         )
         executor, batch_info = self._executor_for(spec.signature, compilation)
+        resolve_seconds = time.perf_counter() - resolve_started
+        for job in jobs:
+            self.telemetry.span(
+                job.trace_id,
+                "compile_or_cache",
+                resolve_seconds,
+                cached=cached_program,
+                program=spec.name,
+            )
 
         plan = self.batcher.plan(
             compilation,
@@ -933,7 +977,9 @@ class EvaServer:
             "session_store": (
                 self.session_store.summary() if self.session_store else None
             ),
-            "engine": self.engine.metrics.summary(),
+            # Read under the engine lock: workers mutate these counters
+            # mid-batch, and an unlocked read can observe torn state.
+            "engine": self.engine.metrics_snapshot(),
             "quota": self.engine.ledger.summary(),
             "precompile": {
                 "enabled": self.precompile is not None,
@@ -946,6 +992,28 @@ class EvaServer:
             # and were pinned to solo execution; non-zero deserves a look.
             "lane_variant_failures": lane_failures,
         }
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """The unified telemetry snapshot: registry series + absorbed summaries.
+
+        The request-path histograms and counters come straight from the
+        telemetry registry; the legacy per-component ``summary()`` dicts
+        (engine totals, program registry, sessions, stores, quotas) are
+        absorbed as gauges under stable dotted prefixes, so one snapshot is
+        the whole observable state of this server process.
+        """
+        snapshot = self.telemetry.registry.snapshot()
+        absorb_summary(snapshot, "serving.engine", self.engine.metrics_snapshot())
+        absorb_summary(snapshot, "serving.quota", self.engine.ledger.summary())
+        absorb_summary(snapshot, "serving.registry", self.registry.summary())
+        absorb_summary(snapshot, "serving.sessions", self.sessions.summary())
+        if self.session_store is not None:
+            absorb_summary(snapshot, "serving.store", self.session_store.summary())
+        if self.artifact_cache is not None:
+            absorb_summary(
+                snapshot, "serving.artifacts", self.artifact_cache.summary()
+            )
+        return snapshot
 
     def close(self, wait: bool = True) -> None:
         with self._precompile_cond:

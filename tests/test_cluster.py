@@ -695,3 +695,205 @@ class TestClusterCli:
         finally:
             process.terminate()
             process.wait(20)
+
+
+class TestClusterTelemetry:
+    """The telemetry plane across shard processes: aggregation, traces, slow."""
+
+    def _make_cluster(self, tmp_path=None, **kwargs):
+        cluster = EvaCluster(
+            shards=2,
+            backend=BackendSpec("mock-exact", seed=7),
+            session_dir=tmp_path,
+            batch_window=0.0,
+            **kwargs,
+        )
+        cluster.register("poly", make_poly_program())
+        cluster.start()
+        return cluster
+
+    def _two_homed_clients(self, cluster):
+        """One client id homed on each of the two shards."""
+        chosen = {}
+        for i in range(64):
+            client_id = f"probe-{i}"
+            chosen.setdefault(cluster.shard_for(client_id), client_id)
+            if len(chosen) == 2:
+                break
+        assert len(chosen) == 2, "could not find clients covering both shards"
+        return [chosen[index] for index in sorted(chosen)]
+
+    def test_metrics_aggregate_across_shards_with_correct_bucket_math(self):
+        from repro.serving.telemetry import percentile_from_buckets
+
+        cluster = self._make_cluster()
+        try:
+            clients = self._two_homed_clients(cluster)
+            for client_id in clients:
+                for _ in range(3):
+                    cluster.request("poly", {"x": [1.0, 2.0]}, client_id=client_id)
+            snapshot = cluster.metrics_snapshot()
+            counters = {
+                (c["name"], c["labels"].get("shard"), c["labels"].get("client")): c[
+                    "value"
+                ]
+                for c in snapshot["counters"]
+            }
+            # Per-shard series survive aggregation and the unlabeled
+            # aggregate sums them.
+            for shard, client_id in enumerate(clients):
+                assert (
+                    counters[("serving.requests.submitted", str(shard), client_id)]
+                    == 3
+                )
+                assert (
+                    counters[("serving.requests.submitted", None, client_id)] == 3
+                )
+            for name in ("serving.queue.seconds", "serving.execute.seconds"):
+                per_shard = [
+                    h
+                    for h in snapshot["histograms"]
+                    if h["name"] == name and "shard" in h["labels"]
+                ]
+                aggregate = [
+                    h
+                    for h in snapshot["histograms"]
+                    if h["name"] == name and "shard" not in h["labels"]
+                ]
+                assert {h["labels"]["shard"] for h in per_shard} == {"0", "1"}
+                assert sum(h["count"] for h in per_shard) == 6
+                # One aggregate series per (client, program) label set; the
+                # two clients' series together cover all six requests.
+                assert sum(h["count"] for h in aggregate) == 6
+                for agg in aggregate:
+                    assert agg["count"] == 3
+                    # The reported p95 must be exactly the bucket math over
+                    # the merged buckets — recompute it and compare.
+                    bounds = [b for b, _ in agg["buckets"] if b is not None]
+                    counts = [c for b, c in agg["buckets"] if b is not None]
+                    counts.append(
+                        next((c for b, c in agg["buckets"] if b is None), 0)
+                    )
+                    assert agg["p95"] == pytest.approx(
+                        percentile_from_buckets(
+                            tuple(bounds), counts, agg["count"], 95
+                        ),
+                        rel=1e-9,
+                    )
+        finally:
+            cluster.close()
+
+    def test_traced_request_survives_failover_with_one_trace_id(self, tmp_path):
+        cluster = self._make_cluster(tmp_path)
+        try:
+            victim_client = self._two_homed_clients(cluster)[0]
+            victim = cluster.shard_for(victim_client)
+            cluster.kill_shard(victim)
+            # Minted before the retry loop: the TransportError failover must
+            # not change the id, and the successful attempt's spans land on
+            # the survivor under it.
+            cluster.request(
+                "poly", {"x": [1.0, 2.0]}, client_id=victim_client, trace=True
+            )
+            trace_id = cluster.last_trace_id
+            assert trace_id is not None
+            assert cluster.shard_for(victim_client) != victim
+            trace = cluster.trace_of(trace_id)
+            assert trace is not None and trace["trace_id"] == trace_id
+            stages = {span["stage"] for span in trace["spans"]}
+            assert "execute" in stages
+            survivor = cluster.shard_for(victim_client)
+            assert all(
+                span["shard"] == survivor
+                for span in trace["spans"]
+                if "shard" in span
+            )
+        finally:
+            cluster.close()
+
+    def test_restored_session_trace_includes_session_restore_span(self, tmp_path):
+        cluster = self._make_cluster(tmp_path)
+        try:
+            program = make_poly_program()
+            kit = ClientKit(
+                CompiledProgram.compile(program.graph),
+                backend=MockBackend(error_model="none"),
+                client_id="alice",
+            )
+            cluster.create_session("poly", kit)
+            cluster.request_encrypted("poly", kit, {"x": [1.0, 2.0]})
+            victim = cluster.shard_for("alice")
+            cluster.kill_shard(victim)
+            # The rerouted shard restores alice's session from the persisted
+            # store; the trace must show that stage.
+            cluster.request_encrypted(
+                "poly", kit, {"x": [1.0, 2.0]}, trace=True
+            )
+            trace = cluster.trace_of(cluster.last_trace_id)
+            assert trace is not None
+            stages = {span["stage"] for span in trace["spans"]}
+            assert "session_restore" in stages, stages
+            assert "execute" in stages
+        finally:
+            cluster.close()
+
+    def test_router_quota_rejection_echoes_trace_id(self):
+        from repro.errors import QuotaExceededError
+        from repro.serving import FairnessPolicy
+
+        cluster = self._make_cluster(
+            fairness=FairnessPolicy(quota_rps=0.001, burst=1.0)
+        )
+        router = None
+        try:
+            router = ClusterTcpServer(cluster, port=0)
+            router.start_background()
+            host, port = router.address
+            with ServingClient(host, port) as client:
+                client.submit(
+                    "poly", {"x": [1.0, 2.0]}, client_id="alice", trace=True
+                )
+                with pytest.raises(QuotaExceededError) as info:
+                    client.submit(
+                        "poly", {"x": [1.0, 2.0]}, client_id="alice", trace=True
+                    )
+            # The 429 happened at the router, before any shard was touched —
+            # the reply still carries the client-minted trace id.
+            assert info.value.trace_id is not None
+        finally:
+            if router is not None:
+                router.shutdown()
+            cluster.close()
+
+    def test_router_merges_shard_trace_into_echo(self):
+        cluster = self._make_cluster()
+        router = None
+        try:
+            router = ClusterTcpServer(cluster, port=0, slow_threshold=0.0)
+            router.start_background()
+            host, port = router.address
+            with ServingClient(host, port) as client:
+                client.submit(
+                    "poly", {"x": [1.0, 2.0]}, client_id="alice", trace=True
+                )
+                trace = client.last_trace
+                assert trace is not None
+                stages = {span["stage"] for span in trace["spans"]}
+                assert "router_forward" in stages
+                assert "execute" in stages
+                # The router-side slow ring (threshold 0) caught it too, and
+                # untraced requests get a router-minted id there as well.
+                client.submit("poly", {"x": [1.0, 2.0]}, client_id="alice")
+                assert client.last_trace is None
+                slow = client.slow()
+                assert len(slow) >= 2
+                assert all(record.get("trace_id") for record in slow)
+                fetched = client.trace_of(trace["trace_id"])
+                assert fetched is not None
+                assert "router_forward" in {
+                    span["stage"] for span in fetched["spans"]
+                }
+        finally:
+            if router is not None:
+                router.shutdown()
+            cluster.close()
