@@ -38,6 +38,13 @@ GATES: Dict[str, List[Tuple[str, str]]] = {
     "serving_amortized": [
         ("speedup", "higher"),
     ],
+    "wire": [
+        # Bytes-on-wire reduction, JSON / binary, for one session creation
+        # plus one encrypted submit.  Blob sizes are fixed by the parameter
+        # set, so this ratio is deterministic across hosts; setup latency is
+        # deliberately *not* gated (too noisy on shared runners).
+        ("bytes.ratio", "higher"),
+    ],
     "cluster_fairness": [
         # Light-client p95 contended/solo: a *growing* ratio means the fair
         # queue is letting the greedy client win.  Run with a wide tolerance

@@ -219,7 +219,7 @@ def _serve_single(args, options, programs) -> int:
     )
     for name, program in programs.items():
         server.register(name, program, options=options)
-    tcp = EvaTcpServer(server, host=args.host, port=args.port)
+    tcp = EvaTcpServer(server, host=args.host, port=args.port, wire_policy=args.wire)
     host, port = tcp.address
     print(
         json.dumps(
@@ -262,12 +262,17 @@ def _serve_cluster(args, options, programs) -> int:
         slow_threshold=args.slow_threshold,
         log_json=args.log_json,
         log_level=args.log_level,
+        wire=args.wire,
     )
     for name, program in programs.items():
         cluster.register(name, program, options=options)
     cluster.start()
     tcp = ClusterTcpServer(
-        cluster, host=args.host, port=args.port, slow_threshold=args.slow_threshold
+        cluster,
+        host=args.host,
+        port=args.port,
+        slow_threshold=args.slow_threshold,
+        wire_policy=args.wire,
     )
     host, port = tcp.address
     print(
@@ -296,7 +301,9 @@ def cmd_submit(args: argparse.Namespace) -> int:
     from .serving import ServingClient
 
     inputs = _load_inputs(args.inputs)
-    with ServingClient(args.host, args.port, timeout=args.timeout) as client:
+    with ServingClient(
+        args.host, args.port, timeout=args.timeout, wire=args.wire
+    ) as client:
         if args.encrypt:
             if not args.program_file:
                 raise EvaError(
@@ -351,7 +358,9 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     """Cluster administration against a running router: health, drain, rejoin."""
     from .serving import ServingClient
 
-    with ServingClient(args.host, args.port, timeout=args.timeout) as client:
+    with ServingClient(
+        args.host, args.port, timeout=args.timeout, wire=args.wire
+    ) as client:
         if args.action == "health":
             payload = {"health": client.health()}
         elif args.action == "stats":
@@ -424,7 +433,9 @@ def build_parser() -> argparse.ArgumentParser:
     add_compile_options(run)
     run.set_defaults(func=cmd_run)
 
-    serve = sub.add_parser("serve", help="serve programs over TCP (JSON lines)")
+    serve = sub.add_parser(
+        "serve", help="serve programs over TCP (JSON lines + binary frames)"
+    )
     serve.add_argument("programs", type=Path, nargs="+", help="program files; each is registered under its file stem")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8587, help="TCP port (0 picks a free port)")
@@ -513,6 +524,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="pre-warm this many of the most-requested lane widths per "
         "program in the background (0 disables; single-process serve only)",
     )
+    serve.add_argument(
+        "--wire",
+        choices=["auto", "binary", "json"],
+        default="auto",
+        help="wire policy: auto serves JSON lines and grants binary framing "
+        "to clients that negotiate it; json pins the listener to JSON "
+        "(legacy clients work unchanged under every policy)",
+    )
     add_compile_options(serve)
     serve.set_defaults(func=cmd_serve)
 
@@ -554,6 +573,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="mint a trace id, have the server record per-stage spans, and "
         "print the stage breakdown with the outputs",
     )
+    submit.add_argument(
+        "--wire",
+        choices=["auto", "binary", "json"],
+        default="auto",
+        help="wire framing: auto negotiates the binary protocol and falls "
+        "back to JSON lines; binary demands it; json skips negotiation",
+    )
     add_compile_options(submit)
     submit.set_defaults(func=cmd_submit)
 
@@ -593,6 +619,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="with slow: cap the number of records returned",
+    )
+    cluster.add_argument(
+        "--wire",
+        choices=["auto", "binary", "json"],
+        default="auto",
+        help="wire framing: auto negotiates the binary protocol and falls "
+        "back to JSON lines; binary demands it; json skips negotiation",
     )
     cluster.set_defaults(func=cmd_cluster)
     return parser

@@ -90,21 +90,31 @@ def encode_values(values: Dict[str, Any]) -> Dict[str, list]:
 
 
 def decode_values(values: Dict[str, Any]) -> Dict[str, np.ndarray]:
-    """Inverse of :func:`encode_values`."""
+    """Inverse of :func:`encode_values`.
+
+    Accepts plain lists (the JSON wire) and packed-array records (the binary
+    wire ships value vectors as blobs — base64 or raw form, both handled by
+    :func:`~repro.core.serialization.packing.unpack_values`).
+    """
+    from .packing import unpack_values
+
     if not isinstance(values, dict):
         raise SerializationError("'inputs' must be an object mapping names to values")
     decoded = {}
     for name, value in values.items():
         try:
-            decoded[str(name)] = np.atleast_1d(
-                np.asarray(value, dtype=np.float64)
-            ).ravel()
+            if isinstance(value, dict):
+                decoded[str(name)] = unpack_values(value)
+            else:
+                decoded[str(name)] = np.atleast_1d(
+                    np.asarray(value, dtype=np.float64)
+                ).ravel()
         except (TypeError, ValueError) as exc:
             raise SerializationError(f"input {name!r} is not numeric: {exc}") from exc
     return decoded
 
 
-def encode_request(
+def build_request(
     op: str,
     program: Optional[str] = None,
     inputs: Optional[Dict[str, Any]] = None,
@@ -117,8 +127,9 @@ def encode_request(
     trace: bool = False,
     fmt: Optional[str] = None,
     limit: Optional[int] = None,
-) -> str:
-    """Build one wire line for a client request.
+    pack_inputs: bool = False,
+) -> Dict[str, Any]:
+    """Build one client request as a message dict (framing-agnostic).
 
     ``bundle`` (a wire-encoded cipher bundle) replaces ``inputs`` on the
     encrypted path; ``evaluation_keys`` accompanies a ``session`` request;
@@ -128,6 +139,8 @@ def encode_request(
     one); ``trace=True`` additionally asks the server to echo the recorded
     spans in the reply.  ``fmt`` selects the exposition format of a
     ``metrics`` op (``"prometheus"``); ``limit`` caps a ``slow`` op's rows.
+    ``pack_inputs`` encodes input vectors as packed arrays instead of float
+    lists — the binary framing ships them as blob records.
     """
     if op not in REQUEST_OPS:
         raise SerializationError(f"unknown request op {op!r}")
@@ -141,7 +154,14 @@ def encode_request(
     if program is not None:
         message["program"] = program
     if inputs is not None:
-        message["inputs"] = encode_values(inputs)
+        if pack_inputs:
+            from .packing import pack_values
+
+            message["inputs"] = {
+                str(name): pack_values(value) for name, value in inputs.items()
+            }
+        else:
+            message["inputs"] = encode_values(inputs)
     if bundle is not None:
         message["bundle"] = bundle
     if evaluation_keys is not None:
@@ -160,15 +180,25 @@ def encode_request(
         message["format"] = str(fmt)
     if limit is not None:
         message["limit"] = int(limit)
-    return json.dumps(message, separators=(",", ":")) + "\n"
+    return message
+
+
+def encode_request(op: str, **fields: Any) -> str:
+    """Build one JSON wire line for a client request (see :func:`build_request`)."""
+    return json.dumps(build_request(op, **fields), separators=(",", ":")) + "\n"
 
 
 def decode_request(line: str) -> Dict[str, Any]:
-    """Parse and validate one request line."""
+    """Parse and validate one JSON request line."""
     try:
         message = json.loads(line)
     except json.JSONDecodeError as exc:
         raise SerializationError(f"malformed request JSON: {exc}") from exc
+    return validate_request(message)
+
+
+def validate_request(message: Any) -> Dict[str, Any]:
+    """Validate one parsed request message (shared by both wire framings)."""
     if not isinstance(message, dict):
         raise SerializationError("request must be a JSON object")
     op = message.get("op")
@@ -210,24 +240,48 @@ def decode_request(line: str) -> Dict[str, Any]:
     return message
 
 
+def build_response(
+    outputs: Optional[Dict[str, Any]] = None,
+    stats: Optional[Dict[str, Any]] = None,
+    payload: Optional[Dict[str, Any]] = None,
+    pack_outputs: bool = False,
+) -> Dict[str, Any]:
+    """Build one successful response as a message dict (framing-agnostic).
+
+    ``pack_outputs`` encodes output vectors as packed arrays — the binary
+    framing lifts them into blob records instead of JSON float lists.
+    """
+    message: Dict[str, Any] = {"ok": True}
+    if outputs is not None:
+        if pack_outputs:
+            from .packing import pack_values
+
+            message["outputs"] = {
+                str(name): pack_values(value) for name, value in outputs.items()
+            }
+        else:
+            message["outputs"] = encode_values(outputs)
+    if stats is not None:
+        message["stats"] = stats
+    if payload is not None:
+        message.update(payload)
+    return message
+
+
 def encode_response(
     outputs: Optional[Dict[str, Any]] = None,
     stats: Optional[Dict[str, Any]] = None,
     payload: Optional[Dict[str, Any]] = None,
 ) -> str:
-    """Build one wire line for a successful response."""
-    message: Dict[str, Any] = {"ok": True}
-    if outputs is not None:
-        message["outputs"] = encode_values(outputs)
-    if stats is not None:
-        message["stats"] = stats
-    if payload is not None:
-        message.update(payload)
-    return json.dumps(message, separators=(",", ":")) + "\n"
+    """Build one JSON wire line for a successful response."""
+    return (
+        json.dumps(build_response(outputs, stats, payload), separators=(",", ":"))
+        + "\n"
+    )
 
 
-def encode_error(error: BaseException, trace_id: Optional[str] = None) -> str:
-    """Build one wire line reporting a failed request.
+def build_error(error: BaseException, trace_id: Optional[str] = None) -> Dict[str, Any]:
+    """Build one failed-request response as a message dict.
 
     Quota rejections (anything carrying a ``retry_after`` attribute) include
     it in the reply — the 429 ``Retry-After`` of this wire — so clients can
@@ -245,7 +299,12 @@ def encode_error(error: BaseException, trace_id: Optional[str] = None) -> str:
         message["retry_after"] = round(float(retry_after), 6)
     if trace_id is not None:
         message["trace_id"] = str(trace_id)
-    return json.dumps(message, separators=(",", ":")) + "\n"
+    return message
+
+
+def encode_error(error: BaseException, trace_id: Optional[str] = None) -> str:
+    """Build one JSON wire line reporting a failed request."""
+    return json.dumps(build_error(error, trace_id), separators=(",", ":")) + "\n"
 
 
 def splice_field(line: str, key: str, value: Any) -> str:
@@ -270,11 +329,20 @@ def splice_field(line: str, key: str, value: Any) -> str:
 
 
 def decode_response(line: str) -> Dict[str, Any]:
-    """Parse one response line; outputs come back as numpy arrays."""
+    """Parse one JSON response line; outputs come back as numpy arrays."""
     try:
         message = json.loads(line)
     except json.JSONDecodeError as exc:
         raise SerializationError(f"malformed response JSON: {exc}") from exc
+    return finish_response(message)
+
+
+def finish_response(message: Any) -> Dict[str, Any]:
+    """Validate one parsed response message; decodes output vectors.
+
+    Shared by both framings: the JSON path parses a line first, the binary
+    path hands over a rehydrated frame envelope.
+    """
     if not isinstance(message, dict) or "ok" not in message:
         raise SerializationError("response must be a JSON object with an 'ok' field")
     if message["ok"] and "outputs" in message:

@@ -10,11 +10,22 @@ shape, cutting the encoded size ~10x while staying plain JSON.
 Decoding is backward compatible: :func:`unpack_array` accepts both the packed
 form and the legacy (nested-)list form, so blobs produced by older builds
 still round-trip.
+
+Beside the base64 path sits a *binary fast path* for the binary wire
+protocol (:mod:`repro.wire`): inside a :func:`raw_blobs` context,
+:func:`pack_array` emits ``{"raw": <bytes>, "dtype", "shape"}`` — the raw
+little-endian buffer, no base64 — which the wire codec lifts into a
+length-delimited blob record.  :func:`unpack_array` accepts the raw form
+unconditionally (including zero-copy ``memoryview`` slices of a received
+frame), and :func:`jsonable_blobs` converts raw records back to base64 for
+the places that must stay plain JSON (the session store on disk).
 """
 
 from __future__ import annotations
 
 import base64
+import threading
+from contextlib import contextmanager
 from typing import Any, Sequence
 
 import numpy as np
@@ -49,11 +60,34 @@ def _integer_tag(array: np.ndarray) -> str:
     return "i8"
 
 
+_RAW_MODE = threading.local()
+
+
+@contextmanager
+def raw_blobs():
+    """Make :func:`pack_array` emit raw-bytes records in this thread.
+
+    The binary wire path wraps message building in this context so packed
+    arrays skip base64 entirely: ``{"raw": <bytes>, "dtype", "shape"}``
+    instead of ``{"b64": <str>, ...}``.  Raw records are *not* JSON-able —
+    they exist to be lifted into binary blob records by the wire codec (or
+    converted back with :func:`jsonable_blobs`).
+    """
+    previous = getattr(_RAW_MODE, "active", False)
+    _RAW_MODE.active = True
+    try:
+        yield
+    finally:
+        _RAW_MODE.active = previous
+
+
 def pack_array(array: Any, dtype: Any = None) -> dict:
     """Encode an int/float array as ``{"b64", "dtype", "shape"}``.
 
     ``dtype`` forces the *semantic* dtype (integers vs floats); integers are
-    stored at the smallest width that holds every element.
+    stored at the smallest width that holds every element.  Inside a
+    :func:`raw_blobs` context the payload is raw bytes under ``"raw"``
+    instead of base64 under ``"b64"``.
     """
     array = np.asarray(array)
     if dtype is None:
@@ -64,28 +98,62 @@ def pack_array(array: Any, dtype: Any = None) -> dict:
     else:
         tag = "f8"
     data = np.ascontiguousarray(array, dtype="<" + tag)
-    return {
-        "b64": base64.b64encode(data.tobytes()).decode("ascii"),
+    record = {
         "dtype": tag,
         "shape": [int(dim) for dim in data.shape],
     }
+    if getattr(_RAW_MODE, "active", False):
+        record["raw"] = data.tobytes()
+    else:
+        record["b64"] = base64.b64encode(data.tobytes()).decode("ascii")
+    return record
+
+
+def jsonable_blobs(node: Any) -> Any:
+    """Deep-copy a tree, converting raw packed records back to base64.
+
+    The inverse bridge of :func:`raw_blobs` for sinks that must stay plain
+    JSON: the session store persists key blobs received over the binary
+    wire (raw ``memoryview`` records) through here before ``json.dump``.
+    Trees without raw records pass through structurally unchanged.
+    """
+    if isinstance(node, dict):
+        raw = node.get("raw")
+        if isinstance(raw, (bytes, bytearray, memoryview)):
+            converted = {k: v for k, v in node.items() if k != "raw"}
+            converted["b64"] = base64.b64encode(bytes(raw)).decode("ascii")
+            return converted
+        return {key: jsonable_blobs(value) for key, value in node.items()}
+    if isinstance(node, (list, tuple)):
+        return [jsonable_blobs(item) for item in node]
+    return node
 
 
 def unpack_array(data: Any, dtype: Any = None) -> np.ndarray:
     """Inverse of :func:`pack_array`; also accepts legacy (nested) lists.
 
-    ``dtype`` is the dtype legacy lists are coerced to (packed payloads carry
-    their own); a packed payload whose byte count disagrees with its declared
-    shape raises :class:`~repro.errors.SerializationError`.
+    Accepts both packed payload forms — base64 under ``"b64"`` and raw bytes
+    (``bytes`` / ``bytearray`` / ``memoryview``, e.g. a zero-copy slice of a
+    received binary frame) under ``"raw"``.  ``dtype`` is the dtype legacy
+    lists are coerced to (packed payloads carry their own); a packed payload
+    whose byte count disagrees with its declared shape raises
+    :class:`~repro.errors.SerializationError`.
     """
-    if isinstance(data, dict) and "b64" in data:
+    if isinstance(data, dict) and ("b64" in data or "raw" in data):
         tag = str(data.get("dtype", "f8"))
         if tag not in _DTYPES:
             raise SerializationError(f"unknown packed dtype {tag!r}")
-        try:
-            raw = base64.b64decode(str(data["b64"]), validate=True)
-        except (ValueError, TypeError) as exc:
-            raise SerializationError(f"malformed base64 payload: {exc}") from exc
+        if "raw" in data:
+            raw = data["raw"]
+            if not isinstance(raw, (bytes, bytearray, memoryview)):
+                raise SerializationError(
+                    f"raw payload must be bytes-like, got {type(raw).__name__}"
+                )
+        else:
+            try:
+                raw = base64.b64decode(str(data["b64"]), validate=True)
+            except (ValueError, TypeError) as exc:
+                raise SerializationError(f"malformed base64 payload: {exc}") from exc
         try:
             array = np.frombuffer(raw, dtype="<" + tag)
         except ValueError as exc:

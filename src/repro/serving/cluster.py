@@ -303,9 +303,12 @@ class EvaCluster:
         slow_threshold: float = 1.0,
         log_json: bool = False,
         log_level: str = "INFO",
+        wire: str = "auto",
     ) -> None:
         if shards < 1:
             raise ServingError("a cluster needs at least one shard")
+        if wire not in ("auto", "binary", "json"):
+            raise ServingError(f"unknown wire mode {wire!r}")
         if health_interval is not None and health_interval <= 0:
             raise ServingError("health_interval must be positive (or None)")
         self.shards = int(shards)
@@ -324,6 +327,11 @@ class EvaCluster:
         self.slow_threshold = float(slow_threshold)
         self.log_json = bool(log_json)
         self.log_level = str(log_level)
+        #: Wire mode of the cluster-internal connections to shards (``auto``
+        #: negotiates the binary frame protocol; shard listeners always
+        #: accept both framings, so this only pins what *this* process
+        #: speaks upstream).
+        self.wire = str(wire)
         self.host = host
         self.workers = workers
         self.queue_size = queue_size
@@ -540,7 +548,10 @@ class EvaCluster:
         from .netserver import ServingClient
 
         try:
-            with ServingClient(handle.host, handle.port, timeout=timeout) as probe:
+            # A throwaway liveness probe: pin JSON to skip the hello roundtrip.
+            with ServingClient(
+                handle.host, handle.port, timeout=timeout, wire="json"
+            ) as probe:
                 return probe.ping()
         except Exception:
             return False
@@ -709,7 +720,9 @@ class EvaCluster:
                 return client
             self._drop_client(index)
         handle = self._handles[index]
-        client = ServingClient(handle.host, handle.port, timeout=self.request_timeout)
+        client = ServingClient(
+            handle.host, handle.port, timeout=self.request_timeout, wire=self.wire
+        )
         cache[index] = (generation, client)
         with self._lock:
             self._all_clients.add(client)

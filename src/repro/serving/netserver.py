@@ -1,21 +1,37 @@
 """TCP front-ends for single-process and sharded (cluster) serving.
 
-Transport is deliberately simple — newline-delimited JSON messages (see
-:mod:`repro.core.serialization.messages`) over a threading TCP server — so a
-client can be a five-line script or ``repro.cli submit``.  Each connection may
-pipeline any number of requests; responses come back in order.  Connection
-threads block on the server's futures, so concurrency across connections is
-bounded by the job engine, not by the socket layer.
+Every listener speaks **two framings on the same socket**:
 
-Two servers share the wire format:
+* newline-delimited JSON messages (see
+  :mod:`repro.core.serialization.messages`) — the original, human-readable
+  wire that a five-line script can speak;
+* the binary frame protocol of :mod:`repro.wire` — a magic byte, a frame
+  type, a varint length, and a payload that carries a small JSON envelope
+  plus raw (not base64) cipher/key blobs.
+
+The framing of each message is sniffed from its first byte (``0xEB`` can
+never begin a JSON line), and replies always use the framing of the request
+they answer — so legacy JSON clients keep working unchanged against a
+binary-capable listener, and one router can serve both kinds concurrently.
+Binary framing is negotiated by a JSON ``hello`` exchange (see
+:mod:`repro.wire.protocol`); multi-megabyte evaluation-key sets stream as
+bounded CHUNK frames instead of one monolithic message.
+
+Each connection may pipeline any number of requests; responses come back in
+order.  Connection threads block on the server's futures, so concurrency
+across connections is bounded by the job engine, not by the socket layer.
+
+Two servers share the wire formats:
 
 * :class:`EvaTcpServer` wraps one in-process
   :class:`~repro.serving.server.EvaServer` (the single-process mode).
 * :class:`ClusterTcpServer` is the *router* of an
   :class:`~repro.serving.cluster.EvaCluster`: it owns the public listener and
-  forwards each framed request line to the shard its ``client_id``
-  consistent-hashes to, relaying the shard's reply verbatim.  Clients cannot
-  tell the difference — :class:`ServingClient` works against both.
+  forwards each request to the shard its ``client_id`` consistent-hashes to,
+  relaying the reply verbatim — binary frames are forwarded without
+  re-encoding their blob bytes (the router reads only the envelope).
+  Clients cannot tell the difference — :class:`ServingClient` works against
+  both.
 """
 
 from __future__ import annotations
@@ -25,17 +41,43 @@ import socket
 import socketserver
 import threading
 import time
-from typing import Any, Dict, Optional, Tuple
+from contextlib import nullcontext
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..core.serialization import messages
+from ..core.serialization.packing import raw_blobs
 from ..errors import (
     EvaError,
     QuotaExceededError,
     SerializationError,
     ServingError,
     TransportError,
+)
+from ..wire import (
+    FRAME_CHUNK,
+    FRAME_REQUEST,
+    FRAME_RESPONSE,
+    MAGIC,
+    STREAM_THRESHOLD_BYTES,
+    UPLOAD_KEY,
+    WIRE_MODES,
+    UploadState,
+    build_hello,
+    decode_message,
+    encode_blob_record,
+    encode_envelope,
+    encode_message,
+    hello_ack,
+    iter_chunks,
+    parse_hello_reply,
+    peek_envelope,
+    read_frame,
+    rehydrate,
+    replace_envelope,
+    split_message,
+    write_frame,
 )
 from .quotas import FairnessPolicy, QuotaLedger
 from .server import EvaServer
@@ -47,62 +89,282 @@ from .telemetry import (
     render_prometheus,
 )
 
+_Bytes = Union[bytes, bytearray, memoryview]
 
-class _RequestHandler(socketserver.StreamRequestHandler):
-    """One connection: read request lines, write response lines."""
 
-    server: "EvaTcpServer"
+class _ConnectionState:
+    """Per-connection bookkeeping: framing, byte counters, upload assembly."""
+
+    __slots__ = (
+        "peer",
+        "opened_at",
+        "protocol",
+        "negotiated",
+        "bytes_sent",
+        "bytes_received",
+        "requests",
+        "uploads",
+    )
+
+    def __init__(self, peer: str) -> None:
+        self.peer = peer
+        self.opened_at = time.time()
+        #: The connection's current framing: ``json`` until a binary frame
+        #: arrives or a hello negotiates binary.
+        self.protocol = "json"
+        self.negotiated = False
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.requests = 0
+        self.uploads = UploadState()
+
+    def info(self) -> Dict[str, Any]:
+        return {
+            "peer": self.peer,
+            "protocol": self.protocol,
+            "negotiated": self.negotiated,
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+            "requests": self.requests,
+            "opened_at": round(self.opened_at, 3),
+        }
+
+
+class _WireListenerMixin:
+    """Connection registry + wire policy shared by both TCP servers."""
+
+    def _init_wire(self, wire_policy: str) -> None:
+        if wire_policy not in WIRE_MODES:
+            raise ServingError(
+                f"unknown wire policy {wire_policy!r}; expected one of {WIRE_MODES}"
+            )
+        self.wire_policy = wire_policy
+        self._conn_lock = threading.Lock()
+        self._conn_seq = 0
+        self._connections: Dict[int, _ConnectionState] = {}
+
+    def _register_connection(self, state: _ConnectionState) -> int:
+        with self._conn_lock:
+            self._conn_seq += 1
+            key = self._conn_seq
+            self._connections[key] = state
+        return key
+
+    def _unregister_connection(self, key: int) -> None:
+        with self._conn_lock:
+            self._connections.pop(key, None)
+
+    def connection_infos(self) -> List[Dict[str, Any]]:
+        """Live connections with their negotiated protocol and byte counters
+        (the ``stats`` op's ``connections`` field)."""
+        with self._conn_lock:
+            states = list(self._connections.values())
+        return [state.info() for state in states]
+
+
+class _WireHandler(socketserver.StreamRequestHandler):
+    """Dual-protocol connection machinery shared by shard and router handlers.
+
+    The handle loop sniffs each message's framing from its first byte and
+    hands it to ``_handle_json`` / ``_handle_frame`` (subclass dispatch).
+    Frame-*payload* errors are answered with an error reply (the stream is
+    still synchronized at the next frame boundary); frame-*header* errors
+    and undecodable lines drop the connection, because nothing downstream of
+    a desynchronized stream can be trusted.
+    """
+
+    #: Frames are written piecewise (header, envelope, blob slices); buffer
+    #: the write side so one reply leaves as coalesced segments instead of a
+    #: syscall (and packet) per part, and disable Nagle so the final partial
+    #: segment of a reply is never held back waiting for a delayed ACK.
+    wbufsize = 64 * 1024
+    disable_nagle_algorithm = True
+
+    def _telemetry(self) -> Telemetry:
+        raise NotImplementedError
+
+    def setup(self) -> None:
+        super().setup()
+        host, port = self.client_address[:2]
+        self.conn = _ConnectionState(f"{host}:{port}")
+        self._conn_key = self.server._register_connection(self.conn)
+
+    def finish(self) -> None:
+        self.server._unregister_connection(self._conn_key)
+        super().finish()
 
     def handle(self) -> None:
         while True:
-            line = self.rfile.readline()
-            if not line:
+            first = self.rfile.read(1)
+            if not first:
                 return
-            text = line.decode("utf-8").strip()
-            if not text:
-                continue
-            # Captured as soon as the request parses, so even an error reply
-            # echoes the trace id the request carried (quota rejections
-            # included — the client can still look the trace up).
-            trace_id: Optional[str] = None
-            try:
-                request = messages.decode_request(text)
-                trace_id = request.get("trace_id")
-                reply = self._dispatch(request)
-            except EvaError as error:
-                reply = messages.encode_error(error, trace_id=trace_id)
-            except Exception as error:  # never let a request kill the connection
-                reply = messages.encode_error(
-                    ServingError(str(error)), trace_id=trace_id
-                )
-            self.wfile.write(reply.encode("utf-8"))
-            self.wfile.flush()
+            if first[0] == MAGIC:
+                try:
+                    frame_type, payload, nbytes = read_frame(
+                        self.rfile, first_byte=MAGIC
+                    )
+                except TransportError:
+                    return  # broken framing: the stream cannot resync
+                self.conn.protocol = "binary"
+                self._count_received(nbytes, "binary")
+                if not self._handle_frame(frame_type, payload):
+                    return
+            else:
+                line = first + self.rfile.readline()
+                self._count_received(len(line), "json")
+                try:
+                    text = line.decode("utf-8").strip()
+                except UnicodeDecodeError:
+                    return  # not JSON, not a frame: drop the connection
+                if not text:
+                    continue
+                self._handle_json(text)
 
-    def _dispatch(self, request: Dict[str, Any]) -> str:
+    # -- byte accounting -----------------------------------------------------------
+    def _count_received(self, nbytes: int, protocol: str) -> None:
+        self.conn.bytes_received += nbytes
+        self._telemetry().inc("net.bytes_received", nbytes, protocol=protocol)
+
+    def _count_sent(self, nbytes: int, protocol: str) -> None:
+        self.conn.bytes_sent += nbytes
+        self._telemetry().inc("net.bytes_sent", nbytes, protocol=protocol)
+
+    # -- reply writers -------------------------------------------------------------
+    def _send_json_dict(self, reply: Dict[str, Any]) -> None:
+        data = (json.dumps(reply, separators=(",", ":")) + "\n").encode("utf-8")
+        self.wfile.write(data)
+        self.wfile.flush()
+        self._count_sent(len(data), "json")
+
+    def _send_json_text(self, text: str) -> None:
+        if not text.endswith("\n"):
+            text += "\n"
+        data = text.encode("utf-8")
+        self.wfile.write(data)
+        self.wfile.flush()
+        self._count_sent(len(data), "json")
+
+    def _send_frame_parts(self, *parts: _Bytes) -> None:
+        nbytes = write_frame(self.wfile, FRAME_RESPONSE, *parts)
+        self.wfile.flush()
+        self._count_sent(nbytes, "binary")
+
+    def _send_frame_dict(self, reply: Dict[str, Any]) -> None:
+        self._send_frame_parts(*encode_message(reply))
+
+    # -- negotiation ---------------------------------------------------------------
+    def _maybe_hello(self, request: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+        """Answer a wire-negotiation hello; None when this isn't one."""
+        if request.get("op") != "hello":
+            return None
+        reply, negotiated = hello_ack(request, self.server.wire_policy)
+        self.conn.protocol = negotiated
+        self.conn.negotiated = negotiated == "binary"
+        return reply
+
+
+class _RequestHandler(_WireHandler):
+    """One shard/single-server connection: requests in, responses out."""
+
+    server: "EvaTcpServer"
+
+    def _telemetry(self) -> Telemetry:
+        return self.server.eva_server.telemetry
+
+    def _handle_json(self, text: str) -> None:
+        # Captured as soon as the request parses, so even an error reply
+        # echoes the trace id the request carried (quota rejections
+        # included — the client can still look the trace up).
+        trace_id: Optional[str] = None
+        try:
+            try:
+                parsed = json.loads(text)
+            except json.JSONDecodeError as exc:
+                raise SerializationError(f"malformed request JSON: {exc}") from exc
+            if isinstance(parsed, dict):
+                hello = self._maybe_hello(parsed)
+                if hello is not None:
+                    self._send_json_dict(hello)
+                    return
+            request = messages.validate_request(parsed)
+            trace_id = request.get("trace_id")
+            self.conn.requests += 1
+            reply = self._dispatch(request, binary=False)
+        except EvaError as error:
+            reply = messages.build_error(error, trace_id=trace_id)
+        except Exception as error:  # never let a request kill the connection
+            reply = messages.build_error(ServingError(str(error)), trace_id=trace_id)
+        self._send_json_dict(reply)
+
+    def _handle_frame(self, frame_type: int, payload: bytes) -> bool:
+        if frame_type == FRAME_CHUNK:
+            # One slice of a streaming upload; never answered individually.
+            # Malformed chunks poison the upload and are reported on the
+            # request that references it.
+            try:
+                envelope, blobs = decode_message(payload)
+                self.conn.uploads.add_chunk(envelope, blobs[0] if blobs else b"")
+            except TransportError:
+                return False
+            return True
+        trace_id: Optional[str] = None
+        try:
+            if frame_type != FRAME_REQUEST:
+                raise TransportError(
+                    f"clients send request frames, got frame type {frame_type:#x}"
+                )
+            envelope, blobs = decode_message(payload)
+            upload_id = envelope.pop(UPLOAD_KEY, None)
+            if upload_id is not None:
+                blobs = self.conn.uploads.finish(upload_id)
+            hello = self._maybe_hello(envelope)
+            if hello is not None:
+                self._send_frame_dict(hello)
+                return True
+            request = messages.validate_request(rehydrate(envelope, blobs))
+            trace_id = request.get("trace_id")
+            self.conn.requests += 1
+            # Raw-blob mode for the whole dispatch: everything packed on the
+            # way out (ciphertext outputs, packed vectors) skips base64 and is
+            # lifted into binary blob records by the frame encoder.
+            with raw_blobs():
+                reply = self._dispatch(request, binary=True)
+                self._send_frame_dict(reply)
+            return True
+        except EvaError as error:
+            reply = messages.build_error(error, trace_id=trace_id)
+        except Exception as error:  # never let a request kill the connection
+            reply = messages.build_error(ServingError(str(error)), trace_id=trace_id)
+        self._send_frame_dict(reply)
+        return True
+
+    def _dispatch(self, request: Dict[str, Any], binary: bool) -> Dict[str, Any]:
         eva = self.server.eva_server
         op = request["op"]
         if op == "ping":
-            return messages.encode_response(payload={"pong": True})
+            return messages.build_response(payload={"pong": True})
         if op == "list":
-            return messages.encode_response(payload={"programs": eva.programs()})
+            return messages.build_response(payload={"programs": eva.programs()})
         if op == "stats":
-            return messages.encode_response(payload={"stats": eva.stats()})
+            stats = dict(eva.stats())
+            stats["connections"] = self.server.connection_infos()
+            return messages.build_response(payload={"stats": stats})
         if op == "metrics":
             snapshot = eva.metrics_snapshot()
             payload: Dict[str, Any] = {"metrics": snapshot}
             if request.get("format") == "prometheus":
                 payload["prometheus"] = render_prometheus(snapshot)
-            return messages.encode_response(payload=payload)
+            return messages.build_response(payload=payload)
         if op == "trace":
-            return messages.encode_response(
+            return messages.build_response(
                 payload={"trace": eva.telemetry.trace_of(request["trace_id"])}
             )
         if op == "slow":
-            return messages.encode_response(
+            return messages.build_response(
                 payload={"slow": eva.telemetry.slow(request.get("limit"))}
             )
         if op == "health":
-            return messages.encode_response(
+            return messages.build_response(
                 payload={
                     "health": [
                         {
@@ -128,7 +390,7 @@ class _RequestHandler(socketserver.StreamRequestHandler):
                 client_id,
                 request["evaluation_keys"],
             )
-            reply = messages.encode_response(payload={"session": session})
+            reply = messages.build_response(payload={"session": session})
             eva.telemetry.finish(
                 trace_id,
                 time.perf_counter() - started,
@@ -147,7 +409,7 @@ class _RequestHandler(socketserver.StreamRequestHandler):
             # evaluation and encoding cannot fail a completed request); the
             # server never decrypts — only the submitting client can.
             encode_started = time.perf_counter()
-            reply = messages.encode_response(
+            reply = messages.build_response(
                 stats=response.stats_dict(),
                 payload={"encrypted_outputs": response.to_wire()},
             )
@@ -158,10 +420,7 @@ class _RequestHandler(socketserver.StreamRequestHandler):
                 "serialize_reply",
                 time.perf_counter() - encode_started,
             )
-            reply = self._finish_submit(
-                request, reply, started, client_id, program
-            )
-            return reply
+            return self._finish_submit(request, reply, started, client_id, program)
         response = eva.request(
             request["program"],
             request["inputs"],
@@ -170,8 +429,10 @@ class _RequestHandler(socketserver.StreamRequestHandler):
             trace_id=trace_id,
         )
         encode_started = time.perf_counter()
-        reply = messages.encode_response(
-            outputs=response.outputs, stats=response.stats_dict()
+        reply = messages.build_response(
+            outputs=response.outputs,
+            stats=response.stats_dict(),
+            pack_outputs=binary,
         )
         eva.telemetry.span(
             trace_id, "serialize_reply", time.perf_counter() - encode_started
@@ -181,11 +442,11 @@ class _RequestHandler(socketserver.StreamRequestHandler):
     def _finish_submit(
         self,
         request: Dict[str, Any],
-        reply: str,
+        reply: Dict[str, Any],
         started: float,
         client_id: str,
         program: Optional[str],
-    ) -> str:
+    ) -> Dict[str, Any]:
         """Close out one submit: total-latency metrics, slow log, trace echo."""
         eva = self.server.eva_server
         trace_id = request.get("trace_id")
@@ -199,20 +460,31 @@ class _RequestHandler(socketserver.StreamRequestHandler):
         if trace_id and request.get("trace"):
             trace = eva.telemetry.trace_of(trace_id)
             if trace is not None:
-                reply = messages.splice_field(reply, "trace", trace)
+                reply["trace"] = trace
         return reply
 
 
-class EvaTcpServer(socketserver.ThreadingTCPServer):
-    """Threaded TCP server wrapping an :class:`EvaServer`."""
+class EvaTcpServer(_WireListenerMixin, socketserver.ThreadingTCPServer):
+    """Threaded TCP server wrapping an :class:`EvaServer`.
+
+    ``wire_policy`` governs hello negotiation: ``auto``/``binary`` grant
+    binary framing to clients that ask for it, ``json`` pins the listener to
+    JSON (binary hellos negotiate down; legacy clients are unaffected either
+    way).
+    """
 
     allow_reuse_address = True
     daemon_threads = True
 
     def __init__(
-        self, eva_server: EvaServer, host: str = "127.0.0.1", port: int = 0
+        self,
+        eva_server: EvaServer,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        wire_policy: str = "auto",
     ) -> None:
         self.eva_server = eva_server
+        self._init_wire(wire_policy)
         super().__init__((host, port), _RequestHandler)
 
     @property
@@ -228,8 +500,8 @@ class EvaTcpServer(socketserver.ThreadingTCPServer):
         return thread
 
 
-class _RouterHandler(socketserver.StreamRequestHandler):
-    """One router connection: route each request line to its client's shard.
+class _RouterHandler(_WireHandler):
+    """One router connection: route each request to its client's shard.
 
     Forwarding goes through the cluster's own request plumbing
     (:meth:`EvaCluster._call`), which keeps one upstream connection per
@@ -238,87 +510,181 @@ class _RouterHandler(socketserver.StreamRequestHandler):
     implements failover: a dead shard leaves the ring and the request retries
     on the client's new home shard, safe because serving requests are pure
     evaluations.
+
+    Binary requests are forwarded as *passthrough*: the router decodes only
+    the envelope (op, client, trace id) and relays the blob bytes untouched —
+    splicing a minted ``trace_id`` re-encodes the tiny envelope field, never
+    the megabytes of ciphertext behind it.  CHUNK frames of a streaming
+    upload are relayed to the client's shard without any reply.
     """
 
     server: "ClusterTcpServer"
 
-    def handle(self) -> None:
-        while True:
-            line = self.rfile.readline()
-            if not line:
-                return
-            text = line.decode("utf-8").strip()
-            if not text:
-                continue
-            trace_id: Optional[str] = None
-            try:
-                reply, trace_id = self._dispatch(text)
-            except EvaError as error:
-                reply = messages.encode_error(
-                    error, trace_id=getattr(error, "trace_id", None) or trace_id
-                )
-            except Exception as error:  # never let a request kill the connection
-                reply = messages.encode_error(
-                    ServingError(str(error)), trace_id=trace_id
-                )
-            self.wfile.write(reply.encode("utf-8"))
-            self.wfile.flush()
+    def _telemetry(self) -> Telemetry:
+        return self.server.telemetry
 
-    def _dispatch(self, text: str) -> Tuple[str, Optional[str]]:
-        cluster = self.server.cluster
-        telemetry = self.server.telemetry
+    def _handle_json(self, text: str) -> None:
+        trace_id: Optional[str] = None
         try:
-            request = json.loads(text)
-        except json.JSONDecodeError as exc:
-            raise SerializationError(f"malformed request JSON: {exc}") from exc
-        if not isinstance(request, dict):
-            raise SerializationError("request must be a JSON object")
-        op = request.get("op")
-        client_id = str(request.get("client_id", "default"))
+            try:
+                request = json.loads(text)
+            except json.JSONDecodeError as exc:
+                raise SerializationError(f"malformed request JSON: {exc}") from exc
+            if not isinstance(request, dict):
+                raise SerializationError("request must be a JSON object")
+            hello = self._maybe_hello(request)
+            if hello is not None:
+                self._send_json_dict(hello)
+                return
+            trace_id = self._request_trace_id(request)
+            self.conn.requests += 1
+            local = self._local_reply(request)
+            if local is not None:
+                self._send_json_dict(local)
+                return
+            # Forwarded (submit/session/unknown): mint a trace id for
+            # untraced clients — a string splice, not a re-encode; the
+            # payload may be megabytes of ciphertext.
+            op = str(request.get("op"))
+            client_id = str(request.get("client_id", "default"))
+            if op in ("submit", "session") and trace_id is None:
+                trace_id = new_trace_id()
+                text = messages.splice_field(text, "trace_id", trace_id)
+            reply = self._admitted_forward(
+                op,
+                client_id,
+                trace_id,
+                request.get("program"),
+                lambda line=text: self.server.cluster._call(
+                    client_id, lambda upstream: upstream.roundtrip_raw(line)
+                ),
+            )
+            if op in ("submit", "session") and request.get("trace"):
+                reply = self._merge_reply_trace(reply, trace_id)
+            self._send_json_text(reply)
+            return
+        except EvaError as error:
+            reply_dict = messages.build_error(
+                error, trace_id=getattr(error, "trace_id", None) or trace_id
+            )
+        except Exception as error:  # never let a request kill the connection
+            reply_dict = messages.build_error(
+                ServingError(str(error)), trace_id=trace_id
+            )
+        self._send_json_dict(reply_dict)
+
+    def _handle_frame(self, frame_type: int, payload: bytes) -> bool:
+        cluster = self.server.cluster
+        if frame_type == FRAME_CHUNK:
+            # Relay the chunk to the client's shard verbatim; chunks are
+            # never answered, so routing failures surface on the final
+            # request that references the upload.
+            try:
+                envelope, _end = peek_envelope(payload)
+            except TransportError:
+                return False
+            client_id = str(envelope.get("client_id", "default"))
+            try:
+                cluster._call(
+                    client_id,
+                    lambda upstream: upstream.send_frame(FRAME_CHUNK, payload),
+                )
+            except Exception:
+                pass  # the referencing request reports the failed upload
+            return True
+        trace_id: Optional[str] = None
+        try:
+            if frame_type != FRAME_REQUEST:
+                raise TransportError(
+                    f"clients send request frames, got frame type {frame_type:#x}"
+                )
+            envelope, _end = peek_envelope(payload)
+            hello = self._maybe_hello(envelope)
+            if hello is not None:
+                self._send_frame_dict(hello)
+                return True
+            trace_id = self._request_trace_id(envelope)
+            self.conn.requests += 1
+            local = self._local_reply(envelope)
+            if local is not None:
+                with raw_blobs():
+                    self._send_frame_dict(local)
+                return True
+            op = str(envelope.get("op"))
+            client_id = str(envelope.get("client_id", "default"))
+            if op in ("submit", "session") and trace_id is None:
+                # Mint at the router for untraced clients; re-encodes only
+                # the envelope field, the blob records are relayed as one
+                # slice of the original payload.
+                trace_id = new_trace_id()
+                envelope["trace_id"] = trace_id
+                parts: Sequence[_Bytes] = replace_envelope(payload, envelope)
+            else:
+                parts = (payload,)
+            reply_payload = self._admitted_forward(
+                op,
+                client_id,
+                trace_id,
+                envelope.get("program"),
+                lambda: cluster._call(
+                    client_id, lambda upstream: upstream.roundtrip_frame(parts)
+                ),
+            )
+            reply_parts: Sequence[_Bytes] = (reply_payload,)
+            if op in ("submit", "session") and envelope.get("trace"):
+                reply_parts = self._merge_frame_trace(reply_payload, trace_id)
+            self._send_frame_parts(*reply_parts)
+            return True
+        except EvaError as error:
+            reply_dict = messages.build_error(
+                error, trace_id=getattr(error, "trace_id", None) or trace_id
+            )
+        except Exception as error:  # never let a request kill the connection
+            reply_dict = messages.build_error(
+                ServingError(str(error)), trace_id=trace_id
+            )
+        self._send_frame_dict(reply_dict)
+        return True
+
+    @staticmethod
+    def _request_trace_id(request: Dict[str, Any]) -> Optional[str]:
         trace_id = request.get("trace_id")
         if trace_id is not None and not isinstance(trace_id, str):
             raise SerializationError("'trace_id' must be a string")
-        # Ops the router answers itself: liveness, routing introspection,
-        # shard lifecycle administration, and the cluster-wide views that
-        # span shards.
+        return trace_id
+
+    def _local_reply(self, request: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+        """Ops the router answers itself, in either framing: liveness,
+        routing introspection, shard lifecycle administration, and the
+        cluster-wide views that span shards.  None → forward to a shard."""
+        cluster = self.server.cluster
+        telemetry = self.server.telemetry
+        op = request.get("op")
+        client_id = str(request.get("client_id", "default"))
         if op == "ping":
-            return messages.encode_response(payload={"pong": True}), trace_id
+            return messages.build_response(payload={"pong": True})
         if op == "route":
-            return (
-                messages.encode_response(
-                    payload={"route": cluster.describe_route(client_id)}
-                ),
-                trace_id,
+            return messages.build_response(
+                payload={"route": cluster.describe_route(client_id)}
             )
         if op == "health":
-            return (
-                messages.encode_response(payload={"health": cluster.check_health()}),
-                trace_id,
-            )
+            return messages.build_response(payload={"health": cluster.check_health()})
         if op == "drain":
             shard = messages.validate_shard(op, request.get("shard"))
-            return (
-                messages.encode_response(payload={"drain": cluster.drain_shard(shard)}),
-                trace_id,
+            return messages.build_response(
+                payload={"drain": cluster.drain_shard(shard)}
             )
         if op == "rejoin":
             shard = messages.validate_shard(op, request.get("shard"))
-            return (
-                messages.encode_response(
-                    payload={"rejoin": cluster.rejoin_shard(shard)}
-                ),
-                trace_id,
+            return messages.build_response(
+                payload={"rejoin": cluster.rejoin_shard(shard)}
             )
         if op == "list":
-            return (
-                messages.encode_response(payload={"programs": cluster.programs()}),
-                trace_id,
-            )
+            return messages.build_response(payload={"programs": cluster.programs()})
         if op == "stats":
-            return (
-                messages.encode_response(payload={"stats": cluster.stats()}),
-                trace_id,
-            )
+            stats = dict(cluster.stats())
+            stats["connections"] = self.server.connection_infos()
+            return messages.build_response(payload={"stats": stats})
         if op == "metrics":
             # The cluster-wide snapshot: every live shard's registry plus the
             # router's own, aggregated (per-shard labeled series + summed
@@ -329,17 +695,14 @@ class _RouterHandler(socketserver.StreamRequestHandler):
             payload: Dict[str, Any] = {"metrics": snapshot}
             if request.get("format") == "prometheus":
                 payload["prometheus"] = render_prometheus(snapshot)
-            return messages.encode_response(payload=payload), trace_id
+            return messages.build_response(payload=payload)
         if op == "trace":
             queried = request.get("trace_id")
             if not isinstance(queried, str):
                 raise SerializationError("trace requests need a string 'trace_id'")
             parts = cluster.shard_traces(queried)
             parts.append(telemetry.trace_of(queried))
-            return (
-                messages.encode_response(payload={"trace": merge_traces(parts)}),
-                trace_id,
-            )
+            return messages.build_response(payload={"trace": merge_traces(parts)})
         if op == "slow":
             limit = request.get("limit")
             records = cluster.shard_slow(limit)
@@ -347,26 +710,31 @@ class _RouterHandler(socketserver.StreamRequestHandler):
             records.sort(key=lambda r: r.get("ts", 0.0), reverse=True)
             if limit is not None:
                 records = records[: max(int(limit), 0)]
-            return messages.encode_response(payload={"slow": records}), trace_id
-        # Everything else ("submit", "session") is forwarded verbatim to the
-        # client's shard; the shard validates the message itself.  Both pass
-        # per-client admission first — sessions are the *heaviest* op (key
-        # import + persistence), so exempting them would leave the biggest
-        # hole — and the router is the cheap place to say 429, before the
-        # request ever crosses to a shard.
-        if op in ("submit", "session") and trace_id is None:
-            # Mint at the router for untraced clients: every request crossing
-            # the cluster is correlatable even when the client is a five-line
-            # script.  A string splice, not a re-encode — the payload may be
-            # megabytes of ciphertext.
-            trace_id = new_trace_id()
-            text = messages.splice_field(text, "trace_id", trace_id)
-        started = time.perf_counter()
+            return messages.build_response(payload={"slow": records})
+        return None
+
+    def _admitted_forward(
+        self,
+        op: str,
+        client_id: str,
+        trace_id: Optional[str],
+        program: Any,
+        forward: Callable[[], Any],
+    ) -> Any:
+        """Quota admission + telemetry around one forwarded request.
+
+        submit/session pass per-client admission first — sessions are the
+        *heaviest* op (key import + persistence), so exempting them would
+        leave the biggest hole — and the router is the cheap place to say
+        429, before the request ever costs a shard anything.
+        """
+        telemetry = self.server.telemetry
         ledger = self.server.ledger
+        started = time.perf_counter()
         if op in ("submit", "session") and ledger.enabled:
             admit_started = time.perf_counter()
             try:
-                ledger.admit(client_id)  # raises QuotaExceededError (encoded above)
+                ledger.admit(client_id)  # raises QuotaExceededError
             except EvaError as exc:
                 telemetry.inc("serving.router.throttled", client=client_id)
                 # The handler's except path never saw the parsed request, so
@@ -381,45 +749,40 @@ class _RouterHandler(socketserver.StreamRequestHandler):
                 client=client_id,
             )
             try:
-                reply = self._forward(text, request, client_id, trace_id)
+                reply = self._timed_forward(op, client_id, trace_id, forward)
             finally:
                 ledger.release(client_id)
         else:
-            reply = self._forward(text, request, client_id, trace_id)
+            reply = self._timed_forward(op, client_id, trace_id, forward)
         if op in ("submit", "session"):
             telemetry.finish(
                 trace_id,
                 time.perf_counter() - started,
-                op=str(op),
+                op=op,
                 client=client_id,
-                program=request.get("program"),
+                program=program,
             )
-            if request.get("trace"):
-                reply = self._merge_reply_trace(reply, trace_id)
-        return reply, trace_id
+        return reply
 
-    def _forward(
+    def _timed_forward(
         self,
-        text: str,
-        request: Dict[str, Any],
+        op: str,
         client_id: str,
         trace_id: Optional[str],
-    ) -> str:
-        """Forward one line to the client's shard, timing the hop as a span."""
-        cluster = self.server.cluster
+        forward: Callable[[], Any],
+    ) -> Any:
+        """Run one shard hop, timing it as a span."""
         forward_started = time.perf_counter()
-        reply = cluster._call(
-            client_id, lambda upstream: upstream.roundtrip_raw(text)
-        )
+        reply = forward()
         self.server.telemetry.span(
             trace_id,
             "router_forward",
             time.perf_counter() - forward_started,
             client=client_id,
-            op=request.get("op"),
+            op=op,
         )
         self.server.telemetry.inc(
-            "serving.router.forwarded", client=client_id, op=request.get("op")
+            "serving.router.forwarded", client=client_id, op=op
         )
         return reply
 
@@ -446,16 +809,38 @@ class _RouterHandler(socketserver.StreamRequestHandler):
             message["trace"] = merged
         return json.dumps(message, separators=(",", ":")) + "\n"
 
+    def _merge_frame_trace(
+        self, reply_payload: _Bytes, trace_id: Optional[str]
+    ) -> Sequence[_Bytes]:
+        """Binary variant of :meth:`_merge_reply_trace`: rewrites only the
+        reply's envelope field; ciphertext blob records are relayed as one
+        slice of the original payload."""
+        if not trace_id:
+            return (reply_payload,)
+        router_view = self.server.telemetry.trace_of(trace_id)
+        if router_view is None:
+            return (reply_payload,)
+        try:
+            envelope, _end = peek_envelope(reply_payload)
+        except TransportError:
+            return (reply_payload,)
+        merged = merge_traces([envelope.get("trace"), router_view])
+        if merged is None:
+            return (reply_payload,)
+        envelope["trace"] = merged
+        return replace_envelope(reply_payload, envelope)
 
-class ClusterTcpServer(socketserver.ThreadingTCPServer):
+
+class ClusterTcpServer(_WireListenerMixin, socketserver.ThreadingTCPServer):
     """Router front door of an :class:`~repro.serving.cluster.EvaCluster`.
 
-    Owns the public listener; every framed request is forwarded to the shard
-    its client consistent-hashes to.  The wire protocol is identical to
-    :class:`EvaTcpServer`'s, plus the cluster admin ops: ``route`` (which
-    shard/pid a client maps to), ``health`` (per-shard liveness), ``drain``
-    and ``rejoin`` (shard lifecycle) — useful for chaos drills, rolling
-    restarts, and smoke tests.
+    Owns the public listener; every request is forwarded to the shard its
+    client consistent-hashes to.  The wire protocols are identical to
+    :class:`EvaTcpServer`'s — JSON lines and binary frames on one socket,
+    governed by the same ``wire_policy`` — plus the cluster admin ops:
+    ``route`` (which shard/pid a client maps to), ``health`` (per-shard
+    liveness), ``drain`` and ``rejoin`` (shard lifecycle) — useful for chaos
+    drills, rolling restarts, and smoke tests.
 
     When the cluster carries a :class:`~repro.serving.quotas.FairnessPolicy`
     (or one is passed explicitly), the router enforces per-client rate and
@@ -474,6 +859,7 @@ class ClusterTcpServer(socketserver.ThreadingTCPServer):
         port: int = 0,
         fairness: Optional[FairnessPolicy] = None,
         slow_threshold: float = 1.0,
+        wire_policy: str = "auto",
     ) -> None:
         self.cluster = cluster
         if fairness is None:
@@ -483,6 +869,7 @@ class ClusterTcpServer(socketserver.ThreadingTCPServer):
         #: counters, and router-side slow-request detection (end-to-end
         #: latency as the client experienced it, including the shard hop).
         self.telemetry = Telemetry(slow_threshold=slow_threshold, shard="router")
+        self._init_wire(wire_policy)
         super().__init__((host, port), _RouterHandler)
 
     @property
@@ -499,14 +886,56 @@ class ClusterTcpServer(socketserver.ThreadingTCPServer):
 
 
 class ServingClient:
-    """Minimal line-protocol client for :class:`EvaTcpServer` (and the router)."""
+    """Dual-protocol client for :class:`EvaTcpServer` (and the router).
 
-    def __init__(self, host: str, port: int, timeout: Optional[float] = 30.0) -> None:
+    ``wire`` selects the framing: ``auto`` (default) negotiates the binary
+    frame protocol with a hello exchange and falls back to JSON lines when
+    the server is legacy or pinned; ``binary`` demands frames (raising
+    :class:`~repro.errors.ServingError` when refused); ``json`` skips
+    negotiation entirely and speaks the original line protocol.  The
+    negotiated result is ``self.protocol``; ``bytes_sent``/``bytes_received``
+    count the traffic on this connection.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: Optional[float] = 30.0,
+        wire: str = "auto",
+    ) -> None:
+        if wire not in WIRE_MODES:
+            raise ServingError(
+                f"unknown wire mode {wire!r}; expected one of {WIRE_MODES}"
+            )
+        self.wire_mode = wire
+        self.protocol = "json"
+        self.protocol_version: Optional[int] = None
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self._upload_seq = 0
         self._sock = socket.create_connection((host, port), timeout=timeout)
+        # A request's final partial segment must never wait on a delayed ACK.
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._file = self._sock.makefile("rwb")
+        if wire != "json":
+            self._negotiate(wire)
+
+    # -- transport ----------------------------------------------------------------
+    def _negotiate(self, mode: str) -> None:
+        """The hello exchange: a JSON line even legacy servers can answer."""
+        line = json.dumps(build_hello(mode), separators=(",", ":")) + "\n"
+        raw = self.roundtrip_raw(line)
+        try:
+            reply = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise TransportError(f"malformed hello reply: {exc}") from exc
+        if not isinstance(reply, dict):
+            raise TransportError("hello reply must be a JSON object")
+        self.protocol, self.protocol_version = parse_hello_reply(reply, mode)
 
     def roundtrip_raw(self, text: str) -> str:
-        """Send one raw request line, return the raw reply line.
+        """Send one raw JSON request line, return the raw reply line.
 
         Transport failures raise :class:`~repro.errors.TransportError` so
         routing layers can distinguish "the connection died" (fail over) from
@@ -514,18 +943,119 @@ class ServingClient:
         """
         if not text.endswith("\n"):
             text += "\n"
+        data = text.encode("utf-8")
         try:
-            self._file.write(text.encode("utf-8"))
+            self._file.write(data)
             self._file.flush()
             reply = self._file.readline()
         except OSError as exc:
             raise TransportError(f"connection to server lost: {exc}") from exc
         if not reply:
             raise TransportError("connection closed by server")
+        self.bytes_sent += len(data)
+        self.bytes_received += len(reply)
         return reply.decode("utf-8")
 
-    def _roundtrip(self, line: str) -> Dict[str, Any]:
-        response = messages.decode_response(self.roundtrip_raw(line))
+    def send_frame(self, frame_type: int, *parts: _Bytes) -> int:
+        """Write one binary frame (no reply expected); returns bytes written."""
+        try:
+            written = write_frame(self._file, frame_type, *parts)
+            self._file.flush()
+        except OSError as exc:
+            raise TransportError(f"connection to server lost: {exc}") from exc
+        self.bytes_sent += written
+        return written
+
+    def _read_reply_unit(self) -> Tuple[str, Any]:
+        """Read one reply in whichever framing it arrives: ("binary",
+        payload bytes) or ("json", text)."""
+        try:
+            first = self._file.read(1)
+        except OSError as exc:
+            raise TransportError(f"connection to server lost: {exc}") from exc
+        if not first:
+            raise TransportError("connection closed by server")
+        if first[0] == MAGIC:
+            try:
+                frame_type, payload, nbytes = read_frame(self._file, first_byte=MAGIC)
+            except OSError as exc:
+                raise TransportError(f"connection to server lost: {exc}") from exc
+            self.bytes_received += nbytes
+            if frame_type != FRAME_RESPONSE:
+                raise TransportError(
+                    f"expected a response frame, got frame type {frame_type:#x}"
+                )
+            return "binary", payload
+        try:
+            line = first + self._file.readline()
+        except OSError as exc:
+            raise TransportError(f"connection to server lost: {exc}") from exc
+        self.bytes_received += len(line)
+        return "json", line.decode("utf-8")
+
+    def roundtrip_frame(self, parts: Sequence[_Bytes]) -> bytes:
+        """Send one pre-encoded request frame, return the raw reply payload.
+
+        The router's binary passthrough path: the caller relays the returned
+        payload verbatim without decoding its blob records.
+        """
+        self.send_frame(FRAME_REQUEST, *parts)
+        kind, payload = self._read_reply_unit()
+        if kind != "binary":
+            raise TransportError("shard answered a binary request with a JSON line")
+        return payload
+
+    # -- request plumbing ---------------------------------------------------------
+    def _blob_context(self):
+        """Raw (base64-free) packing while building binary-bound payloads."""
+        return raw_blobs() if self.protocol == "binary" else nullcontext()
+
+    def _binary_roundtrip(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        envelope, blobs = split_message(message)
+        total = sum(len(blob) for blob in blobs)
+        if blobs and total > STREAM_THRESHOLD_BYTES:
+            # Stream the blobs as bounded CHUNK frames so a multi-MB key set
+            # never head-of-line-blocks the connection behind one giant
+            # frame; the final request frame references the upload.
+            self._upload_seq += 1
+            upload_id = f"up-{self._upload_seq}"
+            client_id = str(message.get("client_id", "default"))
+            for index, blob in enumerate(blobs):
+                views = list(iter_chunks(blob))
+                for position, view in enumerate(views):
+                    chunk_envelope = {
+                        "upload": upload_id,
+                        "blob": index,
+                        "eof": position == len(views) - 1,
+                        "client_id": client_id,
+                    }
+                    self.send_frame(
+                        FRAME_CHUNK,
+                        encode_envelope(chunk_envelope),
+                        *encode_blob_record(view),
+                    )
+            envelope[UPLOAD_KEY] = upload_id
+            self.send_frame(FRAME_REQUEST, encode_envelope(envelope))
+        else:
+            parts: List[_Bytes] = [encode_envelope(envelope)]
+            for blob in blobs:
+                parts.extend(encode_blob_record(blob))
+            self.send_frame(FRAME_REQUEST, *parts)
+        kind, payload = self._read_reply_unit()
+        if kind == "binary":
+            reply_envelope, reply_blobs = decode_message(payload)
+            return messages.finish_response(rehydrate(reply_envelope, reply_blobs))
+        return messages.decode_response(payload)
+
+    def _roundtrip_op(self, op: str, **fields: Any) -> Dict[str, Any]:
+        if self.protocol == "binary":
+            with raw_blobs():
+                message = messages.build_request(op, pack_inputs=True, **fields)
+            response = self._binary_roundtrip(message)
+        else:
+            response = messages.decode_response(
+                self.roundtrip_raw(messages.encode_request(op, **fields))
+            )
         if not response.get("ok"):
             kind = response.get("kind", "ServingError")
             if kind == "QuotaExceededError":
@@ -542,6 +1072,7 @@ class ServingClient:
             raise ServingError(f"{kind}: {response.get('error')}")
         return response
 
+    # -- client API ---------------------------------------------------------------
     def submit(
         self,
         program: str,
@@ -561,16 +1092,14 @@ class ServingClient:
         """
         if trace and trace_id is None:
             trace_id = new_trace_id()
-        response = self._roundtrip(
-            messages.encode_request(
-                "submit",
-                program=program,
-                inputs=inputs,
-                client_id=client_id,
-                output_size=output_size,
-                trace_id=trace_id,
-                trace=trace,
-            )
+        response = self._roundtrip_op(
+            "submit",
+            program=program,
+            inputs=inputs,
+            client_id=client_id,
+            output_size=output_size,
+            trace_id=trace_id,
+            trace=trace,
         )
         self.last_stats: Dict[str, Any] = response.get("stats", {})
         self.last_trace: Optional[Dict[str, Any]] = response.get("trace")
@@ -581,14 +1110,16 @@ class ServingClient:
 
         ``client_kit`` is a :class:`repro.api.ClientKit` (anything exposing
         ``export_evaluation_keys()``); the secret key never leaves the client.
+        On a binary connection the keys are exported raw (no base64) and
+        streamed as chunked frames when they exceed the streaming threshold.
         """
-        response = self._roundtrip(
-            messages.encode_request(
-                "session",
-                program=program,
-                client_id=client_id or getattr(client_kit, "client_id", "default"),
-                evaluation_keys=client_kit.export_evaluation_keys(),
-            )
+        with self._blob_context():
+            evaluation_keys = client_kit.export_evaluation_keys()
+        response = self._roundtrip_op(
+            "session",
+            program=program,
+            client_id=client_id or getattr(client_kit, "client_id", "default"),
+            evaluation_keys=evaluation_keys,
         )
         return response.get("session", {})
 
@@ -603,15 +1134,13 @@ class ServingClient:
         """Submit a wire-encoded cipher bundle; returns wire-encoded ciphertext outputs."""
         if trace and trace_id is None:
             trace_id = new_trace_id()
-        response = self._roundtrip(
-            messages.encode_request(
-                "submit",
-                program=program,
-                bundle=bundle_wire,
-                client_id=client_id,
-                trace_id=trace_id,
-                trace=trace,
-            )
+        response = self._roundtrip_op(
+            "submit",
+            program=program,
+            bundle=bundle_wire,
+            client_id=client_id,
+            trace_id=trace_id,
+            trace=trace,
         )
         self.last_stats = response.get("stats", {})
         self.last_trace = response.get("trace")
@@ -634,41 +1163,37 @@ class ServingClient:
         (defaults to the kit's own id, as :meth:`create_session` does).
         """
         bundle = client_kit.encrypt_inputs(inputs)
+        with self._blob_context():
+            bundle_wire = client_kit.bundle_to_wire(bundle)
         reply = self.submit_bundle(
             program,
-            client_kit.bundle_to_wire(bundle),
+            bundle_wire,
             client_id=client_id or getattr(client_kit, "client_id", "default"),
             trace=trace,
         )
         return client_kit.decrypt_outputs(client_kit.outputs_from_wire(reply))
 
     def programs(self) -> list:
-        return self._roundtrip(messages.encode_request("list")).get("programs", [])
+        return self._roundtrip_op("list").get("programs", [])
 
     def route(self, client_id: str = "default") -> Dict[str, Any]:
         """Which shard serves ``client_id`` (cluster servers only)."""
-        return self._roundtrip(
-            messages.encode_request("route", client_id=client_id)
-        ).get("route", {})
+        return self._roundtrip_op("route", client_id=client_id).get("route", {})
 
     def health(self) -> list:
         """Per-shard health report (single servers report one live shard)."""
-        return self._roundtrip(messages.encode_request("health")).get("health", [])
+        return self._roundtrip_op("health").get("health", [])
 
     def drain(self, shard: int) -> Dict[str, Any]:
         """Take ``shard`` out of the ring without stopping it (cluster only)."""
-        return self._roundtrip(
-            messages.encode_request("drain", shard=shard)
-        ).get("drain", {})
+        return self._roundtrip_op("drain", shard=shard).get("drain", {})
 
     def rejoin(self, shard: int) -> Dict[str, Any]:
         """Return ``shard`` to the ring, respawning it if dead (cluster only)."""
-        return self._roundtrip(
-            messages.encode_request("rejoin", shard=shard)
-        ).get("rejoin", {})
+        return self._roundtrip_op("rejoin", shard=shard).get("rejoin", {})
 
     def stats(self) -> Dict[str, Any]:
-        return self._roundtrip(messages.encode_request("stats")).get("stats", {})
+        return self._roundtrip_op("stats").get("stats", {})
 
     def metrics(self, prometheus: bool = False) -> Dict[str, Any]:
         """The server's unified metrics snapshot (cluster-aggregated on routers).
@@ -676,10 +1201,8 @@ class ServingClient:
         With ``prometheus=True`` the reply additionally carries the rendered
         text exposition under ``"prometheus"``.
         """
-        response = self._roundtrip(
-            messages.encode_request(
-                "metrics", fmt="prometheus" if prometheus else None
-            )
+        response = self._roundtrip_op(
+            "metrics", fmt="prometheus" if prometheus else None
         )
         result = {"metrics": response.get("metrics", {})}
         if "prometheus" in response:
@@ -688,18 +1211,14 @@ class ServingClient:
 
     def trace_of(self, trace_id: str) -> Optional[Dict[str, Any]]:
         """The recorded per-stage spans of one trace id (None when unknown)."""
-        return self._roundtrip(
-            messages.encode_request("trace", trace_id=trace_id)
-        ).get("trace")
+        return self._roundtrip_op("trace", trace_id=trace_id).get("trace")
 
     def slow(self, limit: Optional[int] = None) -> list:
         """Recent slow requests, newest first (cluster-merged on routers)."""
-        return self._roundtrip(
-            messages.encode_request("slow", limit=limit)
-        ).get("slow", [])
+        return self._roundtrip_op("slow", limit=limit).get("slow", [])
 
     def ping(self) -> bool:
-        return bool(self._roundtrip(messages.encode_request("ping")).get("pong"))
+        return bool(self._roundtrip_op("ping").get("pong"))
 
     def close(self) -> None:
         try:

@@ -38,6 +38,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
 from ..core.compiler import CompilationResult
+from ..core.serialization.packing import jsonable_blobs
 
 #: Format version stamped into every record.
 STORE_VERSION = 1
@@ -155,7 +156,9 @@ class SessionStore:
                     "rotation_steps": sorted(int(s) for s in compilation.rotation_steps),
                 },
                 "programs": sorted(programs),
-                "evaluation_keys": evaluation_keys,
+                # Keys received over the binary wire carry raw (memoryview)
+                # packed records; the on-disk store stays plain JSON.
+                "evaluation_keys": jsonable_blobs(evaluation_keys),
             }
             atomic_write_json(self.root, path, record)
         return path

@@ -1,0 +1,92 @@
+"""Binary wire protocol for the serving transport (``repro.wire``).
+
+The serving stack's original transport is newline-delimited JSON: readable,
+debuggable, and ~33% larger than it needs to be the moment ciphertext and
+evaluation-key blobs ride along base64-inflated.  This package is the binary
+alternative that shares every listener with the JSON protocol:
+
+* :mod:`.frames` — the frame layer: one magic byte (so a server can sniff
+  binary frames apart from JSON lines on the same socket), a frame type, a
+  varint length, and the payload.  Truncated, oversized, or garbage frames
+  raise :class:`~repro.errors.TransportError` without over-reading.
+* :mod:`.codec` — the message layer: a request/response dict is split into a
+  small JSON *envelope* plus length-delimited binary *blob* records (protobuf
+  style, built on :mod:`repro.core.serialization.wire`).  Cipher and key
+  blobs travel as raw little-endian bytes — no base64 — and decode into
+  zero-copy :class:`memoryview` slices of the received frame.
+* :mod:`.protocol` — connection-level concerns: the ``hello`` negotiation
+  (a JSON line, so legacy servers answer it with an ordinary error and the
+  client falls back to JSON), and chunked streaming uploads so a multi-MB
+  evaluation-key set is carried as a sequence of bounded frames instead of
+  one monolithic message.
+
+Compatibility promise: a listener that speaks this protocol still serves
+plain JSON-lines clients unchanged — framing is sniffed per message from the
+first byte, and replies always use the framing of the request they answer.
+"""
+
+from .codec import (
+    BLOB_KEY,
+    UPLOAD_KEY,
+    decode_message,
+    encode_blob_record,
+    encode_envelope,
+    encode_message,
+    peek_envelope,
+    rehydrate,
+    replace_envelope,
+    split_message,
+)
+from .frames import (
+    FRAME_CHUNK,
+    FRAME_REQUEST,
+    FRAME_RESPONSE,
+    MAGIC,
+    MAX_FRAME_BYTES,
+    encode_frame,
+    read_frame,
+    read_varint,
+    write_frame,
+)
+from .protocol import (
+    CHUNK_BYTES,
+    PROTOCOL_VERSION,
+    STREAM_THRESHOLD_BYTES,
+    UploadState,
+    WIRE_MODES,
+    build_hello,
+    hello_ack,
+    iter_chunks,
+    parse_hello_reply,
+)
+
+__all__ = [
+    "BLOB_KEY",
+    "CHUNK_BYTES",
+    "FRAME_CHUNK",
+    "FRAME_REQUEST",
+    "FRAME_RESPONSE",
+    "MAGIC",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "STREAM_THRESHOLD_BYTES",
+    "UPLOAD_KEY",
+    "UploadState",
+    "WIRE_MODES",
+    "build_hello",
+    "decode_message",
+    "encode_blob_record",
+    "encode_envelope",
+    "encode_frame",
+    "encode_message",
+    "hello_ack",
+    "iter_chunks",
+    "parse_hello_reply",
+    "peek_envelope",
+    "read_frame",
+    "read_varint",
+    "rehydrate",
+    "replace_envelope",
+    "split_message",
+    "write_frame",
+]

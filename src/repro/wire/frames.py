@@ -1,0 +1,166 @@
+"""Frame layer of the binary wire protocol.
+
+Every binary message on a serving connection is one *frame*::
+
+    +--------+--------+================+==============================+
+    |  0xEB  |  type  | varint length  | payload (``length`` bytes)   |
+    +--------+--------+================+==============================+
+
+The magic byte ``0xEB`` can never begin a JSON-lines message (those start
+with ``{`` or whitespace), so a server reads one byte and knows which
+protocol the message speaks — the sniffing that lets legacy JSON clients and
+binary clients share a listener.
+
+Payload *content* is the codec layer's business (:mod:`.codec`); this module
+only moves length-checked byte strings.  Every failure mode a hostile or
+broken peer can produce — truncated varint, truncated payload, a declared
+length past :data:`MAX_FRAME_BYTES`, an unknown frame type — raises
+:class:`~repro.errors.TransportError` *before* unbounded reading or
+allocation, so a bad frame can neither hang a reader nor balloon its memory.
+"""
+
+from __future__ import annotations
+
+from typing import BinaryIO, Optional, Tuple
+
+from ..errors import TransportError
+
+#: First byte of every binary frame.  JSON-lines messages begin with ``{``
+#: (0x7B) or whitespace, so one-byte sniffing is unambiguous.
+MAGIC = 0xEB
+
+#: Frame types.  Responses mirror requests; CHUNK frames carry one slice of
+#: a streaming blob upload and are never answered individually.
+FRAME_REQUEST = 0x01
+FRAME_RESPONSE = 0x02
+FRAME_CHUNK = 0x03
+
+_KNOWN_TYPES = (FRAME_REQUEST, FRAME_RESPONSE, FRAME_CHUNK)
+
+#: Hard ceiling on one frame's payload.  Chunked uploads exist precisely so
+#: nothing legitimate ever approaches this; anything larger is a corrupt or
+#: malicious length and is rejected before allocation.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+#: A varint longer than this many bytes cannot encode a sane length.
+_MAX_VARINT_BYTES = 10
+
+
+def encode_varint(value: int) -> bytes:
+    """Base-128 varint (least-significant group first), as protobuf uses."""
+    if value < 0:
+        raise TransportError("frame varints must be non-negative")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def read_varint(stream: BinaryIO) -> int:
+    """Read one varint from a byte stream; clean errors on truncation."""
+    result = 0
+    shift = 0
+    for _ in range(_MAX_VARINT_BYTES):
+        data = stream.read(1)
+        if not data:
+            raise TransportError("connection closed inside a frame varint")
+        byte = data[0]
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result
+        shift += 7
+    raise TransportError("frame varint is too long (corrupt frame header)")
+
+
+def _read_exact(stream: BinaryIO, length: int) -> bytes:
+    """Read exactly ``length`` bytes or raise; never busy-loops on EOF."""
+    chunks = []
+    remaining = length
+    while remaining:
+        chunk = stream.read(remaining)
+        if not chunk:
+            raise TransportError(
+                f"connection closed mid-frame ({length - remaining} of "
+                f"{length} payload bytes received)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return chunks[0] if len(chunks) == 1 else b"".join(chunks)
+
+
+def encode_frame(frame_type: int, payload: bytes) -> bytes:
+    """One complete frame as bytes (small frames; large ones use write_frame)."""
+    if frame_type not in _KNOWN_TYPES:
+        raise TransportError(f"unknown frame type {frame_type:#x}")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise TransportError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte frame limit"
+        )
+    return bytes((MAGIC, frame_type)) + encode_varint(len(payload)) + payload
+
+
+def write_frame(stream: BinaryIO, frame_type: int, *parts) -> int:
+    """Write one frame whose payload is the concatenation of ``parts``.
+
+    ``parts`` may be ``bytes``, ``bytearray``, or ``memoryview`` — the frame
+    is written piecewise, so relaying a multi-megabyte blob slice never
+    concatenates it into a fresh buffer.  Returns the total bytes written.
+    """
+    if frame_type not in _KNOWN_TYPES:
+        raise TransportError(f"unknown frame type {frame_type:#x}")
+    length = sum(len(part) for part in parts)
+    if length > MAX_FRAME_BYTES:
+        raise TransportError(
+            f"frame payload of {length} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte frame limit"
+        )
+    header = bytes((MAGIC, frame_type)) + encode_varint(length)
+    stream.write(header)
+    for part in parts:
+        stream.write(part)
+    return len(header) + length
+
+
+def read_frame(
+    stream: BinaryIO, first_byte: Optional[int] = None
+) -> Tuple[int, bytes, int]:
+    """Read one frame; returns ``(frame_type, payload, wire_bytes)``.
+
+    ``first_byte`` is the already-consumed magic byte when the caller sniffed
+    the protocol itself (the usual case in a shared listener).  The declared
+    length is validated against :data:`MAX_FRAME_BYTES` *before* any payload
+    byte is read, so a hostile length can neither hang the reader nor make it
+    allocate unboundedly.  ``wire_bytes`` is the frame's full on-wire size
+    (header included), for byte-accounting telemetry.
+    """
+    if first_byte is None:
+        data = stream.read(1)
+        if not data:
+            raise TransportError("connection closed before a frame")
+        first_byte = data[0]
+    if first_byte != MAGIC:
+        raise TransportError(
+            f"expected a binary frame (magic {MAGIC:#x}), got first byte "
+            f"{first_byte:#x}"
+        )
+    type_byte = stream.read(1)
+    if not type_byte:
+        raise TransportError("connection closed after the frame magic byte")
+    frame_type = type_byte[0]
+    if frame_type not in _KNOWN_TYPES:
+        raise TransportError(f"unknown frame type {frame_type:#x}")
+    length = read_varint(stream)
+    if length > MAX_FRAME_BYTES:
+        raise TransportError(
+            f"frame declares a {length}-byte payload, above the "
+            f"{MAX_FRAME_BYTES}-byte limit (corrupt or hostile header)"
+        )
+    payload = _read_exact(stream, length)
+    header_bytes = 2 + len(encode_varint(length))
+    return frame_type, payload, header_bytes + length

@@ -1,0 +1,203 @@
+"""Connection-level pieces of the binary wire protocol.
+
+Two concerns live here, shared by client and server:
+
+**Negotiation.**  A client that wants binary framing opens the conversation
+with a plain JSON line — ``{"op": "hello", "wire": "binary", "versions":
+[1]}`` — because every server ever shipped can at least parse that.  A
+binary-capable server answers ``{"ok": true, "wire": "binary", "version":
+1}`` and both sides switch to frames; a server pinned to JSON answers
+``{"ok": true, "wire": "json"}``; a *legacy* server answers its ordinary
+"unknown op" error, which an ``auto`` client treats as "speak JSON" — so new
+clients work against old servers and old clients never see a byte of binary.
+
+**Chunked uploads.**  A multi-megabyte evaluation-key set is not sent as one
+monolithic frame: the client streams it as bounded CHUNK frames (one blob
+slice each) and finishes with a request frame referencing the upload.  The
+server assembles chunks between serving other traffic on the connection, so
+a large ``create_session`` no longer head-of-line-blocks every pipelined
+request behind one giant read, and per-connection caps bound the memory any
+peer can pin.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+from ..errors import SerializationError, ServingError
+from .frames import MAX_FRAME_BYTES
+
+#: Highest binary protocol version this build speaks.
+PROTOCOL_VERSION = 1
+
+#: Client/server wire modes (CLI ``--wire``): ``auto`` negotiates binary and
+#: falls back to JSON, the other two force one protocol.
+WIRE_MODES = ("auto", "binary", "json")
+
+#: One streamed chunk's blob slice (frame payload stays comfortably small).
+CHUNK_BYTES = 256 * 1024
+
+#: Requests whose blobs total more than this are streamed as chunks.
+STREAM_THRESHOLD_BYTES = 1024 * 1024
+
+#: Per-connection ceiling on buffered upload bytes, and on concurrent
+#: assembling uploads — a misbehaving peer cannot pin unbounded memory.
+MAX_UPLOAD_BYTES = MAX_FRAME_BYTES
+MAX_OPEN_UPLOADS = 4
+
+_Bytes = Union[bytes, bytearray, memoryview]
+
+
+def build_hello(mode: str) -> Dict[str, Any]:
+    """The hello request an ``auto`` or ``binary`` client opens with."""
+    return {"op": "hello", "wire": str(mode), "versions": [PROTOCOL_VERSION]}
+
+
+def hello_ack(request: Dict[str, Any], policy: str) -> Tuple[Dict[str, Any], str]:
+    """Answer a hello under the listener's wire policy.
+
+    Returns ``(reply, negotiated_protocol)``.  Binary is granted when the
+    listener allows it (policy ``auto`` or ``binary``) and the client offers
+    a version this build speaks; everything else negotiates down to JSON.
+    """
+    versions = request.get("versions")
+    offered = (
+        [v for v in versions if isinstance(v, int)]
+        if isinstance(versions, list)
+        else []
+    )
+    wants_binary = request.get("wire") in ("binary", "auto")
+    if policy != "json" and wants_binary and PROTOCOL_VERSION in offered:
+        return (
+            {"ok": True, "wire": "binary", "version": PROTOCOL_VERSION},
+            "binary",
+        )
+    return {"ok": True, "wire": "json"}, "json"
+
+
+def parse_hello_reply(reply: Dict[str, Any], mode: str) -> Tuple[str, Optional[int]]:
+    """Interpret the server's hello reply; returns (protocol, version).
+
+    In ``auto`` mode any refusal — a JSON-pinned server, or a legacy server
+    answering "unknown op" — falls back to JSON.  In forced ``binary`` mode a
+    refusal is an error, because the caller asked for a guarantee the server
+    cannot give.
+    """
+    if reply.get("ok") and reply.get("wire") == "binary":
+        version = reply.get("version")
+        if version != PROTOCOL_VERSION:
+            raise ServingError(
+                f"server negotiated unsupported wire protocol version {version!r}"
+            )
+        return "binary", PROTOCOL_VERSION
+    if mode == "binary":
+        detail = reply.get("error") or reply.get("wire") or "refused"
+        raise ServingError(
+            f"server does not speak the binary wire protocol ({detail}); "
+            "use --wire auto or json against it"
+        )
+    return "json", None
+
+
+def iter_chunks(blob: _Bytes, size: int = CHUNK_BYTES) -> Iterator[memoryview]:
+    """Slice one blob into bounded memoryview chunks (zero-copy)."""
+    view = memoryview(blob)
+    if not len(view):
+        yield view
+        return
+    for start in range(0, len(view), size):
+        yield view[start : start + size]
+
+
+class _Upload:
+    __slots__ = ("blobs", "complete", "error", "total")
+
+    def __init__(self) -> None:
+        self.blobs: List[bytearray] = []
+        self.complete: List[bool] = []
+        self.error: Optional[str] = None
+        self.total = 0
+
+
+class UploadState:
+    """Per-connection assembly of chunked blob uploads.
+
+    Chunk envelopes carry ``{"upload": id, "blob": index, "eof": bool}``;
+    chunks of one blob arrive in order (TCP per-connection ordering), blobs
+    may interleave.  Violations — byte caps, too many concurrent uploads,
+    malformed indices — *poison* the upload rather than raising: CHUNK
+    frames are never answered individually, so the error is reported exactly
+    once, on the final request that references the upload.
+    """
+
+    def __init__(
+        self,
+        max_bytes: int = MAX_UPLOAD_BYTES,
+        max_uploads: int = MAX_OPEN_UPLOADS,
+    ) -> None:
+        self.max_bytes = int(max_bytes)
+        self.max_uploads = int(max_uploads)
+        self._uploads: Dict[str, _Upload] = {}
+
+    def __len__(self) -> int:
+        return len(self._uploads)
+
+    def add_chunk(self, envelope: Dict[str, Any], data: _Bytes) -> None:
+        """Buffer one chunk frame's blob slice (copies it — the frame buffer
+        is released when the handler moves to the next message)."""
+        upload_id = str(envelope.get("upload"))
+        upload = self._uploads.get(upload_id)
+        if upload is None:
+            if len(self._uploads) >= self.max_uploads:
+                upload = _Upload()
+                upload.error = (
+                    f"connection exceeds {self.max_uploads} concurrent uploads"
+                )
+                self._uploads[upload_id] = upload
+                return
+            upload = self._uploads[upload_id] = _Upload()
+        if upload.error is not None:
+            return
+        index = envelope.get("blob")
+        if not isinstance(index, int) or index < 0 or index > len(upload.blobs):
+            upload.error = f"chunk references blob {index!r} out of order"
+            upload.blobs.clear()
+            return
+        upload.total += len(data)
+        if upload.total > self.max_bytes:
+            upload.error = (
+                f"upload exceeds the {self.max_bytes}-byte per-connection cap"
+            )
+            upload.blobs.clear()
+            return
+        if index == len(upload.blobs):
+            upload.blobs.append(bytearray())
+            upload.complete.append(False)
+        if upload.complete[index]:
+            upload.error = f"chunk appends to already-finished blob {index}"
+            upload.blobs.clear()
+            return
+        upload.blobs[index] += data
+        if envelope.get("eof"):
+            upload.complete[index] = True
+
+    def finish(self, upload_id: Any) -> List[bytearray]:
+        """Claim a completed upload's blobs for the referencing request.
+
+        Raises :class:`~repro.errors.SerializationError` for unknown,
+        incomplete, or poisoned uploads — surfaced as an ordinary error
+        reply to the request, never as a dead connection.
+        """
+        upload = self._uploads.pop(str(upload_id), None)
+        if upload is None:
+            raise SerializationError(
+                f"request references unknown upload {upload_id!r}"
+            )
+        if upload.error is not None:
+            raise SerializationError(f"upload {upload_id!r} failed: {upload.error}")
+        if not all(upload.complete):
+            raise SerializationError(
+                f"upload {upload_id!r} is incomplete "
+                f"({sum(upload.complete)} of {len(upload.blobs)} blobs finished)"
+            )
+        return upload.blobs

@@ -1,0 +1,618 @@
+"""Tests for the binary wire protocol: frames, codec, negotiation, uploads.
+
+Property/fuzz coverage of the varint and frame codecs (roundtrips on random
+values; truncated/oversized/garbage input raises a clean ``TransportError``,
+never hangs or over-reads), the envelope+blob message codec, the hello
+negotiation (including legacy fallback), chunked streaming uploads, and
+mixed-protocol serving — one JSON client and one binary client concurrently
+on the same router.
+"""
+
+import io
+import json
+import random
+import threading
+
+import numpy as np
+import pytest
+
+from repro import wire
+from repro.api import ClientKit, CompiledProgram
+from repro.backend import MockBackend
+from repro.core.serialization import messages
+from repro.core.serialization.packing import (
+    jsonable_blobs,
+    pack_values,
+    raw_blobs,
+    unpack_values,
+)
+from repro.errors import SerializationError, ServingError, TransportError
+from repro.frontend import EvaProgram, input_encrypted, output
+from repro.serving import (
+    BackendSpec,
+    ClusterTcpServer,
+    EvaCluster,
+    EvaServer,
+    EvaTcpServer,
+    ServingClient,
+)
+from repro.wire.frames import encode_varint
+
+
+def make_poly_program(name="poly", vec_size=32):
+    program = EvaProgram(name, vec_size=vec_size, default_scale=25)
+    with program:
+        x = input_encrypted("x", 25)
+        output("y", x * x + x + 1.0, 25)
+    return program
+
+
+# -- varints -------------------------------------------------------------------
+
+
+class TestVarints:
+    def test_roundtrip_on_random_values(self):
+        rng = random.Random(7)
+        values = [0, 1, 127, 128, 300, 2**32, 2**63 - 1]
+        values += [rng.getrandbits(rng.randint(1, 63)) for _ in range(500)]
+        for value in values:
+            stream = io.BytesIO(wire.frames.encode_varint(value))
+            assert wire.read_varint(stream) == value
+            assert stream.read() == b""  # nothing over-read
+
+    def test_encoding_is_minimal_length(self):
+        assert encode_varint(0) == b"\x00"
+        assert encode_varint(127) == b"\x7f"
+        assert encode_varint(128) == b"\x80\x01"
+        assert encode_varint(300) == b"\xac\x02"
+
+    def test_negative_rejected(self):
+        with pytest.raises(TransportError):
+            encode_varint(-1)
+
+    def test_truncated_varint_raises_cleanly(self):
+        # Every proper prefix that ends on a continuation byte must raise.
+        data = encode_varint(2**40)
+        for cut in range(len(data) - 1):
+            with pytest.raises(TransportError):
+                wire.read_varint(io.BytesIO(data[:cut]))
+
+    def test_overlong_varint_raises(self):
+        with pytest.raises(TransportError):
+            wire.read_varint(io.BytesIO(b"\x80" * 11))
+
+
+# -- frames --------------------------------------------------------------------
+
+
+class TestFrames:
+    def test_roundtrip_random_payloads(self):
+        rng = random.Random(11)
+        for _ in range(50):
+            payload = rng.randbytes(rng.randint(0, 4096))
+            frame_type = rng.choice(
+                [wire.FRAME_REQUEST, wire.FRAME_RESPONSE, wire.FRAME_CHUNK]
+            )
+            encoded = wire.encode_frame(frame_type, payload)
+            stream = io.BytesIO(encoded)
+            got_type, got_payload, nbytes = wire.read_frame(stream)
+            assert got_type == frame_type
+            assert got_payload == payload
+            assert nbytes == len(encoded)
+            assert stream.read() == b""  # never over-reads
+
+    def test_write_frame_piecewise_equals_encode_frame(self):
+        parts = [b"abc", bytearray(b"defg"), memoryview(b"hi")]
+        stream = io.BytesIO()
+        nbytes = wire.write_frame(stream, wire.FRAME_REQUEST, *parts)
+        assert stream.getvalue() == wire.encode_frame(
+            wire.FRAME_REQUEST, b"abcdefghi"
+        )
+        assert nbytes == len(stream.getvalue())
+
+    def test_truncated_frames_raise_cleanly(self):
+        encoded = wire.encode_frame(wire.FRAME_REQUEST, b"x" * 100)
+        for cut in range(len(encoded)):
+            with pytest.raises(TransportError):
+                wire.read_frame(io.BytesIO(encoded[:cut]))
+
+    def test_oversized_declared_length_rejected_before_reading(self):
+        # A hostile header declaring a huge payload must be rejected from the
+        # header alone — the reader must not wait for (or allocate) the body.
+        header = bytes([wire.MAGIC, wire.FRAME_REQUEST]) + encode_varint(
+            wire.MAX_FRAME_BYTES + 1
+        )
+        with pytest.raises(TransportError, match="limit"):
+            wire.read_frame(io.BytesIO(header))
+
+    def test_garbage_first_byte_and_frame_type_rejected(self):
+        with pytest.raises(TransportError):
+            wire.read_frame(io.BytesIO(b"{not a frame}\n"))
+        with pytest.raises(TransportError):
+            wire.read_frame(io.BytesIO(bytes([wire.MAGIC, 0x7F, 0x00])))
+
+    def test_fuzz_garbage_never_hangs_or_overreads(self):
+        rng = random.Random(13)
+        for _ in range(200):
+            blob = rng.randbytes(rng.randint(0, 64))
+            stream = io.BytesIO(blob)
+            try:
+                _type, payload, _n = wire.read_frame(stream)
+            except TransportError:
+                continue
+            assert stream.tell() <= len(blob)
+            assert len(payload) <= len(blob)
+
+    def test_oversized_payload_refused_on_write(self):
+        class Huge:
+            def __len__(self):
+                return wire.MAX_FRAME_BYTES + 1
+
+        with pytest.raises(TransportError):
+            wire.write_frame(io.BytesIO(), wire.FRAME_REQUEST, Huge())
+
+
+# -- message codec -------------------------------------------------------------
+
+
+def random_message(rng):
+    """A random request-like dict with packed arrays at random depths."""
+
+    def node(depth):
+        roll = rng.random()
+        if depth > 2 or roll < 0.35:
+            if roll < 0.12:
+                return pack_values([rng.uniform(-9, 9) for _ in range(rng.randint(1, 40))])
+            return rng.choice([None, True, rng.randint(-1000, 1000), "text", 3.5])
+        if roll < 0.7:
+            return {f"k{i}": node(depth + 1) for i in range(rng.randint(0, 4))}
+        return [node(depth + 1) for i in range(rng.randint(0, 4))]
+
+    return {
+        "op": "submit",
+        "program": "p",
+        "payload": node(0),
+        "inputs": {"x": pack_values([rng.random() for _ in range(rng.randint(1, 64))])},
+    }
+
+
+class TestMessageCodec:
+    def test_roundtrip_random_nested_messages(self):
+        rng = random.Random(17)
+        for _ in range(30):
+            with raw_blobs():
+                message = random_message(rng)
+            parts = wire.encode_message(message)
+            payload = b"".join(bytes(part) for part in parts)
+            envelope, blobs = wire.decode_message(payload)
+            restored = wire.rehydrate(envelope, blobs)
+            # Raw records survive the trip bit-exactly (as memoryviews).
+            assert jsonable_blobs(restored) == jsonable_blobs(message)
+
+    def test_blobs_decode_zero_copy(self):
+        with raw_blobs():
+            message = {"op": "submit", "inputs": {"x": pack_values([1.0, 2.0, 3.0])}}
+        payload = b"".join(bytes(p) for p in wire.encode_message(message))
+        _envelope, blobs = wire.decode_message(payload)
+        assert len(blobs) == 1
+        assert isinstance(blobs[0], memoryview)
+        np.testing.assert_allclose(
+            unpack_values({"dtype": "f8", "raw": blobs[0]}), [1.0, 2.0, 3.0]
+        )
+
+    def test_base64_records_are_lifted_to_raw_blobs(self):
+        # A payload built for the JSON wire (b64 records) still gains the
+        # binary size win when sent through the binary codec.
+        message = {"op": "submit", "inputs": {"x": pack_values([4.0, 5.0])}}
+        assert "b64" in message["inputs"]["x"]
+        parts = wire.encode_message(message)
+        payload = b"".join(bytes(p) for p in parts)
+        envelope, blobs = wire.decode_message(payload)
+        assert len(blobs) == 1
+        restored = wire.rehydrate(envelope, blobs)
+        np.testing.assert_allclose(
+            unpack_values(restored["inputs"]["x"]), [4.0, 5.0]
+        )
+
+    def test_envelope_must_be_present_and_unique(self):
+        with pytest.raises(TransportError, match="no envelope"):
+            wire.decode_message(b"")
+        env = wire.encode_envelope({"op": "ping"})
+        with pytest.raises(TransportError, match="two envelopes"):
+            wire.decode_message(env + env)
+
+    def test_peek_and_replace_envelope_preserve_blobs(self):
+        with raw_blobs():
+            message = {
+                "op": "submit",
+                "client_id": "alice",
+                "inputs": {"x": pack_values([7.0, 8.0])},
+            }
+        payload = b"".join(bytes(p) for p in wire.encode_message(message))
+        envelope, end = wire.peek_envelope(payload)
+        assert envelope["op"] == "submit"
+        assert end < len(payload)
+        envelope["trace_id"] = "t-123"
+        spliced = b"".join(
+            bytes(p) for p in wire.replace_envelope(payload, envelope)
+        )
+        new_envelope, blobs = wire.decode_message(spliced)
+        assert new_envelope["trace_id"] == "t-123"
+        restored = wire.rehydrate(new_envelope, blobs)
+        np.testing.assert_allclose(
+            unpack_values(restored["inputs"]["x"]), [7.0, 8.0]
+        )
+
+    def test_bad_blob_reference_raises(self):
+        with pytest.raises(TransportError):
+            wire.rehydrate({"x": {"dtype": "f8", wire.BLOB_KEY: 3}}, [])
+
+    def test_fuzz_garbage_payloads_raise_cleanly(self):
+        rng = random.Random(19)
+        for _ in range(300):
+            blob = rng.randbytes(rng.randint(0, 80))
+            try:
+                wire.decode_message(blob)
+            except TransportError:
+                pass  # the only acceptable failure mode
+
+
+# -- negotiation ---------------------------------------------------------------
+
+
+class TestNegotiation:
+    def test_hello_ack_grants_binary_under_auto_policy(self):
+        reply, proto = wire.hello_ack(wire.build_hello("auto"), "auto")
+        assert proto == "binary"
+        assert reply == {"ok": True, "wire": "binary", "version": wire.PROTOCOL_VERSION}
+
+    def test_hello_ack_pins_json_when_policy_is_json(self):
+        reply, proto = wire.hello_ack(wire.build_hello("binary"), "json")
+        assert proto == "json"
+        assert reply["wire"] == "json"
+
+    def test_hello_ack_refuses_unknown_versions(self):
+        hello = {"op": "hello", "wire": "binary", "versions": [99]}
+        _reply, proto = wire.hello_ack(hello, "auto")
+        assert proto == "json"
+
+    def test_parse_reply_auto_falls_back_on_legacy_error(self):
+        legacy = {"ok": False, "error": "unknown request op 'hello'"}
+        assert wire.parse_hello_reply(legacy, "auto") == ("json", None)
+
+    def test_parse_reply_forced_binary_raises_on_refusal(self):
+        with pytest.raises(ServingError, match="binary"):
+            wire.parse_hello_reply({"ok": True, "wire": "json"}, "binary")
+
+    def test_parse_reply_rejects_version_mismatch(self):
+        with pytest.raises(ServingError, match="version"):
+            wire.parse_hello_reply({"ok": True, "wire": "binary", "version": 2}, "auto")
+
+
+# -- chunked uploads -----------------------------------------------------------
+
+
+class TestUploadState:
+    def chunk(self, state, upload, blob, data, eof=False):
+        state.add_chunk({"upload": upload, "blob": blob, "eof": eof}, data)
+
+    def test_interleaved_blobs_assemble_in_order(self):
+        state = wire.UploadState()
+        self.chunk(state, "u1", 0, b"aa")
+        self.chunk(state, "u1", 1, b"xx")
+        self.chunk(state, "u1", 0, b"bb", eof=True)
+        self.chunk(state, "u1", 1, b"yy", eof=True)
+        blobs = state.finish("u1")
+        assert [bytes(b) for b in blobs] == [b"aabb", b"xxyy"]
+        assert len(state) == 0
+
+    def test_unknown_and_incomplete_uploads_raise(self):
+        state = wire.UploadState()
+        with pytest.raises(SerializationError, match="unknown upload"):
+            state.finish("nope")
+        self.chunk(state, "u1", 0, b"aa")  # no eof
+        with pytest.raises(SerializationError, match="incomplete"):
+            state.finish("u1")
+
+    def test_byte_cap_poisons_the_upload(self):
+        state = wire.UploadState(max_bytes=10)
+        self.chunk(state, "u1", 0, b"x" * 20, eof=True)
+        with pytest.raises(SerializationError, match="cap"):
+            state.finish("u1")
+
+    def test_out_of_order_blob_index_poisons(self):
+        state = wire.UploadState()
+        self.chunk(state, "u1", 2, b"zz")
+        with pytest.raises(SerializationError, match="out of order"):
+            state.finish("u1")
+
+    def test_append_after_eof_poisons(self):
+        state = wire.UploadState()
+        self.chunk(state, "u1", 0, b"aa", eof=True)
+        self.chunk(state, "u1", 0, b"bb")
+        with pytest.raises(SerializationError, match="finished"):
+            state.finish("u1")
+
+    def test_too_many_concurrent_uploads_poisons_the_extra(self):
+        state = wire.UploadState(max_uploads=2)
+        self.chunk(state, "u1", 0, b"a", eof=True)
+        self.chunk(state, "u2", 0, b"b", eof=True)
+        self.chunk(state, "u3", 0, b"c", eof=True)
+        assert [bytes(b) for b in state.finish("u1")] == [b"a"]
+        with pytest.raises(SerializationError, match="concurrent uploads"):
+            state.finish("u3")
+
+    def test_iter_chunks_covers_blob_exactly(self):
+        blob = bytes(range(256)) * 5
+        chunks = list(wire.iter_chunks(blob, size=100))
+        assert all(len(c) <= 100 for c in chunks)
+        assert b"".join(bytes(c) for c in chunks) == blob
+        assert list(wire.iter_chunks(b"", size=4)) == [memoryview(b"")]
+
+
+# -- end-to-end over TCP -------------------------------------------------------
+
+
+@pytest.fixture
+def tcp_server():
+    server = EvaServer(backend=MockBackend(error_model="none"), workers=2)
+    server.register("poly", make_poly_program())
+    tcp = EvaTcpServer(server, port=0)
+    tcp.start_background()
+    try:
+        yield tcp
+    finally:
+        tcp.shutdown()
+        server.close()
+
+
+class TestServingOverBinaryWire:
+    def test_auto_client_negotiates_binary(self, tcp_server):
+        host, port = tcp_server.address
+        with ServingClient(host, port) as client:
+            assert client.protocol == "binary"
+            assert client.protocol_version == wire.PROTOCOL_VERSION
+            outputs = client.submit("poly", {"x": [1.0, 2.0]})
+        np.testing.assert_allclose(outputs["y"], [3.0, 7.0], atol=1e-6)
+
+    def test_json_pinned_server_negotiates_down(self):
+        server = EvaServer(backend=MockBackend(error_model="none"), workers=1)
+        server.register("poly", make_poly_program())
+        tcp = EvaTcpServer(server, port=0, wire_policy="json")
+        tcp.start_background()
+        try:
+            host, port = tcp.address
+            with ServingClient(host, port, wire="auto") as client:
+                assert client.protocol == "json"
+                outputs = client.submit("poly", {"x": [1.0]})
+                np.testing.assert_allclose(outputs["y"], [3.0], atol=1e-6)
+            with pytest.raises(ServingError, match="binary"):
+                ServingClient(host, port, wire="binary")
+        finally:
+            tcp.shutdown()
+            server.close()
+
+    def test_binary_and_json_clients_agree(self, tcp_server):
+        host, port = tcp_server.address
+        x = [float(i) for i in range(8)]
+        with ServingClient(host, port, wire="binary") as binary_client:
+            with ServingClient(host, port, wire="json") as json_client:
+                binary_out = binary_client.submit("poly", {"x": x})
+                json_out = json_client.submit("poly", {"x": x})
+        np.testing.assert_allclose(binary_out["y"], json_out["y"], atol=1e-6)
+
+    def test_byte_counters_and_net_metrics(self, tcp_server):
+        host, port = tcp_server.address
+        with ServingClient(host, port, wire="binary") as client:
+            client.submit("poly", {"x": [1.0, 2.0]})
+            assert client.bytes_sent > 0
+            assert client.bytes_received > 0
+            metrics = client.metrics()["metrics"]
+        counters = {
+            (c["name"], c["labels"].get("protocol")): c["value"]
+            for c in metrics["counters"]
+        }
+        assert counters.get(("net.bytes_received", "binary"), 0) > 0
+        assert counters.get(("net.bytes_sent", "binary"), 0) > 0
+
+    def test_stats_reports_connection_protocols(self, tcp_server):
+        host, port = tcp_server.address
+        with ServingClient(host, port, wire="binary") as binary_client:
+            with ServingClient(host, port, wire="json") as json_client:
+                binary_client.ping()
+                stats = json_client.stats()
+        protocols = sorted(c["protocol"] for c in stats["connections"])
+        assert "binary" in protocols and "json" in protocols
+
+    def test_binary_error_replies_are_framed_and_typed(self, tcp_server):
+        host, port = tcp_server.address
+        with ServingClient(host, port, wire="binary") as client:
+            with pytest.raises(ServingError, match="no program registered"):
+                client.submit("nope", {"x": [1.0]})
+            # The connection survives the error reply.
+            assert client.ping()
+
+    def test_encrypted_session_and_submit_over_binary(self, tcp_server):
+        host, port = tcp_server.address
+        program = make_poly_program()
+        kit = ClientKit(
+            CompiledProgram.compile(program.graph),
+            backend=MockBackend(error_model="none"),
+            client_id="alice",
+        )
+        with ServingClient(host, port, wire="binary") as client:
+            session = client.create_session("poly", kit)
+            assert session["client_id"] == "alice"
+            outputs = client.submit_encrypted(
+                "poly", kit, {"x": [1.0, 2.0]}, client_id="alice"
+            )
+        np.testing.assert_allclose(outputs["y"][:2], [3.0, 7.0], atol=1e-6)
+
+    def test_chunked_upload_streams_large_sessions(self, tcp_server, monkeypatch):
+        # Force the streaming path with a tiny threshold: the key set is sent
+        # as CHUNK frames and the final request references the upload.
+        from repro.serving import netserver
+
+        monkeypatch.setattr(netserver, "STREAM_THRESHOLD_BYTES", 64)
+        host, port = tcp_server.address
+        program = make_poly_program()
+        kit = ClientKit(
+            CompiledProgram.compile(program.graph),
+            backend=MockBackend(error_model="none"),
+            client_id="bob",
+        )
+        with ServingClient(host, port, wire="binary") as client:
+            session = client.create_session("poly", kit)
+            assert session["client_id"] == "bob"
+            outputs = client.submit_encrypted(
+                "poly", kit, {"x": [2.0]}, client_id="bob"
+            )
+        np.testing.assert_allclose(outputs["y"][:1], [7.0], atol=1e-6)
+
+    def test_upload_violations_surface_as_error_replies(self, tcp_server):
+        host, port = tcp_server.address
+        with ServingClient(host, port, wire="binary") as client:
+            # Reference an upload that was never streamed.
+            envelope, _blobs = wire.split_message(
+                messages.build_request("session", program="poly",
+                                       evaluation_keys={"k": 1})
+            )
+            envelope[wire.UPLOAD_KEY] = "never-streamed"
+            client.send_frame(wire.FRAME_REQUEST, wire.encode_envelope(envelope))
+            kind, payload = client._read_reply_unit()
+            assert kind == "binary"
+            reply, _ = wire.decode_message(payload)
+            assert reply["ok"] is False
+            assert reply["kind"] == "SerializationError"
+            # The connection is still usable.
+            assert client.ping()
+
+
+class TestMixedProtocolCluster:
+    def test_json_and_binary_clients_share_one_router(self, tmp_path):
+        cluster = EvaCluster(
+            shards=2,
+            backend=BackendSpec(name="mock-exact"),
+            session_dir=str(tmp_path / "sessions"),
+            workers=1,
+            batch_window=0.0,
+        )
+        cluster.register("poly", make_poly_program())
+        cluster.start()
+        router = ClusterTcpServer(cluster, port=0)
+        router.start_background()
+        try:
+            host, port = router.address
+            x = [float(i) for i in range(8)]
+            results = {}
+            errors = []
+
+            def run(mode, client_id):
+                try:
+                    with ServingClient(host, port, wire=mode) as client:
+                        assert client.protocol == (
+                            "binary" if mode == "binary" else "json"
+                        )
+                        out = []
+                        for _ in range(5):
+                            out.append(
+                                client.submit("poly", {"x": x}, client_id=client_id)
+                            )
+                        results[mode] = out
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append((mode, exc))
+
+            threads = [
+                threading.Thread(target=run, args=("binary", "alice")),
+                threading.Thread(target=run, args=("json", "bob")),
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            assert not errors, errors
+            for mode in ("binary", "json"):
+                for out in results[mode]:
+                    np.testing.assert_allclose(
+                        out["y"], [v * v + v + 1.0 for v in x], atol=1e-6
+                    )
+            # The router saw both protocols on its listener.
+            with ServingClient(host, port, wire="json") as admin:
+                stats = admin.stats()
+                protocols = {c["protocol"] for c in stats["connections"]}
+                assert "json" in protocols
+                metrics = admin.metrics()["metrics"]
+            counters = {
+                (c["name"], c["labels"].get("protocol"))
+                for c in metrics["counters"]
+            }
+            assert ("net.bytes_received", "binary") in counters
+            assert ("net.bytes_received", "json") in counters
+        finally:
+            router.shutdown()
+            cluster.close()
+
+    def test_binary_session_routes_through_router(self, tmp_path):
+        cluster = EvaCluster(
+            shards=2,
+            backend=BackendSpec(name="mock-exact"),
+            session_dir=str(tmp_path / "sessions"),
+            workers=1,
+            batch_window=0.0,
+        )
+        cluster.register("poly", make_poly_program())
+        cluster.start()
+        router = ClusterTcpServer(cluster, port=0)
+        router.start_background()
+        try:
+            host, port = router.address
+            program = make_poly_program()
+            kit = ClientKit(
+                CompiledProgram.compile(program.graph),
+                backend=MockBackend(error_model="none"),
+                client_id="carol",
+            )
+            with ServingClient(host, port, wire="binary") as client:
+                session = client.create_session("poly", kit)
+                assert session["client_id"] == "carol"
+                outputs = client.submit_encrypted(
+                    "poly", kit, {"x": [1.0, 3.0]}, client_id="carol"
+                )
+            np.testing.assert_allclose(outputs["y"][:2], [3.0, 13.0], atol=1e-6)
+        finally:
+            router.shutdown()
+            cluster.close()
+
+    def test_chunked_upload_streams_through_router(self, tmp_path, monkeypatch):
+        from repro.serving import netserver
+
+        monkeypatch.setattr(netserver, "STREAM_THRESHOLD_BYTES", 64)
+        cluster = EvaCluster(
+            shards=2,
+            backend=BackendSpec(name="mock-exact"),
+            session_dir=str(tmp_path / "sessions"),
+            workers=1,
+            batch_window=0.0,
+        )
+        cluster.register("poly", make_poly_program())
+        cluster.start()
+        router = ClusterTcpServer(cluster, port=0)
+        router.start_background()
+        try:
+            host, port = router.address
+            program = make_poly_program()
+            kit = ClientKit(
+                CompiledProgram.compile(program.graph),
+                backend=MockBackend(error_model="none"),
+                client_id="dave",
+            )
+            with ServingClient(host, port, wire="binary") as client:
+                session = client.create_session("poly", kit)
+                assert session["client_id"] == "dave"
+                outputs = client.submit_encrypted(
+                    "poly", kit, {"x": [2.0, 4.0]}, client_id="dave"
+                )
+            np.testing.assert_allclose(outputs["y"][:2], [7.0, 21.0], atol=1e-6)
+        finally:
+            router.shutdown()
+            cluster.close()
