@@ -1,0 +1,187 @@
+"""Rotation cost of lane batching: the lane tax, before and after clawback.
+
+Lane lowering (PR 6) made rotation-bearing kernels batchable, but at a
+price — every rotation became a masked pair, doubling both the rotation
+count per evaluation and the Galois key set a client must generate and
+upload per session.  This benchmark measures what the rotation-cost layer
+(hoisted wrap composition + rotation hoisting + BSGS key decomposition)
+claws back on the paper's two rotation-heavy kernels, Sobel and Harris:
+
+* **rotation ratio** — ROT ops per batched evaluation over ROT ops per
+  unbatched (solo) evaluation.  One batched evaluation serves a full
+  ciphertext of lanes, so anything near 1.0 means batching is effectively
+  rotation-free; the acceptance bar is <= 1.2x.
+* **per-session Galois key bytes** — modeled key-set size (steps x
+  per-key bytes at the compilation's own parameters) a client uploads in
+  ``create_session`` for the lane variant, optimized versus the PR 7
+  baseline (``hoist_rotations=False, bsgs_rotations="off"``).  The
+  acceptance bar is a >= 2x reduction.
+
+Both metrics are compile-time facts — deterministic across hosts, which is
+why they are the gated metrics in check_regression.py.  Runs standalone
+(``python benchmarks/bench_rotation_cost.py``) for the CI gate, or under
+pytest-benchmark with the rest of the suite (the benchmark target is the
+optimized lane-variant compilation itself).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.apps.harris import build_harris_program
+from repro.apps.sobel import build_sobel_program
+from repro.backend.cost_model import DEFAULT_COST_MODEL
+from repro.core import CompilerOptions, compile_program
+from repro.core.types import Op
+
+try:
+    from conftest import print_table
+except ImportError:  # standalone invocation without the benchmarks conftest
+    def print_table(title, header, rows):
+        print(f"\n=== {title} ===")
+        for row in [header] + rows:
+            print("  ".join(str(cell).ljust(18) for cell in row))
+
+#: Image side; 64-pixel lanes keep the compilations fast and match the
+#: golden lane tests in tests/test_lane_lowering.py.
+IMAGE_SIZE = 8
+LANE = IMAGE_SIZE**2
+#: Acceptance bar: batched rotations per evaluation vs unbatched.
+MAX_ROTATION_RATIO = 1.2
+#: Acceptance bar: baseline key bytes over optimized key bytes.
+MIN_KEYS_RATIO = 2.0
+
+#: The PR 7 baseline: masked-pair lowering, no hoisting, direct keys.
+BASELINE = dict(hoist_rotations=False, bsgs_rotations="off")
+
+
+def rotation_count(compilation) -> int:
+    counts = compilation.program.op_counts()
+    return counts.get(Op.ROTATE_LEFT, 0) + counts.get(Op.ROTATE_RIGHT, 0)
+
+
+def session_key_bytes(compilation) -> int:
+    """Modeled Galois key upload for one session of this compilation."""
+    parameters = compilation.parameters
+    return len(parameters.rotation_steps) * DEFAULT_COST_MODEL.galois_key_bytes(
+        parameters.poly_modulus_degree,
+        max(len(parameters.coeff_modulus_bits), 1),
+    )
+
+
+def measure(build, vec_factor: int):
+    program = build(IMAGE_SIZE, vec_size=vec_factor * LANE)
+    unbatched = compile_program(program.graph)
+    optimized = compile_program(
+        program.graph, options=CompilerOptions(lane_width=LANE)
+    )
+    baseline = compile_program(
+        program.graph, options=CompilerOptions(lane_width=LANE, **BASELINE)
+    )
+    solo_rotations = rotation_count(unbatched)
+    lane_rotations = rotation_count(optimized)
+    return {
+        "vec_size": vec_factor * LANE,
+        "lane_width": LANE,
+        "lane_capacity": vec_factor,
+        "unbatched_rotations": solo_rotations,
+        "batched_rotations": lane_rotations,
+        "rotation_ratio": lane_rotations / max(solo_rotations, 1),
+        "unbatched_key_steps": len(unbatched.rotation_steps),
+        "optimized_key_steps": len(optimized.rotation_steps),
+        "baseline_key_steps": len(baseline.rotation_steps),
+        "optimized_key_bytes": session_key_bytes(optimized),
+        "baseline_key_bytes": session_key_bytes(baseline),
+    }
+
+
+def run(benchmark=None) -> dict:
+    kernels = {
+        "sobel": measure(build_sobel_program, 8),
+        "harris": measure(build_harris_program, 4),
+    }
+    baseline_bytes = sum(k["baseline_key_bytes"] for k in kernels.values())
+    optimized_bytes = sum(k["optimized_key_bytes"] for k in kernels.values())
+    keys_ratio = baseline_bytes / max(optimized_bytes, 1)
+
+    print_table(
+        f"Lane tax on {IMAGE_SIZE}x{IMAGE_SIZE} kernels "
+        f"(lane {LANE}, PR 7 baseline vs optimized)",
+        ["Kernel", "Solo ROTs", "Lane ROTs", "Ratio", "Keys base", "Keys opt"],
+        [
+            [
+                name,
+                k["unbatched_rotations"],
+                k["batched_rotations"],
+                f"{k['rotation_ratio']:.3f}x",
+                k["baseline_key_steps"],
+                k["optimized_key_steps"],
+            ]
+            for name, k in kernels.items()
+        ],
+    )
+    print(
+        f"  session key upload: baseline {baseline_bytes / 1e6:.2f} MB -> "
+        f"optimized {optimized_bytes / 1e6:.2f} MB ({keys_ratio:.2f}x smaller)"
+    )
+
+    for name, k in kernels.items():
+        assert k["rotation_ratio"] <= MAX_ROTATION_RATIO, (
+            f"{name}: batched evaluation costs {k['batched_rotations']} "
+            f"rotations vs {k['unbatched_rotations']} unbatched "
+            f"({k['rotation_ratio']:.3f}x > {MAX_ROTATION_RATIO}x)"
+        )
+    assert keys_ratio >= MIN_KEYS_RATIO, (
+        f"per-session Galois key bytes only {keys_ratio:.2f}x smaller than "
+        f"the PR 7 baseline (need >= {MIN_KEYS_RATIO}x)"
+    )
+
+    payload = {
+        "benchmark": "rotation_cost",
+        "image_size": IMAGE_SIZE,
+        "max_rotation_ratio": MAX_ROTATION_RATIO,
+        "min_keys_ratio": MIN_KEYS_RATIO,
+        "keys": {
+            "baseline_bytes": baseline_bytes,
+            "optimized_bytes": optimized_bytes,
+            "ratio": keys_ratio,
+        },
+        **kernels,
+    }
+    print(json.dumps(payload))
+
+    if benchmark is not None:
+        program = build_sobel_program(IMAGE_SIZE, vec_size=8 * LANE)
+        benchmark.pedantic(
+            lambda: compile_program(
+                program.graph, options=CompilerOptions(lane_width=LANE)
+            ),
+            rounds=3,
+            iterations=1,
+        )
+    else:
+        import os
+
+        os.makedirs("bench-out", exist_ok=True)
+        with open(
+            "bench-out/rotation_cost.json", "w", encoding="utf-8"
+        ) as handle:
+            json.dump(payload, handle, indent=2)
+    return payload
+
+
+def test_rotation_cost(benchmark):
+    run(benchmark)
+
+
+if __name__ == "__main__":
+    result = run(None)
+    print(
+        f"rotation cost ok: ratios "
+        f"sobel {result['sobel']['rotation_ratio']:.3f}x, "
+        f"harris {result['harris']['rotation_ratio']:.3f}x "
+        f"<= {MAX_ROTATION_RATIO}x; keys {result['keys']['ratio']:.2f}x "
+        f">= {MIN_KEYS_RATIO}x"
+    )
+    sys.exit(0)

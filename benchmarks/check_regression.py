@@ -45,6 +45,17 @@ GATES: Dict[str, List[Tuple[str, str]]] = {
         # deliberately *not* gated (too noisy on shared runners).
         ("bytes.ratio", "higher"),
     ],
+    "rotation_cost": [
+        # Rotations per batched evaluation over unbatched, on the two
+        # rotation-heavy kernels — the lane tax after hoisting.  Compile-time
+        # op counts: deterministic across hosts.
+        ("sobel.rotation_ratio", "lower"),
+        ("harris.rotation_ratio", "lower"),
+        # Per-session Galois key bytes, PR 7 baseline over optimized (BSGS +
+        # shared wrap step).  A drop below the band means keygen dedup or the
+        # planner regressed and clients upload fat key sets again.
+        ("keys.ratio", "higher"),
+    ],
     "cluster_fairness": [
         # Light-client p95 contended/solo: a *growing* ratio means the fair
         # queue is letting the greedy client win.  Run with a wide tolerance

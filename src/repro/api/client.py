@@ -44,6 +44,12 @@ class ClientKit:
         Homomorphic backend; defaults to the mock simulator.
     client_id:
         Identity stamped on every bundle; servers key sessions by it.
+    extra_rotation_steps:
+        Additional Galois key steps to generate beyond the compiled program's
+        own — the union is computed once, so a step shared between variants
+        yields exactly one key.  Use :meth:`for_programs` to build a kit whose
+        keys cover several compiled variants (e.g. solo + lane-lowered) of
+        one program.
     """
 
     def __init__(
@@ -51,6 +57,7 @@ class ClientKit:
         compiled: Any,
         backend: Optional[HomomorphicBackend] = None,
         client_id: str = "default",
+        extra_rotation_steps: Optional[Sequence[int]] = None,
     ) -> None:
         if backend is None:
             from ..backend.mock_backend import MockBackend
@@ -59,7 +66,19 @@ class ClientKit:
         self.compiled: CompiledProgram = as_compiled_program(compiled)
         self.backend = backend
         self.client_id = str(client_id)
-        self.context: BackendContext = backend.create_context(self.compiled.parameters)
+        parameters = self.compiled.parameters
+        if extra_rotation_steps:
+            from dataclasses import replace
+
+            from ..core.analysis.rotations import merge_rotation_steps
+
+            merged = merge_rotation_steps(
+                parameters.rotation_steps, extra_rotation_steps
+            )
+            if merged != sorted(set(parameters.rotation_steps)):
+                parameters = replace(parameters, rotation_steps=merged)
+        self.rotation_steps: List[int] = list(parameters.rotation_steps)
+        self.context: BackendContext = backend.create_context(parameters)
         self.context.generate_keys()
         self._program = self.compiled.program
         # The engine's encrypt_inputs is the single implementation of the
@@ -67,6 +86,54 @@ class ClientKit:
         # which inputs are live, which are Cipher, and at what scale each
         # must be encrypted.
         self._engine = EvaluationEngine(self.compiled.compilation, backend=backend)
+
+    @classmethod
+    def for_programs(
+        cls,
+        compilations: Sequence[Any],
+        backend: Optional[HomomorphicBackend] = None,
+        client_id: str = "default",
+    ) -> "ClientKit":
+        """A kit whose Galois keys cover several compiled variants at once.
+
+        A client talking to a server that evaluates both the solo and the
+        lane-lowered variant of its program must upload keys for both step
+        sets — but generating them per variant would duplicate every shared
+        step.  This constructor takes the *union* of the variants' rotation
+        steps (each Galois key generated and exported exactly once) and
+        encrypts against the first compilation.  All variants must agree on
+        the encryption parameters (same polynomial degree and modulus chain);
+        variants whose parameters differ need their own kit.
+        """
+        if not compilations:
+            raise ExecutionError("for_programs needs at least one compilation")
+        programs = [as_compiled_program(c) for c in compilations]
+        first = programs[0].parameters
+        for other in programs[1:]:
+            params = other.parameters
+            if (
+                params.poly_modulus_degree != first.poly_modulus_degree
+                or list(params.coeff_modulus_bits) != list(first.coeff_modulus_bits)
+            ):
+                raise ExecutionError(
+                    "cannot share keys across variants with different "
+                    "encryption parameters: "
+                    f"(N={first.poly_modulus_degree}, "
+                    f"chain={list(first.coeff_modulus_bits)}) vs "
+                    f"(N={params.poly_modulus_degree}, "
+                    f"chain={list(params.coeff_modulus_bits)})"
+                )
+        from ..core.analysis.rotations import merge_rotation_steps
+
+        merged = merge_rotation_steps(
+            *(p.parameters.rotation_steps for p in programs)
+        )
+        return cls(
+            programs[0],
+            backend=backend,
+            client_id=client_id,
+            extra_rotation_steps=merged,
+        )
 
     # -- key material ------------------------------------------------------------
     def evaluation_context(self) -> BackendContext:

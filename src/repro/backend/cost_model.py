@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
-from ..core.types import Op
+from ..core.types import Op, ValueType
 
 #: Seconds per (coefficient * RNS component) of simple modular arithmetic.
 _BASE_SECONDS = 2.0e-9
@@ -48,6 +48,13 @@ class CostModel:
     )
     #: Weight of the key-switching inner product, multiplied by L (quadratic in L overall).
     keyswitch_weight: float = 1.5
+    #: Seconds per byte of Galois key material generated and shipped at
+    #: session setup (keygen + serialization + upload, ~80 MB/s end to end —
+    #: calibrated against the PR 7 streaming-key-upload measurements).
+    key_seconds_per_byte: float = 1.25e-8
+    #: Amortization horizon: evaluations one session is expected to serve.
+    #: Key costs are paid once per session, rotations on every evaluation.
+    session_evaluations: float = 64.0
 
     def op_seconds(self, kind: str, poly_degree: int, remaining_levels: int) -> float:
         """Latency (seconds) of one primitive of class ``kind``.
@@ -64,6 +71,63 @@ class CostModel:
         if kind in ("relinearize", "rotate"):
             cost += self.keyswitch_weight * unit * levels * log_n / 14.0
         return cost
+
+    def galois_key_bytes(self, poly_degree: int, levels: int) -> int:
+        """Modeled wire size of *one* Galois key at ``(N, L)``.
+
+        A key-switching key holds one pair of RNS polynomials per
+        decomposition component: ``L`` components x 2 polynomials x ``L + 1``
+        primes x ``N`` coefficients x 8 bytes.  The estimate is deterministic
+        in the parameters, so telemetry and benchmarks report the same number
+        on the mock and real backends.
+        """
+        levels = max(int(levels), 1)
+        n = max(int(poly_degree), 2)
+        return 2 * levels * (levels + 1) * n * 8
+
+    def rotation_plan_seconds(
+        self,
+        key_count: int,
+        extra_rotations: int,
+        poly_degree: int,
+        remaining_levels: int,
+    ) -> float:
+        """Amortized per-session cost of a rotation-key plan.
+
+        ``key_count`` Galois keys are generated and uploaded once per session;
+        ``extra_rotations`` (giant steps not already computed directly) are
+        paid on each of the session's ``session_evaluations`` evaluations.
+        The BSGS planner minimizes this sum.
+        """
+        key_seconds = (
+            key_count
+            * self.galois_key_bytes(poly_degree, remaining_levels)
+            * self.key_seconds_per_byte
+        )
+        run_seconds = (
+            extra_rotations
+            * self.op_seconds("rotate", poly_degree, remaining_levels)
+            * self.session_evaluations
+        )
+        return key_seconds + run_seconds
+
+    def program_seconds(self, program, poly_degree: int, remaining_levels: int) -> float:
+        """Modeled evaluation latency of a compiled program graph.
+
+        Uses a flat level count for every term (pessimistic for late, cheap
+        levels) — the number is meant for *relative* comparisons, e.g. the
+        lane-width picker scoring candidate widths against each other.
+        """
+        total = 0.0
+        for term in program.terms():
+            if term.is_root:
+                continue
+            cipher_operands = sum(
+                1 for arg in term.args if arg.value_type is ValueType.CIPHER
+            )
+            kind = self.term_kind(term.op, cipher_operands)
+            total += self.op_seconds(kind, poly_degree, remaining_levels)
+        return total
 
     def term_kind(self, op: Op, cipher_operands: int) -> str:
         """Map an EVA opcode to a cost-model operation class."""

@@ -31,6 +31,7 @@ from .analysis import select_parameters, select_rotation_steps, validate
 from .analysis.parameters import EncryptionParameters
 from .ir import Program
 from .rewrite import (
+    BsgsRotationPass,
     ChetKernelAlignmentPass,
     CommonSubexpressionEliminationPass,
     ConstantFoldingPass,
@@ -43,6 +44,7 @@ from .rewrite import (
     PassManager,
     RelinearizePass,
     RemoveCopyPass,
+    RotationHoistingPass,
     WaterlineRescalePass,
 )
 from .rewrite.framework import PassContext, PassReport, waterline_of
@@ -73,6 +75,15 @@ class CompilerOptions:
         rewritten into its lane-local masked form, making the compiled
         program provably slot-batchable at ``vec_size // lane_width``
         requests per ciphertext.  Must divide the program's vector size.
+    hoist_rotations:
+        Run :class:`~repro.core.rewrite.RotationHoistingPass`: same-step
+        rotations summed together (stencil taps, the shared wrap branch of
+        lane lowering) are factored through one hoisted rotation.  On by
+        default; disable to reproduce the PR 7 lane-lowered baseline.
+    bsgs_rotations:
+        Baby-step/giant-step rotation-key decomposition mode: ``"auto"``
+        (default — decompose when the cost model says the key savings beat
+        the extra rotations), ``"always"`` (fewest keys), or ``"off"``.
     """
 
     policy: str = "eva"
@@ -84,10 +95,17 @@ class CompilerOptions:
     remove_copies: bool = True
     cleanup: bool = True
     lane_width: Optional[int] = None
+    hoist_rotations: bool = True
+    bsgs_rotations: str = "auto"
 
     def __post_init__(self) -> None:
         if self.policy not in ("eva", "chet"):
             raise CompilationError(f"unknown compiler policy {self.policy!r}")
+        if self.bsgs_rotations not in ("auto", "always", "off"):
+            raise CompilationError(
+                f"bsgs_rotations must be 'auto', 'always' or 'off', "
+                f"got {self.bsgs_rotations!r}"
+            )
         if self.lane_width is not None:
             from .types import is_power_of_two
 
@@ -106,6 +124,12 @@ class CompilerOptions:
         # lowering are unchanged by the option's existence.
         if data.get("lane_width") is None:
             data.pop("lane_width", None)
+        # Same for the rotation optimizations: at their defaults they drop out
+        # of the serialized form, so pre-existing signatures stay stable.
+        if data.get("hoist_rotations") is True:
+            data.pop("hoist_rotations", None)
+        if data.get("bsgs_rotations") == "auto":
+            data.pop("bsgs_rotations", None)
         return data
 
     @classmethod
@@ -224,11 +248,23 @@ class EvaCompiler:
         if options.lane_width is not None:
             # After SUM expansion so the reduction tree's rotations are lane-
             # lowered too, before cleanup so CSE deduplicates the masked pairs.
-            passes.append(LaneLoweringPass(options.lane_width))
+            passes.append(
+                LaneLoweringPass(options.lane_width, hoisted=options.hoist_rotations)
+            )
+        if options.hoist_rotations:
+            # After lane lowering (its shared wrap rotations are the main
+            # hoisting target), before cleanup so CSE/DCE tidy the rebuilt
+            # trees and collect the originals.
+            passes.append(RotationHoistingPass())
         if options.cleanup:
             passes.append(ConstantFoldingPass())
             passes.append(CommonSubexpressionEliminationPass())
             passes.append(DeadCodeEliminationPass())
+        if options.bsgs_rotations != "off":
+            # After CSE so the giant cache sees one rotation term per
+            # (source, step); before scale management — chained rotations are
+            # scale- and level-transparent.
+            passes.append(BsgsRotationPass(mode=options.bsgs_rotations))
         if options.policy == "eva":
             passes.append(WaterlineRescalePass())
             passes.append(EagerModSwitchPass())

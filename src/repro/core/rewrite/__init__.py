@@ -8,6 +8,8 @@ from .relinearize import RelinearizePass
 from .kernel_alignment import ChetKernelAlignmentPass
 from .lowering import ExpandSumPass, RemoveCopyPass
 from .lane import LaneLoweringPass
+from .hoisting import RotationHoistingPass
+from .bsgs import BsgsRotationPass
 from .folding import ConstantFoldingPass, CommonSubexpressionEliminationPass, DeadCodeEliminationPass
 
 __all__ = [
@@ -24,6 +26,8 @@ __all__ = [
     "ExpandSumPass",
     "RemoveCopyPass",
     "LaneLoweringPass",
+    "RotationHoistingPass",
+    "BsgsRotationPass",
     "ConstantFoldingPass",
     "CommonSubexpressionEliminationPass",
     "DeadCodeEliminationPass",

@@ -1,0 +1,197 @@
+"""Rotation hoisting: factor same-step rotations out of additive trees.
+
+Stencil programs (Sobel/Harris) and lane-lowered graphs repeatedly rotate one
+source and immediately sum the scaled results.  Rotation commutes with
+slotwise plaintext multiplication up to a cyclic shift of the constant::
+
+    sum_j c_j * rot_s(y_j)  ==  rot_s( sum_j roll(c_j, s) * y_j )
+
+(``roll(c, s)[i] = c[(i - s) mod N]``; for a constant of period ``L`` the
+roll is by ``s mod L``, which is a no-op for the lane masks whose period
+divides every step the lane lowering emits).  The left side pays one
+key-switched rotation *per summand*; the right side pays one per *group*.
+
+This pass finds maximal ciphertext ADD trees, decomposes their addends into
+``constants x core`` atoms (:mod:`repro.core.analysis.rotations` carries the
+decomposition and its safety argument: atoms only ever peel through ADD and
+MULTIPLY, so no atom crosses a rescale/modswitch boundary), groups the
+single-consumer rotation atoms by step, and rewrites every group of two or
+more through the hoisted form.  The dominant win is the lane wrap branch:
+after :class:`~repro.core.rewrite.lane.LaneLoweringPass` emits wrap rotations
+in composed form, *all* of them share the step ``vec_size - w`` and collapse
+to one hoisted rotation per tree.
+
+While a tree is being rebuilt the pass also drops atoms whose constant
+product is identically zero (stencil taps with a zero coefficient, e.g. the
+cross positions of the Sobel kernel's zero column) — re-forming the linear
+combination is the natural place to elide dead members, and it removes their
+rotations and multiplies from the lowered graph.
+
+Caveat: when a shared subtree (e.g. a lane-combine node read by two gradient
+trees) is distributed into several trees, the original rotations only die
+once *every* consuming tree rewrites; a tree left untouched keeps them alive.
+In the symmetric stencil programs this pass targets, sibling trees rewrite
+together, so the count bound holds.
+
+The pass runs after lane lowering and before the scale-management passes;
+rotations are scale- and level-transparent, so the rewrite preserves the
+waterline bookkeeping downstream passes compute.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..analysis.rotations import (
+    AdditiveAtom,
+    additive_tree_roots,
+    decompose_addend,
+    flatten_additive_tree,
+)
+from ..ir import GraphEditor, Program, Term
+from ..types import Op
+from .framework import PassContext, RewritePass
+
+
+def _is_zero_constant(term: Term) -> bool:
+    return bool(np.all(np.asarray(term.value, dtype=np.float64) == 0.0))
+
+
+class RotationHoistingPass(RewritePass):
+    """Rewrite ``sum c_j * rot_s(y_j)`` into ``rot_s(sum roll(c_j) * y_j)``."""
+
+    name = "hoist-rotations"
+    direction = "forward"
+
+    def run(self, program: Program, context: PassContext) -> int:
+        terms = program.terms()
+        uses: Dict[int, int] = {}
+        for term in terms:
+            for arg in term.args:
+                uses[arg.id] = uses.get(arg.id, 0) + 1
+        output_ids = {term.id for term in program.outputs.values()}
+        editor = GraphEditor(program)
+        self._rolled: Dict[Tuple[int, int], Term] = {}
+        rewrites = 0
+        for root in additive_tree_roots(program, uses, output_ids):
+            rewrites += self._hoist_tree(program, editor, root, uses, output_ids)
+        return rewrites
+
+    # -- per-tree rewrite ---------------------------------------------------
+
+    def _hoist_tree(
+        self,
+        program: Program,
+        editor: GraphEditor,
+        root: Term,
+        uses: Dict[int, int],
+        output_ids,
+    ) -> int:
+        addends = flatten_additive_tree(root, uses, output_ids)
+        per_addend: List[Tuple[Term, List[AdditiveAtom]]] = [
+            (addend, decompose_addend(addend, uses, output_ids, program.vec_size))
+            for addend in addends
+        ]
+        # Group the non-zero hoistable atoms by step; only groups of two or
+        # more save a rotation, and a tree without such a group is left
+        # completely untouched (no zero-dropping either, so an unprofitable
+        # program keeps its original graph bit for bit).
+        groups: Dict[int, List[AdditiveAtom]] = {}
+        for _, atoms in per_addend:
+            for atom in atoms:
+                if atom.hoistable and not self._zero_atom(atom):
+                    groups.setdefault(atom.step, []).append(atom)
+        hoisted_steps = {step for step, members in groups.items() if len(members) >= 2}
+        if not hoisted_steps:
+            return 0
+
+        hoisted_ids = {
+            id(atom) for step in hoisted_steps for atom in groups[step]
+        }
+        new_addends: List[Term] = []
+        for addend, atoms in per_addend:
+            touched = any(
+                id(atom) in hoisted_ids or self._zero_atom(atom) for atom in atoms
+            )
+            if not touched:
+                new_addends.append(addend)
+                continue
+            for atom in atoms:
+                if id(atom) in hoisted_ids or self._zero_atom(atom):
+                    continue
+                new_addends.append(self._rebuild_atom(program, atom, roll_step=0))
+        for step in sorted(hoisted_steps):
+            members = [
+                self._rebuild_atom(program, atom, roll_step=step)
+                for atom in groups[step]
+            ]
+            inner = self._chain_add(program, members, root)
+            hoisted = Term(Op.ROTATE_LEFT, [inner], inner.value_type, rotation=step)
+            self._tag(hoisted, root)
+            new_addends.append(hoisted)
+
+        if not new_addends:
+            return 0
+        new_root = self._chain_add(program, new_addends, root)
+        if new_root is root:
+            return 0
+        editor.replace_term(root, new_root)
+        return len(hoisted_steps)
+
+    # -- atom rebuilding ----------------------------------------------------
+
+    def _zero_atom(self, atom: AdditiveAtom) -> bool:
+        return any(_is_zero_constant(const) for const in atom.constants)
+
+    def _rebuild_atom(self, program: Program, atom: AdditiveAtom, roll_step: int) -> Term:
+        """Re-form ``prod(constants) * core`` as a chain of multiplies.
+
+        For a group member (``roll_step`` = the hoisted step ``s``) the chain
+        applies to the rotation's *source* and every constant is rolled by
+        ``s`` — ``c * rot_s(y) == rot_s(roll(c, s) * y)`` member-wise.  The
+        chain mirrors the original peel order, so scales and the plaintext
+        multiply count are exactly those of the graph being replaced.
+        """
+        node = atom.source if roll_step else atom.core
+        for const in reversed(atom.constants):
+            factor = self._roll_constant(program, const, roll_step)
+            node = program.make_term(Op.MULTIPLY, [node, factor])
+            self._tag(node, atom.core)
+        return node
+
+    def _roll_constant(self, program: Program, const: Term, step: int) -> Term:
+        """``roll(c, s)``: the constant seen *before* a hoisted left rotation.
+
+        ``rot_s(c' * y) == c * rot_s(y)`` requires ``c'[(i + s) mod N] ==
+        c[i]``, i.e. ``c' = np.roll(c, s)`` on the constant's own period.
+        Scalars and constants whose period divides the step (every lane mask
+        under the shared wrap step) are returned unchanged.
+        """
+        values = np.atleast_1d(np.asarray(const.value, dtype=np.float64))
+        length = int(values.size)
+        offset = int(step) % length if length else 0
+        if offset == 0:
+            return const
+        key = (const.id, offset)
+        rolled = self._rolled.get(key)
+        if rolled is None:
+            rolled = program.constant(
+                np.roll(values, offset), scale=const.scale, value_type=const.value_type
+            )
+            if const.attributes.get("lane_mask"):
+                rolled.attributes["lane_mask"] = True
+            self._rolled[key] = rolled
+        return rolled
+
+    def _chain_add(self, program: Program, terms: List[Term], origin: Term) -> Term:
+        node = terms[0]
+        for term in terms[1:]:
+            node = program.make_term(Op.ADD, [node, term])
+            self._tag(node, origin)
+        return node
+
+    def _tag(self, node: Term, origin: Term) -> None:
+        if origin.kernel is not None and node is not origin:
+            node.attributes["kernel"] = origin.kernel

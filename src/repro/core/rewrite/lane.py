@@ -14,10 +14,18 @@ rotation by ``k`` (normalized to ``k' = k mod w``), the identity is::
 
 where ``mask_in`` is the plaintext 0/1 vector selecting the slots whose source
 stays inside the lane (lane offsets ``[0, w - k')``) and ``mask_wrap`` the
-complement (offsets that wrap around the lane boundary).  ``global_rot(k'-w)``
-is emitted as a *left* rotation by the normalized step ``vec_size - w + k'``
-so that rotation-key selection — which normalizes everything to left steps —
-collects exactly the steps the executor will request.
+complement (offsets that wrap around the lane boundary).
+
+The wrap branch is emitted in *composed* form: since ``rot(k' - w) ==
+rot(vec_size - w) . rot(k')``, the pass reuses the in-lane rotation and
+applies one further left rotation by ``vec_size - w`` — a step shared by
+*every* lane step of the program.  ``k`` distinct lane steps therefore need
+``k + 1`` Galois keys instead of the ``2k`` of the legacy form (one fresh step
+``vec_size - w + k'`` per rotation), and the shared-source wrap rotations are
+exactly what :class:`~repro.core.rewrite.hoisting.RotationHoistingPass` later
+collapses into a single hoisted rotation per additive tree.  The legacy
+mask-pair form is kept behind ``hoisted=False`` as the PR 7 baseline for the
+rotation-cost benchmark.
 
 The pass runs *after* :class:`~repro.core.rewrite.lowering.ExpandSumPass`:
 SUM is first expanded into the standard log-depth rotate-and-add tree, and
@@ -41,7 +49,7 @@ from typing import Dict, Tuple
 import numpy as np
 
 from ...errors import CompilationError
-from ..analysis.rotations import lane_lowered_step_pair, normalize_step
+from ..analysis.rotations import lane_lowered_step_pair, lane_wrap_step, normalize_step
 from ..ir import GraphEditor, Program, Term
 from ..types import Op, ValueType
 from .framework import PassContext, RewritePass, waterline_of
@@ -62,8 +70,12 @@ class LaneLoweringPass(RewritePass):
     name = "lane-lowering"
     direction = "forward"
 
-    def __init__(self, lane_width: int) -> None:
+    def __init__(self, lane_width: int, hoisted: bool = True) -> None:
         self.lane_width = int(lane_width)
+        #: Emit the wrap branch as a composition sharing the single step
+        #: ``vec_size - w`` (default); ``False`` restores the legacy
+        #: mask-pair form with a distinct wrap step per rotation.
+        self.hoisted = bool(hoisted)
 
     def run(self, program: Program, context: PassContext) -> int:
         width = self.lane_width
@@ -118,9 +130,19 @@ class LaneLoweringPass(RewritePass):
             step_in, step_wrap = lane_lowered_step_pair(step, width, vec_size)
             source = term.args[0]
             rot_in = Term(Op.ROTATE_LEFT, [source], source.value_type, rotation=step_in)
-            rot_wrap = Term(
-                Op.ROTATE_LEFT, [source], source.value_type, rotation=step_wrap
-            )
+            if self.hoisted:
+                # rot(k - w) == rot(vec_size - w) . rot(k): reuse the in-lane
+                # rotation so every wrap branch shares one Galois key step.
+                rot_wrap = Term(
+                    Op.ROTATE_LEFT,
+                    [rot_in],
+                    rot_in.value_type,
+                    rotation=lane_wrap_step(width, vec_size),
+                )
+            else:
+                rot_wrap = Term(
+                    Op.ROTATE_LEFT, [source], source.value_type, rotation=step_wrap
+                )
             kept_in = program.make_term(
                 Op.MULTIPLY, [rot_in, self._mask(program, masks, step, mask_scale, wrap=False)]
             )

@@ -97,6 +97,11 @@ class BatchInfo:
     min_lane: int
     vec_size: int
     lane_width: Optional[int] = None
+    #: Static per-evaluation rotation and key-switch (rotate + relinearize)
+    #: counts of the compiled graph — the telemetry layer multiplies these by
+    #: served batches instead of re-walking the graph per request.
+    rotations: int = 0
+    keyswitches: int = 0
 
     @property
     def batchable(self) -> bool:
@@ -133,11 +138,15 @@ class SlotBatcher:
         lane_width = compilation.options.lane_width
         if lane_width is not None and lane_width >= program.vec_size:
             lane_width = None  # full-width lane: lowering was the identity
+        counts = program.op_counts()
+        rotations = counts.get(Op.ROTATE_LEFT, 0) + counts.get(Op.ROTATE_RIGHT, 0)
         return BatchInfo(
             slotwise=is_slotwise(program),
             min_lane=min_lane_width(program),
             vec_size=program.vec_size,
             lane_width=lane_width,
+            rotations=rotations,
+            keyswitches=rotations + counts.get(Op.RELINEARIZE, 0),
         )
 
     def batchable(self, compilation: CompilationResult) -> bool:

@@ -402,6 +402,7 @@ class EvaServer:
                     blob = None
             if blob is not None:
                 self.session_store.save(client_id, compilation, blob, program=name)
+        self._count_session_keys(compilation, name, str(client_id))
         return {
             "program": name,
             "client_id": str(client_id),
@@ -443,7 +444,11 @@ class EvaServer:
             context = self.backend.create_evaluation_context(
                 compilation.parameters, blob
             )
-            return self.sessions.attach(compilation, client_id, context)
+            session = self.sessions.attach(compilation, client_id, context)
+            self._count_session_keys(
+                compilation, compilation.program.name, client_id
+            )
+            return session
         except Exception as exc:
             import warnings
 
@@ -659,13 +664,20 @@ class EvaServer:
                     self._precompile_cond.notify_all()
 
     def _precompile_for(self, spec: ProgramSpec) -> None:
-        """Compile (and publish) the histogram's top widths for one program.
+        """Compile (and publish) the policy's best widths for one program.
 
-        The widths a policy pre-warms are exactly the ones
-        :meth:`_lane_variant_for` would resolve inline for a batch of the
-        observed shape — so the first real batch at a popular width finds the
-        variant already in the registry (or, fleet-wide, in the artifact
-        cache) instead of paying the compile on the request path.
+        The candidate widths come from the observed request histogram, ranked
+        by the policy — with the cost model on, by modeled per-request batch
+        cost (lane rotation overhead + amortized Galois key bytes + slot
+        waste), otherwise by raw popularity.  The widths a policy pre-warms
+        are exactly the ones :meth:`_lane_variant_for` would resolve inline
+        for a batch of the observed shape — so the first real batch at a
+        popular width finds the variant already in the registry (or,
+        fleet-wide, in the artifact cache) instead of paying the compile on
+        the request path.  Each candidate's score lands on the
+        ``serving.lane.width_score`` gauge and each successful pre-warm on
+        the ``serving.lane.width_chosen`` counter, making the picker's
+        decisions observable.
         """
         compilation = self.registry.get_or_compile(
             spec.program,
@@ -674,12 +686,22 @@ class EvaServer:
             spec.output_scales,
             signature=spec.signature,
         )
-        info = self.batcher.inspect(compilation)
+        info = self._info_for(spec.signature, compilation)
         if info.slotwise or info.lane_width is not None:
             # Slotwise programs batch without lane variants; a pinned lane
             # width is already compiled in.
             return
-        for width in self.widths.top(spec.signature, self.precompile.top_widths):
+        ranked = self.precompile.choose_widths(
+            compilation, self.widths.counts(spec.signature)
+        )
+        for width, score in ranked:
+            self.telemetry.set_gauge(
+                "serving.lane.width_score",
+                score,
+                program=spec.name,
+                width=str(width),
+            )
+        for width, _score in ranked:
             width = max(int(width), info.min_lane)
             if width >= info.vec_size:
                 continue
@@ -698,6 +720,12 @@ class EvaServer:
                 )
                 with self._lock:
                     self._precompiled.add(key)
+                self.telemetry.inc(
+                    "serving.lane.width_chosen",
+                    1,
+                    program=spec.name,
+                    width=str(width),
+                )
             except EvaError:
                 with self._lock:
                     self._lane_failures.add(key)
@@ -718,7 +746,6 @@ class EvaServer:
     ) -> Tuple[Executor, BatchInfo]:
         with self._lock:
             executor = self._executors.get(signature)
-            info = self._batch_infos.get(signature)
             if executor is None:
                 executor = Executor(
                     compilation, self.backend, threads=self.executor_threads
@@ -727,12 +754,67 @@ class EvaServer:
                 # Keep the side caches bounded alongside the registry.
                 while len(self._executors) > 2 * self.registry.capacity:
                     self._executors.pop(next(iter(self._executors)))
+        return executor, self._info_for(signature, compilation)
+
+    def _info_for(self, signature: str, compilation: CompilationResult) -> BatchInfo:
+        """Cached :meth:`SlotBatcher.inspect` result (also carries the static
+        rotation/key-switch counts the telemetry counters are fed from)."""
+        with self._lock:
+            info = self._batch_infos.get(signature)
             if info is None:
                 info = self.batcher.inspect(compilation)
                 self._batch_infos[signature] = info
                 while len(self._batch_infos) > 2 * self.registry.capacity:
                     self._batch_infos.pop(next(iter(self._batch_infos)))
-            return executor, info
+            return info
+
+    def _count_rotation_tax(
+        self, info: BatchInfo, program: str, client_id: str
+    ) -> None:
+        """One evaluation's rotation/key-switch tax, attributed per program/client."""
+        if info.rotations:
+            self.telemetry.inc(
+                "serving.rotations",
+                info.rotations,
+                program=program,
+                client=client_id,
+            )
+        if info.keyswitches:
+            self.telemetry.inc(
+                "serving.keyswitch",
+                info.keyswitches,
+                program=program,
+                client=client_id,
+            )
+
+    def _count_session_keys(
+        self, compilation: CompilationResult, program: str, client_id: str
+    ) -> None:
+        """Account one session's Galois key footprint (modeled bytes).
+
+        The byte estimate comes from the cost model, so it is deterministic
+        across backends and matches what the BSGS planner optimizes; the
+        per-key wire blobs of a real CKKS context track it proportionally.
+        """
+        from ..backend.cost_model import DEFAULT_COST_MODEL
+
+        parameters = compilation.parameters
+        steps = len(parameters.rotation_steps)
+        if not steps:
+            return
+        key_bytes = steps * DEFAULT_COST_MODEL.galois_key_bytes(
+            parameters.poly_modulus_degree,
+            max(len(parameters.coeff_modulus_bits), 1),
+        )
+        self.telemetry.inc(
+            "serving.galois.keys_bytes",
+            key_bytes,
+            program=program,
+            client=client_id,
+        )
+        self.telemetry.set_gauge(
+            "serving.galois.key_steps", steps, program=program
+        )
 
     def _engine_for(
         self, signature: str, compilation: CompilationResult
@@ -778,6 +860,7 @@ class EvaServer:
             restored = True
             restore_seconds = time.perf_counter() - restore_started
         engine = self._engine_for(spec.signature, compilation)
+        info = self._info_for(spec.signature, compilation)
         resolve_seconds = time.perf_counter() - resolve_started
         for job in jobs:
             self.telemetry.span(
@@ -813,6 +896,7 @@ class EvaServer:
                         session.context, bundle.ciphertexts, bundle.plain
                     )
                     elapsed = time.perf_counter() - start
+                    self._count_rotation_tax(info, spec.name, client_id)
                     if request.wire:
                         # Wire-decoded input handles are server-owned copies;
                         # release them so the context's live-ciphertext
@@ -899,6 +983,10 @@ class EvaServer:
             if plan is not None:
                 packed = self.batcher.pack(plan, [r.inputs for r in requests])
                 result = executor.execute(packed, context=session.context)
+                # One homomorphic evaluation served the whole batch: the
+                # rotation tax is paid once, not per request — exactly the
+                # amortization the counters exist to make visible.
+                self._count_rotation_tax(batch_info, spec.name, client_id)
                 per_request = self.batcher.unpack(plan, result.outputs)
                 for request, outputs in zip(requests, per_request):
                     responses.append(
@@ -937,6 +1025,9 @@ class EvaServer:
                                 )
                         result = executor.execute(
                             request.inputs, context=session.context
+                        )
+                        self._count_rotation_tax(
+                            batch_info, spec.name, client_id
                         )
                         width = request.output_size or min(
                             compilation.program.vec_size,

@@ -48,6 +48,12 @@ serving.queue.seconds                 histogram  client, program
 serving.execute.seconds               histogram  client, program
 serving.request.seconds               histogram  op, program
 serving.slow_requests                 counter    program
+serving.rotations                     counter    client, program
+serving.keyswitch                     counter    client, program
+serving.galois.keys_bytes             counter    client, program
+serving.galois.key_steps              gauge      program
+serving.lane.width_score              gauge      program, width
+serving.lane.width_chosen             counter    program, width
 serving.engine.* / serving.quota.*    gauge      (absorbed summaries)
 serving.registry.* / serving.store.*  gauge      (absorbed summaries)
 serving.sessions.* / serving.artifacts.*  gauge  (absorbed summaries)

@@ -109,29 +109,42 @@ class TestLaneIdentity:
 
 
 class TestLaneLoweredCompilation:
-    def test_lowered_program_has_no_bare_rotations_within_lane(self):
+    def test_lowered_program_has_only_masked_rotations(self):
         compiled = compile_program(
             rotation_program(vec_size=64).graph,
             options=CompilerOptions(lane_width=8),
         )
+        wrap = 64 - 8
         for term in compiled.program.terms():
             if term.op.is_rotation:
                 step = normalize_step(term.op, term.rotation, 64)
-                # Every surviving rotation is one of the lowered pair: its
-                # lane-local effect combined with a mask, never a bare
-                # cross-lane data movement.
-                assert step % 8 != 0
+                # Every surviving rotation is either an in-lane step (always
+                # combined with a mask) or the shared wrap-branch rotation
+                # rot(vec_size - w) — never a bare cross-lane movement by a
+                # lane multiple other than the wrap step.
+                assert step % 8 != 0 or step == wrap
         assert compiled.lane_width == 8
         assert compiled.lane_capacity == 8
 
-    def test_rotation_steps_cover_the_lowered_pairs(self):
+    def test_rotation_steps_cover_the_lowered_form(self):
         compiled = compile_program(
             rotation_program(vec_size=64, step=3).graph,
             options=CompilerOptions(lane_width=8),
         )
-        # x << 3 lowers to steps {3, 64-8+3}; x >> 1 lowers (as left 63 -> lane
-        # step 7) to {7, 64-8+7}.
-        assert {3, 59, 7, 63} <= set(compiled.rotation_steps)
+        # x << 3 keeps the in-lane step 3; x >> 1 lowers (as left 63 -> lane
+        # step 7) to the in-lane step 7.  Both wrap branches share the single
+        # composed step 64 - 8 = 56 instead of the legacy pair {59, 63}.
+        assert {3, 7, 56} <= set(compiled.rotation_steps)
+        assert not {59, 63} & set(compiled.rotation_steps)
+        # The legacy mask-pair lowering (hoisting off) still emits per-step
+        # wrap rotations — it is kept as the PR 7 baseline.
+        legacy = compile_program(
+            rotation_program(vec_size=64, step=3).graph,
+            options=CompilerOptions(
+                lane_width=8, hoist_rotations=False, bsgs_rotations="off"
+            ),
+        )
+        assert {3, 59, 7, 63} <= set(legacy.rotation_steps)
 
     def test_full_width_lane_is_identity(self):
         program = rotation_program(vec_size=32)

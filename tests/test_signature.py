@@ -71,6 +71,8 @@ class TestProgramSignature:
             {"remove_copies": False},
             {"cleanup": False},
             {"lane_width": 4},
+            {"hoist_rotations": False},
+            {"bsgs_rotations": "off"},
         ],
         ids=lambda change: next(iter(change)),
     )
@@ -92,6 +94,8 @@ class TestProgramSignature:
             "remove_copies",
             "cleanup",
             "lane_width",
+            "hoist_rotations",
+            "bsgs_rotations",
         }
         assert {f.name for f in fields(CompilerOptions)} == covered
 
