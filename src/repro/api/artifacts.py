@@ -99,22 +99,27 @@ class CompiledProgram:
 
     @property
     def parameters(self) -> EncryptionParameters:
+        """The encryption parameters the compiler selected."""
         return self.compilation.parameters
 
     @property
     def rotation_steps(self) -> List[int]:
+        """The rotation steps clients must generate Galois keys for."""
         return self.compilation.rotation_steps
 
     @property
     def options(self) -> CompilerOptions:
+        """The compiler options this program was compiled with."""
         return self.compilation.options
 
     @property
     def name(self) -> str:
+        """The source program's name."""
         return self.compilation.program.name
 
     @property
     def vec_size(self) -> int:
+        """The ciphertext slot count."""
         return self.compilation.program.vec_size
 
     @property
@@ -124,13 +129,16 @@ class CompiledProgram:
 
     @property
     def input_scales(self) -> Dict[str, float]:
+        """Required scale per encrypted input, keyed by name."""
         return self.compilation.input_scales
 
     @property
     def output_scales(self) -> Dict[str, float]:
+        """Output scale per output, keyed by name."""
         return self.compilation.output_scales
 
     def summary(self) -> Dict[str, object]:
+        """Human-readable compilation summary plus the content signature."""
         summary = dict(self.compilation.summary())
         summary["signature"] = self.signature[:16]
         return summary

@@ -50,6 +50,7 @@ class CipherBundle:
     client_id: str = "default"
 
     def input_names(self) -> List[str]:
+        """All input names in the bundle, encrypted and plain alike."""
         return sorted(set(self.ciphertexts) | set(self.plain))
 
 
@@ -62,6 +63,7 @@ class EncryptedOutputs:
     evaluate_seconds: float = 0.0
 
     def output_names(self) -> List[str]:
+        """The encrypted output names."""
         return sorted(self.ciphertexts)
 
 

@@ -85,6 +85,7 @@ class ServerRuntime:
         return context
 
     def detach_client(self, client_id: str) -> bool:
+        """Forget a client's evaluation context; returns whether it existed."""
         with self._lock:
             self._client_locks.pop(str(client_id), None)
             return self._clients.pop(str(client_id), None) is not None
@@ -94,6 +95,7 @@ class ServerRuntime:
             return self._client_locks.setdefault(str(client_id), threading.Lock())
 
     def client_context(self, client_id: str) -> BackendContext:
+        """The evaluation context a client attached (raises if absent)."""
         with self._lock:
             context = self._clients.get(str(client_id))
         if context is None:

@@ -166,6 +166,7 @@ class EvaProgramFamily:
             return self._compiled.setdefault(signature, compiled)
 
     def cache_info(self) -> Dict[str, int]:
+        """Hit/miss counters of the trace and compile caches."""
         with self._lock:
             return {
                 "traced": len(self._programs),
@@ -195,6 +196,7 @@ def eva_program(
     """
 
     def wrap(f: Callable[..., Any]) -> EvaProgramFamily:
+        """Wrap the traced function into an EvaProgramFamily."""
         return EvaProgramFamily(
             f,
             vec_size=vec_size,

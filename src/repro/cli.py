@@ -161,8 +161,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 "the source program instead"
             )
         programs[name] = program
-    if args.shards > 1:
-        return _serve_cluster(args, options, programs)
+    config = None
+    if args.cluster_config:
+        from .serving import load_cluster_config
+
+        config = load_cluster_config(args.cluster_config)
+    if config is not None or args.shards > 1:
+        return _serve_cluster(args, options, programs, config)
     return _serve_single(args, options, programs)
 
 
@@ -242,11 +247,11 @@ def _serve_single(args, options, programs) -> int:
     return 0
 
 
-def _serve_cluster(args, options, programs) -> int:
+def _serve_cluster(args, options, programs, config=None) -> int:
     from .serving import BackendSpec, ClusterTcpServer, EvaCluster, configure_logging
 
     configure_logging(json_logs=args.log_json, level=args.log_level)
-    cluster = EvaCluster(
+    kwargs = dict(
         shards=args.shards,
         backend=BackendSpec(name=args.backend, seed=args.seed),
         session_dir=args.session_dir,
@@ -264,6 +269,20 @@ def _serve_cluster(args, options, programs) -> int:
         log_level=args.log_level,
         wire=args.wire,
     )
+    if config is not None:
+        # [cluster] table entries override the flag-derived kwargs; [[remote]]
+        # endpoints attach at start; a [scale] table enables the autoscaler
+        # (ticking every `interval` seconds, default 1).
+        kwargs.update(config["cluster"])
+        if config["remote"]:
+            kwargs["remote_shards"] = config["remote"]
+        if config["scale"] is not None:
+            kwargs["scale_policy"] = config["scale"]
+            kwargs["scale_interval"] = config["scale_interval"] or 1.0
+    try:
+        cluster = EvaCluster(**kwargs)
+    except TypeError as error:
+        raise EvaError(f"bad [cluster] config key: {error}") from None
     for name, program in programs.items():
         cluster.register(name, program, options=options)
     cluster.start()
@@ -326,10 +345,22 @@ def cmd_submit(args: argparse.Namespace) -> int:
             )
             if not args.resume:
                 client.create_session(args.program, kit)
-            outputs = client.submit_encrypted(args.program, kit, inputs, trace=args.trace)
+            outputs = client.submit_encrypted(
+                args.program,
+                kit,
+                inputs,
+                trace=args.trace,
+                deadline_ms=args.deadline_ms,
+                slo_class=args.slo_class,
+            )
         else:
             outputs = client.submit(
-                args.program, inputs, client_id=args.client, trace=args.trace
+                args.program,
+                inputs,
+                client_id=args.client,
+                trace=args.trace,
+                deadline_ms=args.deadline_ms,
+                slo_class=args.slo_class,
             )
         payload = {
             "outputs": {
@@ -375,6 +406,10 @@ def cmd_cluster(args: argparse.Namespace) -> int:
             if args.shard is None:
                 raise EvaError("cluster rejoin needs --shard")
             payload = {"rejoin": client.rejoin(args.shard)}
+        elif args.action == "join":
+            if not args.join_host or args.join_port is None:
+                raise EvaError("cluster join needs --join-host and --join-port")
+            payload = {"join": client.join(args.join_host, args.join_port)}
         elif args.action == "metrics":
             reply = client.metrics(prometheus=args.prometheus)
             if args.prometheus:
@@ -532,6 +567,15 @@ def build_parser() -> argparse.ArgumentParser:
         "to clients that negotiate it; json pins the listener to JSON "
         "(legacy clients work unchanged under every policy)",
     )
+    serve.add_argument(
+        "--cluster-config",
+        type=Path,
+        default=None,
+        help="TOML cluster config: a [cluster] table of EvaCluster settings "
+        "(overrides the flags), [[remote]] shard endpoints to attach at "
+        "start, and a [scale] table enabling queue-depth autoscaling; "
+        "implies cluster mode even with --shards 1",
+    )
     add_compile_options(serve)
     serve.set_defaults(func=cmd_serve)
 
@@ -580,23 +624,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="wire framing: auto negotiates the binary protocol and falls "
         "back to JSON lines; binary demands it; json skips negotiation",
     )
+    submit.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="latency deadline in milliseconds; the server rejects the "
+        "request up front (DeadlineInfeasibleError with retry_after) when "
+        "its modeled queue wait plus execution cannot meet it",
+    )
+    submit.add_argument(
+        "--slo-class",
+        choices=["tight", "standard", "relaxed"],
+        default=None,
+        help="service class steering batch-vs-solo: tight never lingers for "
+        "a batch, relaxed always amortizes the full window, standard "
+        "lingers only within its deadline slack",
+    )
     add_compile_options(submit)
     submit.set_defaults(func=cmd_submit)
 
     cluster = sub.add_parser(
         "cluster",
         help="administer a running sharded server (health, drain, rejoin, "
-        "metrics, trace, slow)",
+        "join, metrics, trace, slow)",
     )
     cluster.add_argument(
         "action",
-        choices=["health", "stats", "route", "drain", "rejoin", "metrics", "trace", "slow"],
+        choices=[
+            "health",
+            "stats",
+            "route",
+            "drain",
+            "rejoin",
+            "join",
+            "metrics",
+            "trace",
+            "slow",
+        ],
         help="health: per-shard liveness; stats: cluster stats; route: a "
         "client's shard; drain: remove a shard from the ring without "
         "stopping it; rejoin: return a shard to the ring (respawning it "
-        "if dead); metrics: aggregated metrics snapshot (--prometheus for "
-        "text exposition); trace: per-stage spans of one trace id; slow: "
-        "recent slow requests",
+        "if dead); join: attach a running remote shard (--join-host/"
+        "--join-port) to the ring; metrics: aggregated metrics snapshot "
+        "(--prometheus for text exposition); trace: per-stage spans of one "
+        "trace id; slow: recent slow requests",
     )
     cluster.add_argument(
         "trace_id",
@@ -607,6 +678,17 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--host", default="127.0.0.1")
     cluster.add_argument("--port", type=int, default=8587)
     cluster.add_argument("--shard", type=int, default=None, help="shard index for drain/rejoin")
+    cluster.add_argument(
+        "--join-host",
+        default=None,
+        help="host of a running shard server to attach with the join action",
+    )
+    cluster.add_argument(
+        "--join-port",
+        type=int,
+        default=None,
+        help="port of the shard server to attach with the join action",
+    )
     cluster.add_argument("--client", default="default", help="client id for route")
     cluster.add_argument("--timeout", type=float, default=30.0)
     cluster.add_argument(

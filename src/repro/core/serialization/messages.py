@@ -45,13 +45,14 @@ from ...errors import SerializationError
 
 #: Operations a client may request.  ``route`` (which shard a client
 #: consistent-hashes to), ``drain`` (take a shard out of the ring without
-#: stopping it), and ``rejoin`` (return a shard to the ring, respawning it if
-#: dead) are answered by cluster routers only; single-process servers reject
-#: them with a ServingError reply.  ``health`` is answered by both.  The
-#: telemetry ops — ``metrics`` (registry snapshot, optionally rendered as
-#: Prometheus text), ``trace`` (the recorded spans of one trace id), and
-#: ``slow`` (recent slow requests) — are answered by both, with the router
-#: aggregating across shards.
+#: stopping it), ``rejoin`` (return a shard to the ring, respawning it if
+#: dead), and ``join`` (attach an already-running remote shard endpoint to
+#: the ring by ``host``/``port``) are answered by cluster routers only;
+#: single-process servers reject them with a ServingError reply.  ``health``
+#: is answered by both.  The telemetry ops — ``metrics`` (registry snapshot,
+#: optionally rendered as Prometheus text), ``trace`` (the recorded spans of
+#: one trace id), and ``slow`` (recent slow requests) — are answered by
+#: both, with the router aggregating across shards.
 REQUEST_OPS = (
     "submit",
     "session",
@@ -62,10 +63,16 @@ REQUEST_OPS = (
     "health",
     "drain",
     "rejoin",
+    "join",
     "metrics",
     "trace",
     "slow",
 )
+
+#: SLO classes a submit may carry.  ``tight`` requests are never held back
+#: to fill a batch, ``relaxed`` ones always linger the full batch window,
+#: ``standard`` ones linger only as much as their deadline slack allows.
+SLO_CLASSES = ("tight", "standard", "relaxed")
 
 #: Ops that address one shard and therefore require a ``shard`` index.
 SHARD_OPS = ("drain", "rejoin")
@@ -128,12 +135,17 @@ def build_request(
     fmt: Optional[str] = None,
     limit: Optional[int] = None,
     pack_inputs: bool = False,
+    deadline_ms: Optional[float] = None,
+    slo_class: Optional[str] = None,
+    host: Optional[str] = None,
+    port: Optional[int] = None,
 ) -> Dict[str, Any]:
     """Build one client request as a message dict (framing-agnostic).
 
     ``bundle`` (a wire-encoded cipher bundle) replaces ``inputs`` on the
     encrypted path; ``evaluation_keys`` accompanies a ``session`` request;
-    ``shard`` addresses the cluster admin ops (``drain`` / ``rejoin``).
+    ``shard`` addresses the cluster admin ops (``drain`` / ``rejoin``);
+    ``host``/``port`` name the remote endpoint of a ``join`` op.
 
     ``trace_id`` propagates a distributed-trace id (a ``trace`` op *queries*
     one); ``trace=True`` additionally asks the server to echo the recorded
@@ -141,6 +153,11 @@ def build_request(
     ``metrics`` op (``"prometheus"``); ``limit`` caps a ``slow`` op's rows.
     ``pack_inputs`` encodes input vectors as packed arrays instead of float
     lists — the binary framing ships them as blob records.
+
+    ``deadline_ms`` / ``slo_class`` annotate a submit with its latency SLO:
+    the engine rejects requests whose modeled wait already exceeds the
+    deadline (:class:`~repro.errors.DeadlineInfeasibleError` on the wire)
+    and decides batch-vs-solo per request against it.
     """
     if op not in REQUEST_OPS:
         raise SerializationError(f"unknown request op {op!r}")
@@ -148,8 +165,16 @@ def build_request(
         raise SerializationError("a request carries either inputs or a bundle, not both")
     if op in SHARD_OPS and shard is None:
         raise SerializationError(f"{op} requests need a 'shard' index")
+    if op == "join" and (host is None or port is None):
+        raise SerializationError("join requests need a 'host' and a 'port'")
     if op == "trace" and not trace_id:
         raise SerializationError("trace requests need a 'trace_id'")
+    if slo_class is not None and slo_class not in SLO_CLASSES:
+        raise SerializationError(
+            f"unknown slo_class {slo_class!r}; expected one of {SLO_CLASSES}"
+        )
+    if deadline_ms is not None and float(deadline_ms) <= 0:
+        raise SerializationError("'deadline_ms' must be a positive number")
     message: Dict[str, Any] = {"op": op}
     if program is not None:
         message["program"] = program
@@ -180,6 +205,14 @@ def build_request(
         message["format"] = str(fmt)
     if limit is not None:
         message["limit"] = int(limit)
+    if deadline_ms is not None:
+        message["deadline_ms"] = float(deadline_ms)
+    if slo_class is not None:
+        message["slo_class"] = str(slo_class)
+    if host is not None:
+        message["host"] = str(host)
+    if port is not None:
+        message["port"] = int(port)
     return message
 
 
@@ -222,6 +255,29 @@ def validate_request(message: Any) -> Dict[str, Any]:
                 raise SerializationError(
                     f"'output_size' must be a positive integer, got {output_size!r}"
                 )
+        deadline_ms = message.get("deadline_ms")
+        if deadline_ms is not None:
+            if (
+                not isinstance(deadline_ms, (int, float))
+                or isinstance(deadline_ms, bool)
+                or deadline_ms <= 0
+            ):
+                raise SerializationError(
+                    f"'deadline_ms' must be a positive number, got {deadline_ms!r}"
+                )
+        slo_class = message.get("slo_class")
+        if slo_class is not None and slo_class not in SLO_CLASSES:
+            raise SerializationError(
+                f"unknown slo_class {slo_class!r}; expected one of {SLO_CLASSES}"
+            )
+    if op == "join":
+        if not isinstance(message.get("host"), str) or not message["host"]:
+            raise SerializationError("join requests need a non-empty string 'host'")
+        port = message.get("port")
+        if not isinstance(port, int) or isinstance(port, bool) or not 0 < port < 65536:
+            raise SerializationError(
+                f"join requests need a TCP 'port' (1-65535), got {port!r}"
+            )
     if op == "session":
         if not isinstance(message.get("program"), str):
             raise SerializationError("session requests need a 'program' name")

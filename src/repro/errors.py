@@ -98,6 +98,23 @@ class QuotaExceededError(ServingError):
         self.retry_after = max(float(retry_after), 0.0)
 
 
+class DeadlineInfeasibleError(ServingError):
+    """A request's deadline cannot be met and it was rejected at admission.
+
+    The SLO-aware counterpart of :class:`QuotaExceededError`: the engine
+    modeled the request's queue wait plus execution time (from observed
+    latency percentiles and the backend cost model) and found the total
+    already exceeds the request's ``deadline_ms`` — executing it would only
+    burn capacity on a guaranteed miss.  ``retry_after`` (seconds) estimates
+    when the queue will have drained enough for a retry to be feasible; it
+    travels on the wire like the quota 429's hint.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after = max(float(retry_after), 0.0)
+
+
 class TransportError(ServingError):
     """A network-level failure talking to a serving endpoint.
 

@@ -19,11 +19,18 @@ Turns the one-shot compiler + executor into a serving stack:
   :class:`~repro.errors.QuotaExceededError`), enforced at the cluster router
   and at each shard's job engine, which dequeues by weighted fair queueing
   instead of global FIFO.
-* :class:`EvaCluster` / :class:`ClusterTcpServer` — multi-process sharding:
-  N ``EvaServer`` shards, consistent-hash client routing, transparent
-  failover, health checks, and shard ``drain`` / ``rejoin``
-  (``repro.cli serve --shards N --session-dir PATH``; admin via
+* :class:`EvaCluster` / :class:`ClusterTcpServer` — multi-node sharding:
+  local shard processes plus remote shard servers attached from a cluster
+  config or live via the ``join`` wire op, consistent-hash client routing,
+  transparent failover, health checks, shard ``drain`` / ``rejoin``, and
+  queue-depth autoscaling under a :class:`ScalePolicy`
+  (``repro.cli serve --shards N --cluster-config cluster.toml``; admin via
   ``repro.cli cluster``).
+* SLO classes — requests may carry ``deadline_ms`` / ``slo_class``
+  (``tight`` / ``standard`` / ``relaxed``); admission rejects infeasible
+  deadlines up front (:class:`~repro.errors.DeadlineInfeasibleError` with
+  ``retry_after``) and :func:`linger_budget` decides batch-vs-solo per
+  request against its deadline.
 * :class:`Telemetry` / :class:`MetricsRegistry` / :class:`Histogram` — the
   unified telemetry plane: dotted-name counters/gauges/latency histograms
   (p50/p95/p99 from log buckets), per-stage request tracing with a
@@ -38,6 +45,7 @@ from .batching import (
     BatchPlan,
     SlotBatcher,
     is_slotwise,
+    linger_budget,
     min_lane_width,
     request_width,
 )
@@ -45,8 +53,10 @@ from .cluster import (
     BackendSpec,
     ConsistentHashRing,
     EvaCluster,
+    ScalePolicy,
     ShardConfig,
     ShardHandle,
+    load_cluster_config,
 )
 from .jobs import EngineMetrics, Job, JobEngine
 from .netserver import ClusterTcpServer, EvaTcpServer, ServingClient
@@ -84,13 +94,16 @@ __all__ = [
     "BatchPlan",
     "SlotBatcher",
     "is_slotwise",
+    "linger_budget",
     "min_lane_width",
     "request_width",
     "BackendSpec",
     "ConsistentHashRing",
     "EvaCluster",
+    "ScalePolicy",
     "ShardConfig",
     "ShardHandle",
+    "load_cluster_config",
     "EngineMetrics",
     "Job",
     "JobEngine",

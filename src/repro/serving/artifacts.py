@@ -72,6 +72,7 @@ class ArtifactCache:
         return f"{signature}.w{int(lane_width or 0)}"
 
     def path_for(self, signature: str, lane_width: Optional[int] = None) -> Path:
+        """The cache file path for a (signature, lane width) record."""
         return self.root / f"{self._key(signature, lane_width)}.json"
 
     # -- write -------------------------------------------------------------------
@@ -328,6 +329,7 @@ class LaneWidthPolicy:
         total = float(sum(counts.values())) or 1.0
 
         def score(width: int) -> float:
+            """Modeled amortized per-request cost of serving at this width."""
             capacity = vec_size // width
             # Lane-lowering overhead on the base graph: one plain multiply
             # and one add per masked rotation, plus the hoisted wrap
@@ -393,10 +395,12 @@ class WidthHistogram:
             return dict(self._counts.get(signature, {}))
 
     def samples(self, signature: str) -> int:
+        """Number of width observations recorded for a program signature."""
         with self._lock:
             return self._samples.get(signature, 0)
 
     def summary(self) -> Dict[str, Dict[int, int]]:
+        """Per-signature width histograms, for stats and debugging."""
         with self._lock:
             return {
                 signature[:12]: dict(sorted(counts.items()))

@@ -49,6 +49,38 @@ def pow2_ceil(value: int) -> int:
     return result
 
 
+def linger_budget(
+    slo_class: str,
+    batch_window: float,
+    deadline_remaining: Optional[float] = None,
+    execute_estimate: float = 0.0,
+) -> float:
+    """Seconds batch formation may linger for one request, given its SLO.
+
+    The DiLaServe-style batch-vs-solo decision, made per request against its
+    deadline rather than globally:
+
+    * ``tight`` requests are never held back to fill lanes — a batch worth
+      forming for a relaxed client is worth skipping for a tight one, so the
+      budget is 0 (already-queued same-group jobs still ride along for free).
+    * ``relaxed`` requests always amortize: the full ``batch_window``, even
+      when a deadline leaves less slack — a relaxed client asked for
+      throughput, not latency.
+    * ``standard`` requests linger only as long as their deadline allows:
+      ``batch_window`` capped at ``deadline_remaining - execute_estimate``
+      (a request whose slack just covers execution goes solo, not rejected).
+
+    ``deadline_remaining`` is seconds until the request's deadline (None when
+    it carries none); ``execute_estimate`` is the modeled solo execution time.
+    """
+    if slo_class == "tight":
+        return 0.0
+    if slo_class == "relaxed" or deadline_remaining is None:
+        return max(float(batch_window), 0.0)
+    slack = float(deadline_remaining) - float(execute_estimate)
+    return min(max(float(batch_window), 0.0), max(slack, 0.0))
+
+
 def _value_width(value: Any) -> int:
     return int(np.atleast_1d(np.asarray(value, dtype=np.float64)).size)
 
@@ -105,6 +137,7 @@ class BatchInfo:
 
     @property
     def batchable(self) -> bool:
+        """Whether this compilation can share a ciphertext across requests."""
         if self.lane_width is not None:
             return self.lane_width < self.vec_size
         return self.slotwise and self.min_lane < self.vec_size
@@ -122,10 +155,12 @@ class BatchPlan:
 
     @property
     def capacity(self) -> int:
+        """Max requests that fit one ciphertext at this lane width."""
         return self.vec_size // self.lane_width
 
     @property
     def lanes(self) -> int:
+        """Number of occupied lanes in this batch plan."""
         return len(self.output_widths)
 
 

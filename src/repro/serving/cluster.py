@@ -27,6 +27,21 @@ unchanged.
 Shard processes are started with the ``spawn`` method (safe to use from
 threaded parents) and are daemons of the front-door process; killing the
 front door kills the fleet.
+
+Shards need not be local: :meth:`EvaCluster.attach_shard` adds a **remote**
+``host:port`` endpoint (a running :class:`~repro.serving.netserver.EvaTcpServer`
+anywhere on the network) to the same ring — exposed on the wire as the
+``join`` op and loadable from a cluster config file
+(:func:`load_cluster_config`).  Remote shards get the same health probes,
+drain/rejoin lifecycle, and binary-frame forwarding as local ones; they are
+simply never spawned, killed, or respawned by this process.
+
+A :class:`ScalePolicy` adds watermark **autoscaling**: when the fleet-wide
+queue depth stays above the high watermark the cluster spawns (or rejoins) a
+local shard, and when it stays below the low watermark it drains one —
+with consecutive-observation hysteresis and a cooldown so an oscillating
+load cannot make membership flap.  Decisions are recorded on the cluster's
+own telemetry plane as ``cluster.scale.*`` series.
 """
 
 from __future__ import annotations
@@ -44,7 +59,7 @@ from ..core.compiler import CompilerOptions
 from ..core.ir import Program
 from ..errors import EvaError, ServingError, TransportError
 from .quotas import FairnessPolicy
-from .telemetry import aggregate_snapshots, merge_traces, new_trace_id
+from .telemetry import Telemetry, aggregate_snapshots, merge_traces, new_trace_id
 
 #: Transport-level failures that justify failing over to another shard.
 _FAILOVER_ERRORS = (TransportError, OSError)
@@ -76,6 +91,7 @@ class ConsistentHashRing:
             self.add(node)
 
     def add(self, node: int) -> None:
+        """Place a node on the ring (idempotent)."""
         if node in self._nodes:
             return
         self._nodes.add(node)
@@ -84,6 +100,7 @@ class ConsistentHashRing:
         self._points.sort()
 
     def remove(self, node: int) -> None:
+        """Remove a node and its virtual points from the ring (idempotent)."""
         if node not in self._nodes:
             return
         self._nodes.discard(node)
@@ -100,6 +117,7 @@ class ConsistentHashRing:
 
     @property
     def nodes(self) -> List[int]:
+        """The ring's current nodes, sorted."""
         return sorted(self._nodes)
 
     def __len__(self) -> int:
@@ -124,6 +142,7 @@ class BackendSpec:
     op_latency: float = 0.0
 
     def build(self):
+        """Instantiate the backend this spec describes."""
         from ..backend import MockBackend
 
         if self.name == "mock":
@@ -243,29 +262,202 @@ def _shard_main(config: ShardConfig, ready) -> None:  # pragma: no cover - subpr
 
 @dataclass
 class ShardHandle:
-    """A running shard as seen from the front door."""
+    """A running shard as seen from the front door.
+
+    Two modes share one handle type.  A **local** shard wraps the process
+    this cluster spawned; a **remote** shard (``process is None``) is a
+    ``host:port`` endpoint attached with :meth:`EvaCluster.attach_shard` —
+    its liveness is whatever the last TCP probe said (``last_probe_ok``),
+    since there is no process object to ask.
+    """
 
     index: int
     process: Any
     host: str
     port: int
     started_at: float = field(default_factory=time.time)
+    #: Result of the most recent TCP probe; the liveness signal of remote
+    #: shards (local ones ask their process instead).  Starts True so a
+    #: freshly attached shard is live until a probe says otherwise.
+    last_probe_ok: bool = True
+
+    @property
+    def remote(self) -> bool:
+        """True for an attached host:port endpoint with no local process."""
+        return self.process is None
+
+    @property
+    def mode(self) -> str:
+        """``local`` (spawned child process) or ``remote`` (attached endpoint)."""
+        return "remote" if self.remote else "local"
 
     @property
     def pid(self) -> Optional[int]:
-        return self.process.pid
+        """The local shard process pid (None for remote shards)."""
+        return None if self.process is None else self.process.pid
 
     def alive(self) -> bool:
+        """Whether the shard looked alive at the last probe (remote) or is running (local)."""
+        if self.remote:
+            return self.last_probe_ok
         return self.process.is_alive()
 
     def info(self) -> Dict[str, Any]:
+        """Wire-friendly shard descriptor (index, mode, address, liveness)."""
         return {
             "index": self.index,
             "pid": self.pid,
             "host": self.host,
             "port": self.port,
             "alive": self.alive(),
+            "mode": self.mode,
         }
+
+
+@dataclass
+class ScalePolicy:
+    """Watermark autoscaling knobs of an :class:`EvaCluster`.
+
+    The autoscaler watches the fleet-wide queue depth (summed over live
+    shards).  ``observations`` consecutive ticks at or above
+    ``high_queue_depth`` scale **up** (rejoining a parked shard before
+    spawning a new one); the same number at or below ``low_queue_depth``
+    scale **down** (draining, never killing, a local shard).  ``cooldown``
+    seconds must pass between actions.  The two-sided hysteresis plus the
+    cooldown keeps an oscillating load from flapping membership — crossing a
+    watermark once does nothing.
+    """
+
+    high_queue_depth: float = 32.0
+    low_queue_depth: float = 4.0
+    min_shards: int = 1
+    max_shards: int = 8
+    #: Consecutive ticks a watermark must stay breached before acting.
+    observations: int = 3
+    #: Seconds that must elapse between two scaling actions.
+    cooldown: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.low_queue_depth < 0 or self.high_queue_depth <= self.low_queue_depth:
+            raise ValueError(
+                "watermarks must satisfy 0 <= low_queue_depth < high_queue_depth"
+            )
+        if self.min_shards < 1:
+            raise ValueError("min_shards must be at least 1")
+        if self.max_shards < self.min_shards:
+            raise ValueError("max_shards must be >= min_shards")
+        if self.observations < 1:
+            raise ValueError("observations must be at least 1")
+        if self.cooldown < 0:
+            raise ValueError("cooldown must be non-negative")
+
+
+# -- cluster config files ----------------------------------------------------------
+def _toml_scalar(text: str) -> Any:
+    """One TOML value of the subset the fallback parser accepts."""
+    text = text.strip()
+    if len(text) >= 2 and text[0] == text[-1] and text[0] in ("'", '"'):
+        return text[1:-1]
+    if text == "true":
+        return True
+    if text == "false":
+        return False
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        raise ServingError(f"unsupported TOML value {text!r}") from None
+
+
+def _parse_toml_minimal(text: str) -> Dict[str, Any]:
+    """A minimal TOML-subset parser for interpreters without ``tomllib``.
+
+    Covers what cluster config files use — ``[table]`` headers,
+    ``[[array-of-tables]]`` headers, and ``key = scalar`` pairs (strings,
+    ints, floats, booleans) with ``#`` comments — and nothing more.  On
+    Python >= 3.11 :func:`load_cluster_config` uses the real ``tomllib``.
+    """
+    data: Dict[str, Any] = {}
+    current: Dict[str, Any] = data
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("[["):
+            if not line.endswith("]]"):
+                raise ServingError(f"malformed TOML table header {line!r}")
+            name = line[2:-2].strip()
+            current = {}
+            data.setdefault(name, []).append(current)
+            continue
+        if line.startswith("["):
+            if not line.endswith("]"):
+                raise ServingError(f"malformed TOML table header {line!r}")
+            name = line[1:-1].strip()
+            current = data.setdefault(name, {})
+            continue
+        if "=" not in line:
+            raise ServingError(f"malformed TOML line {line!r}")
+        key, _, value = line.partition("=")
+        value = value.split("#", 1)[0] if not value.strip().startswith(('"', "'")) else value
+        current[key.strip()] = _toml_scalar(value)
+    return data
+
+
+def load_cluster_config(path: Any) -> Dict[str, Any]:
+    """Parse a cluster TOML config into constructor-ready pieces.
+
+    The file has up to three sections::
+
+        [cluster]            # EvaCluster keyword arguments
+        shards = 2
+        batch_window = 0.01
+
+        [[remote]]           # remote shards to attach after start
+        host = "10.0.0.5"
+        port = 7001
+
+        [scale]              # ScalePolicy fields (presence enables scaling)
+        high_queue_depth = 32
+        low_queue_depth = 4
+        interval = 1.0       # seconds between autoscaler ticks
+
+    Returns ``{"cluster": {...}, "remote": [(host, port), ...],
+    "scale": ScalePolicy-or-None, "scale_interval": float-or-None}``.
+    Uses :mod:`tomllib` when the interpreter has it (3.11+) and a minimal
+    TOML-subset parser otherwise.
+    """
+    with open(path, "rb") as fh:
+        raw = fh.read().decode("utf-8")
+    try:
+        import tomllib
+    except ModuleNotFoundError:
+        data = _parse_toml_minimal(raw)
+    else:
+        data = tomllib.loads(raw)
+    if not isinstance(data, dict):
+        raise ServingError("cluster config must be a TOML document")
+    cluster = dict(data.get("cluster", {}) or {})
+    remotes: List[Tuple[str, int]] = []
+    for entry in data.get("remote", []) or []:
+        if "host" not in entry or "port" not in entry:
+            raise ServingError("each [[remote]] entry needs 'host' and 'port'")
+        remotes.append((str(entry["host"]), int(entry["port"])))
+    scale_fields = dict(data.get("scale") or {})
+    interval = scale_fields.pop("interval", None)
+    try:
+        scale = ScalePolicy(**scale_fields) if scale_fields else None
+    except TypeError as error:
+        raise ServingError(f"bad [scale] section: {error}") from None
+    return {
+        "cluster": cluster,
+        "remote": remotes,
+        "scale": scale,
+        "scale_interval": float(interval) if interval is not None else None,
+    }
 
 
 # -- the cluster front door --------------------------------------------------------
@@ -304,13 +496,18 @@ class EvaCluster:
         log_json: bool = False,
         log_level: str = "INFO",
         wire: str = "auto",
+        remote_shards: Optional[List[Tuple[str, int]]] = None,
+        scale_policy: Optional[ScalePolicy] = None,
+        scale_interval: Optional[float] = None,
     ) -> None:
-        if shards < 1:
+        if shards < 1 and not remote_shards:
             raise ServingError("a cluster needs at least one shard")
         if wire not in ("auto", "binary", "json"):
             raise ServingError(f"unknown wire mode {wire!r}")
         if health_interval is not None and health_interval <= 0:
             raise ServingError("health_interval must be positive (or None)")
+        if scale_interval is not None and scale_interval <= 0:
+            raise ServingError("scale_interval must be positive (or None)")
         self.shards = int(shards)
         self.backend = backend or BackendSpec()
         self.session_dir = str(session_dir) if session_dir else None
@@ -363,6 +560,28 @@ class EvaCluster:
         #: Serializes rejoin_shard: concurrent rejoins of one index (operator
         #: retry racing automation) must not both respawn the process.
         self._rejoin_lock = threading.Lock()
+        #: Remote ``(host, port)`` endpoints attached right after start().
+        self._remote_endpoints: List[Tuple[str, int]] = [
+            (str(host), int(port)) for host, port in (remote_shards or [])
+        ]
+        #: Persistent per-shard health-probe connections, keyed by index and
+        #: guarded against respawns by the shard's generation — probing reuses
+        #: one pinned-JSON connection instead of paying a fresh TCP connect
+        #: (and hello) per probe.
+        self._probe_lock = threading.Lock()
+        self._probe_clients: Dict[int, Tuple[int, Any]] = {}
+        #: The cluster's own telemetry plane: scale decisions, join events —
+        #: aggregated into the fleet metrics snapshot next to the shards'.
+        self.telemetry = Telemetry(shard="cluster")
+        #: Watermark autoscaling (None disables): scale_tick() is the
+        #: injectable decision step, the background loop just calls it.
+        self.scale_policy = scale_policy
+        self.scale_interval = scale_interval
+        self._scale_above = 0
+        self._scale_below = 0
+        self._last_scale_at: Optional[float] = None
+        self._scale_stop = threading.Event()
+        self._scale_thread: Optional[threading.Thread] = None
         self._started = False
         self._closed = False
 
@@ -469,11 +688,23 @@ class EvaCluster:
                     process.terminate()
             raise
         self._started = True
+        if self._remote_endpoints:
+            try:
+                for host, port in self._remote_endpoints:
+                    self.attach_shard(host, port)
+            except BaseException:
+                self.close()
+                raise
         if self.health_interval is not None:
             self._health_thread = threading.Thread(
                 target=self._health_loop, name="eva-cluster-health", daemon=True
             )
             self._health_thread.start()
+        if self.scale_policy is not None and self.scale_interval is not None:
+            self._scale_thread = threading.Thread(
+                target=self._scale_loop, name="eva-cluster-scale", daemon=True
+            )
+            self._scale_thread.start()
         return self
 
     def close(self) -> None:
@@ -482,20 +713,29 @@ class EvaCluster:
             return
         self._closed = True
         self._health_stop.set()
+        self._scale_stop.set()
         if self._health_thread is not None:
             self._health_thread.join(timeout=10)
+        if self._scale_thread is not None:
+            self._scale_thread.join(timeout=10)
         with self._lock:
             clients = list(self._all_clients)
+        with self._probe_lock:
+            clients.extend(client for _gen, client in self._probe_clients.values())
+            self._probe_clients.clear()
         for client in clients:
             try:
                 client.close()
             except Exception:
                 pass
+        # Remote shards are attached, not owned: closing the front door
+        # leaves their processes running wherever they live.
         for handle in self._handles.values():
-            if handle.process.is_alive():
+            if handle.process is not None and handle.process.is_alive():
                 handle.process.terminate()
         for handle in self._handles.values():
-            handle.process.join(timeout=10)
+            if handle.process is not None:
+                handle.process.join(timeout=10)
 
     def __enter__(self) -> "EvaCluster":
         return self
@@ -524,6 +764,7 @@ class EvaCluster:
         }
 
     def shard_infos(self) -> List[Dict[str, Any]]:
+        """Descriptors of every shard handle, ordered by index."""
         return [self._handles[i].info() for i in sorted(self._handles)]
 
     def mark_dead(self, index: int) -> None:
@@ -538,23 +779,77 @@ class EvaCluster:
         handle = self._handles.get(index)
         if handle is None:
             raise ServingError(f"no shard {index}")
+        if handle.remote:
+            raise ServingError(
+                f"shard {index} is a remote endpoint ({handle.host}:{handle.port}); "
+                "the router has no process to kill — drain it instead"
+            )
         handle.process.kill()
         handle.process.join(timeout=10)
         self.mark_dead(index)
 
     # -- health / drain / rejoin ---------------------------------------------------
     def _ping_shard(self, handle: ShardHandle, timeout: float = 2.0) -> bool:
-        """One throwaway-connection liveness probe of a shard's TCP front."""
+        """Liveness probe of a shard's TCP front over a persistent connection.
+
+        The probe connection is cached per shard index (pinned JSON — probes
+        never negotiate) and keyed by the shard's generation, so the steady
+        state pays one ``ping`` round trip per probe instead of a fresh TCP
+        connect and hello.  A probe failure on the cached connection retries
+        once on a fresh one before declaring the shard down, so a stale
+        socket (e.g. the shard restarted out-of-band) is not mistaken for a
+        dead shard.  The result also lands on ``handle.last_probe_ok`` — the
+        liveness signal of remote shards.
+        """
+        ok = self._probe_once(handle, timeout)
+        handle.last_probe_ok = ok
+        return ok
+
+    def _probe_once(self, handle: ShardHandle, timeout: float) -> bool:
         from .netserver import ServingClient
 
+        index = handle.index
+        with self._lock:
+            generation = self._generations.get(index, 0)
+        with self._probe_lock:
+            cached = self._probe_clients.get(index)
+        if cached is not None and cached[0] == generation:
+            try:
+                return cached[1].ping()
+            except Exception:
+                pass  # stale or broken: fall through to a fresh connection
+        self._drop_probe_client(index)
         try:
-            # A throwaway liveness probe: pin JSON to skip the hello roundtrip.
-            with ServingClient(
+            client = ServingClient(
                 handle.host, handle.port, timeout=timeout, wire="json"
-            ) as probe:
-                return probe.ping()
+            )
+            ok = client.ping()
         except Exception:
             return False
+        if not ok:
+            try:
+                client.close()
+            except Exception:
+                pass
+            return False
+        with self._probe_lock:
+            stale = self._probe_clients.get(index)
+            self._probe_clients[index] = (generation, client)
+        if stale is not None:
+            try:
+                stale[1].close()
+            except Exception:
+                pass
+        return True
+
+    def _drop_probe_client(self, index: int) -> None:
+        with self._probe_lock:
+            cached = self._probe_clients.pop(index, None)
+        if cached is not None:
+            try:
+                cached[1].close()
+            except Exception:
+                pass
 
     def check_health(self, probe: bool = True) -> List[Dict[str, Any]]:
         """Probe every shard; demote dead ones from the ring.  Returns a report.
@@ -567,8 +862,14 @@ class EvaCluster:
         report = []
         for index in sorted(self._handles):
             handle = self._handles[index]
-            alive = handle.alive()
-            responsive = alive and (self._ping_shard(handle) if probe else True)
+            if handle.remote:
+                # No process to ask: the probe IS the liveness signal (and
+                # without probing, the last probe's verdict stands).
+                responsive = self._ping_shard(handle) if probe else handle.alive()
+                alive = responsive
+            else:
+                alive = handle.alive()
+                responsive = alive and (self._ping_shard(handle) if probe else True)
             if not responsive and self._handles.get(index) is not handle:
                 # The shard was respawned while we probed its predecessor;
                 # judge the *current* process, not the corpse — otherwise a
@@ -600,6 +901,7 @@ class EvaCluster:
             report.append(
                 {
                     "index": index,
+                    "mode": handle.mode,
                     "pid": handle.pid,
                     "port": handle.port,
                     "alive": alive,
@@ -666,7 +968,15 @@ class EvaCluster:
             if handle is None:
                 raise ServingError(f"no shard {index}")
             respawned = False
-            if not handle.alive():
+            if handle.remote:
+                # There is no process to respawn: the endpoint must answer a
+                # probe before it may return to the ring.
+                if not self._ping_shard(handle):
+                    raise ServingError(
+                        f"remote shard {index} at {handle.host}:{handle.port} "
+                        "is not responding; rejoin it once it is back up"
+                    )
+            elif not handle.alive():
                 process, parent_end = self._launch_shard(index)
                 deadline = time.monotonic() + self.start_timeout
                 try:
@@ -696,7 +1006,213 @@ class EvaCluster:
             "respawned": respawned,
             "pid": handle.pid,
             "port": handle.port,
+            "mode": handle.mode,
         }
+
+    def attach_shard(self, host: str, port: int) -> Dict[str, Any]:
+        """Attach a running remote shard at ``host:port`` to the ring.
+
+        The endpoint (any :class:`~repro.serving.netserver.EvaTcpServer`,
+        typically ``repro.cli serve`` on another host) must answer a probe
+        and serve every program registered with this cluster.  Attaching a
+        ``host:port`` that is already known simply returns that shard to the
+        ring (the live counterpart of :meth:`rejoin_shard` for endpoints the
+        router cannot respawn).  Exposed on the wire as the ``join`` op.
+        """
+        if not self._started:
+            raise ServingError("the cluster has not been started")
+        host, port = str(host), int(port)
+        from .netserver import ServingClient
+
+        try:
+            with ServingClient(
+                host, port, timeout=self.request_timeout, wire="json"
+            ) as probe:
+                if not probe.ping():
+                    raise TransportError("endpoint did not answer the ping")
+                remote_programs = set(probe.programs())
+        except Exception as exc:
+            raise ServingError(
+                f"cannot attach shard at {host}:{port}: {exc}"
+            ) from exc
+        missing = sorted(
+            {spec.name for spec in self._programs} - remote_programs
+        )
+        if missing:
+            raise ServingError(
+                f"remote shard at {host}:{port} does not serve the cluster's "
+                f"registered programs (missing {missing}); start it with the "
+                "same program set"
+            )
+        with self._rejoin_lock, self._lock:
+            for handle in self._handles.values():
+                if handle.remote and (handle.host, handle.port) == (host, port):
+                    index = handle.index
+                    handle.last_probe_ok = True
+                    break
+            else:
+                index = max(self._handles, default=self.shards - 1) + 1
+                self._handles[index] = ShardHandle(
+                    index=index, process=None, host=host, port=port
+                )
+            if index in self._dead:
+                self._dead.remove(index)
+            if index in self._drained:
+                self._drained.remove(index)
+            self.ring.add(index)
+        self.telemetry.inc("cluster.shards.joined")
+        return {
+            "shard": index,
+            "status": "joined",
+            "mode": "remote",
+            "host": host,
+            "port": port,
+        }
+
+    def add_shard(self) -> Dict[str, Any]:
+        """Spawn one brand-new local shard and add it to the ring.
+
+        The scale-up primitive for when no parked (drained or dead) shard is
+        available to rejoin: allocates the next free index, spawns a fresh
+        process with the cluster's registered program set, and waits for it
+        to bind before ring membership changes.
+        """
+        if not self._started:
+            raise ServingError("the cluster has not been started")
+        with self._rejoin_lock:
+            with self._lock:
+                index = max(self._handles, default=self.shards - 1) + 1
+            process, parent_end = self._launch_shard(index)
+            deadline = time.monotonic() + self.start_timeout
+            try:
+                handle = self._await_shard(index, process, parent_end, deadline)
+            except BaseException:
+                if process.is_alive():
+                    process.terminate()
+                raise
+            self._handles[index] = handle
+        with self._lock:
+            self.ring.add(index)
+        return {
+            "shard": index,
+            "status": "added",
+            "mode": "local",
+            "pid": handle.pid,
+            "port": handle.port,
+        }
+
+    # -- autoscaling ---------------------------------------------------------------
+    def _observed_queue_depth(self) -> float:
+        """Fleet-wide queue depth: queued jobs summed over live shards."""
+        total = 0.0
+        for index in self._live_shards():
+            try:
+                stats = self._client_for(index).stats()
+            except _FAILOVER_ERRORS:
+                self._note_failure(index)
+                continue
+            engine = stats.get("engine") or {}
+            total += float(engine.get("queued", 0) or 0)
+        return total
+
+    def scale_tick(self, queue_depth: Optional[float] = None) -> Optional[Dict[str, Any]]:
+        """One autoscaler observation; returns the action taken (or None).
+
+        ``queue_depth`` defaults to the observed fleet-wide depth; tests (and
+        operators simulating load) may inject a value.  The decision applies
+        the policy's two-sided hysteresis — a watermark must stay breached
+        for ``observations`` consecutive ticks, any tick in between the
+        watermarks resets both streaks — and the cooldown, so a load
+        oscillating across a watermark cannot flap membership.
+        """
+        policy = self.scale_policy
+        if policy is None:
+            raise ServingError("the cluster has no scale policy")
+        if queue_depth is None:
+            queue_depth = self._observed_queue_depth()
+        queue_depth = float(queue_depth)
+        self.telemetry.set_gauge("cluster.scale.queue_depth", queue_depth)
+        if queue_depth >= policy.high_queue_depth:
+            self._scale_above += 1
+            self._scale_below = 0
+        elif queue_depth <= policy.low_queue_depth:
+            self._scale_below += 1
+            self._scale_above = 0
+        else:
+            self._scale_above = 0
+            self._scale_below = 0
+        now = time.monotonic()
+        cooling = (
+            self._last_scale_at is not None
+            and now - self._last_scale_at < policy.cooldown
+        )
+        with self._lock:
+            live = list(self.ring.nodes)
+        self.telemetry.set_gauge("cluster.scale.live_shards", len(live))
+        if cooling:
+            return None
+        if self._scale_above >= policy.observations and len(live) < policy.max_shards:
+            self._scale_above = 0
+            action = self._scale_up()
+            if action is not None:
+                self._last_scale_at = now
+            return action
+        if self._scale_below >= policy.observations and len(live) > policy.min_shards:
+            self._scale_below = 0
+            action = self._scale_down(live)
+            if action is not None:
+                self._last_scale_at = now
+            return action
+        return None
+
+    def _scale_up(self) -> Optional[Dict[str, Any]]:
+        """Add capacity: rejoin a parked local shard, else spawn a new one."""
+        with self._lock:
+            parked = sorted(
+                index
+                for index in self._drained + self._dead
+                if not self._handles[index].remote
+            )
+        try:
+            if parked:
+                result = dict(self.rejoin_shard(parked[0]))
+                reason = "rejoin"
+            else:
+                result = dict(self.add_shard())
+                reason = "spawn"
+        except ServingError:
+            return None  # e.g. a dead shard that fails to respawn; retry next tick
+        self.telemetry.inc("cluster.scale.up", reason=reason)
+        result["action"] = "up"
+        result["reason"] = reason
+        return result
+
+    def _scale_down(self, live: List[int]) -> Optional[Dict[str, Any]]:
+        """Shed capacity by draining the highest-index live *local* shard.
+
+        Draining (not killing) keeps the process parked so the next scale-up
+        is a cheap rejoin; remote shards are never scaled down — the router
+        did not provision them, so it does not decommission them.
+        """
+        local = [index for index in live if not self._handles[index].remote]
+        if not local:
+            return None
+        try:
+            result = dict(self.drain_shard(max(local)))
+        except ServingError:
+            return None  # e.g. it became the last ring member; retry next tick
+        self.telemetry.inc("cluster.scale.down", reason="drain")
+        result["action"] = "down"
+        result["reason"] = "drain"
+        return result
+
+    def _scale_loop(self) -> None:
+        """Background watermark watcher (``scale_interval`` seconds per tick)."""
+        while not self._scale_stop.wait(self.scale_interval):
+            try:
+                self.scale_tick()
+            except Exception:  # pragma: no cover - scaling must not die
+                pass
 
     # -- request plumbing ---------------------------------------------------------
     def _client_for(self, index: int):
@@ -751,7 +1267,15 @@ class EvaCluster:
         """
         self._drop_client(index)
         handle = self._handles.get(index)
-        if handle is not None and not handle.alive():
+        if handle is None:
+            return
+        if handle.remote:
+            # A remote shard has no process to ask; one failed probe after a
+            # transport error is the eviction signal (transient connection
+            # loss to a live endpoint answers the probe and stays routable).
+            if not self._ping_shard(handle):
+                self.mark_dead(index)
+        elif not handle.alive():
             self.mark_dead(index)
 
     def _call(self, client_id: str, fn: Callable[[Any], Any]) -> Any:
@@ -779,6 +1303,8 @@ class EvaCluster:
         client_id: str = "default",
         output_size: Optional[int] = None,
         trace: bool = False,
+        deadline_ms: Optional[float] = None,
+        slo_class: Optional[str] = None,
     ) -> Dict[str, Any]:
         """Plaintext request: routed to the client's shard, decrypted outputs.
 
@@ -786,7 +1312,8 @@ class EvaCluster:
         so a request that fails over after a shard death keeps one id across
         attempts — the spans of the successful attempt land on the new shard
         under the same trace.  The minted id is kept as ``last_trace_id`` so
-        the caller can look the trace up afterwards.
+        the caller can look the trace up afterwards.  ``deadline_ms`` and
+        ``slo_class`` ride the envelope to the owning shard unchanged.
         """
         trace_id = new_trace_id() if trace else None
         self.last_trace_id = trace_id
@@ -799,6 +1326,8 @@ class EvaCluster:
                 output_size=output_size,
                 trace=trace,
                 trace_id=trace_id,
+                deadline_ms=deadline_ms,
+                slo_class=slo_class,
             ),
         )
 
@@ -819,6 +1348,8 @@ class EvaCluster:
         bundle_wire: Dict[str, Any],
         client_id: str = "default",
         trace: bool = False,
+        deadline_ms: Optional[float] = None,
+        slo_class: Optional[str] = None,
     ) -> Dict[str, Any]:
         """Pre-encrypted request; returns wire-encoded ciphertext outputs."""
         trace_id = new_trace_id() if trace else None
@@ -826,7 +1357,13 @@ class EvaCluster:
         return self._call(
             client_id,
             lambda client: client.submit_bundle(
-                name, bundle_wire, client_id=client_id, trace=trace, trace_id=trace_id
+                name,
+                bundle_wire,
+                client_id=client_id,
+                trace=trace,
+                trace_id=trace_id,
+                deadline_ms=deadline_ms,
+                slo_class=slo_class,
             ),
         )
 
@@ -837,12 +1374,15 @@ class EvaCluster:
         inputs: Dict[str, Any],
         client_id: Optional[str] = None,
         trace: bool = False,
+        deadline_ms: Optional[float] = None,
+        slo_class: Optional[str] = None,
     ) -> Dict[str, Any]:
         """End-to-end encrypted request through the client's shard.
 
         With ``trace`` the bundle submission is traced under one id (minted
         before the failover retry loop, like :meth:`request`), available
-        afterwards as ``last_trace_id``.
+        afterwards as ``last_trace_id``.  SLO fields ride the envelope
+        identically to the plaintext path.
         """
         client_id = client_id or getattr(client_kit, "client_id", "default")
         bundle = client_kit.encrypt_inputs(inputs)
@@ -851,6 +1391,8 @@ class EvaCluster:
             client_kit.bundle_to_wire(bundle),
             client_id=client_id,
             trace=trace,
+            deadline_ms=deadline_ms,
+            slo_class=slo_class,
         )
         return client_kit.decrypt_outputs(client_kit.outputs_from_wire(reply))
 
@@ -905,10 +1447,14 @@ class EvaCluster:
 
         Every series appears per-shard (labeled ``shard=<i>``) and summed
         into an unlabeled aggregate, with histogram percentiles recomputed
-        from the merged buckets.  The TCP router adds its own registry on
-        top when serving the wire ``metrics`` op.
+        from the merged buckets.  The cluster's own control-plane registry
+        (``cluster.scale.*``, ``cluster.shards.joined``) rides along under
+        ``shard=cluster``; the TCP router adds its own registry on top when
+        serving the wire ``metrics`` op.
         """
-        return aggregate_snapshots(self.shard_metrics())
+        snapshots = self.shard_metrics()
+        snapshots["cluster"] = self.telemetry.registry.snapshot()
+        return aggregate_snapshots(snapshots)
 
     def shard_traces(self, trace_id: str) -> List[Optional[Dict[str, Any]]]:
         """Each live shard's view of one trace (None entries for unknown)."""

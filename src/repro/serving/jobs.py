@@ -23,6 +23,17 @@ quota (token bucket) and an in-flight cap, rejected with
 serving layer's 429.  The global bounded queue (``QueueFullError``) remains
 the server-protecting backstop.
 
+Requests may carry a **deadline** (``deadline_ms``) and an **SLO class**
+(``tight`` / ``standard`` / ``relaxed``).  Admission models the request's
+queue wait (observed recent waits and current backlog) plus its solo
+execution estimate and rejects requests whose deadline is already infeasible
+with :class:`~repro.errors.DeadlineInfeasibleError` — executing them would
+only burn capacity on a guaranteed miss.  Batch formation then decides
+batch-vs-solo *per request* against its deadline (the DiLaServe shape): a
+tight request never lingers to fill lanes, a relaxed one always amortizes,
+and a standard one lingers only as long as its slack allows.  Outcomes are
+counted as ``serving.slo.attained`` / ``missed`` / ``rejected``.
+
 Per-stage latency (queue wait, execution) and throughput are accumulated in
 :class:`EngineMetrics`; the serving benchmarks read them to report amortized
 request cost.
@@ -38,9 +49,24 @@ from concurrent.futures import Future, InvalidStateError
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Hashable, List, Optional
 
-from ..errors import QueueFullError, ServingError
+from ..core.serialization.messages import SLO_CLASSES
+from ..errors import DeadlineInfeasibleError, QueueFullError, ServingError
+from .batching import linger_budget
 from .quotas import FairnessPolicy, QuotaLedger
 from .telemetry import Telemetry
+
+#: Samples of recent queue waits / batch executions kept for the deadline-
+#: admission model (bounded so the estimate tracks the current regime).
+_RECENT_SAMPLES = 256
+
+
+def _percentile(samples: List[float], q: float) -> float:
+    """The ``q``-quantile of ``samples`` (nearest-rank; 0.0 when empty)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(int(q * len(ordered)), len(ordered) - 1)
+    return ordered[rank]
 
 
 @dataclass
@@ -63,9 +89,16 @@ class Job:
     #: Time this job's batch spent forming (drain + linger), set by the
     #: dequeue side so the worker can attribute it as a span.
     batch_form_seconds: float = 0.0
+    #: Effective SLO class (``tight`` / ``standard`` / ``relaxed``).
+    slo_class: str = "standard"
+    #: Absolute monotonic deadline, or None when the request carries none.
+    deadline_at: Optional[float] = None
+    #: Modeled solo execution time, used by batch formation to cap lingering.
+    execute_estimate: float = 0.0
 
     @property
     def queue_seconds(self) -> float:
+        """Seconds the job waited in the queue before a worker took it."""
         return max(self.started_at - self.submitted_at, 0.0)
 
 
@@ -79,6 +112,9 @@ class EngineMetrics:
     rejected: int = 0
     throttled: int = 0
     cancelled: int = 0
+    deadline_rejected: int = 0
+    slo_attained: int = 0
+    slo_missed: int = 0
     batches: int = 0
     largest_batch: int = 0
     queue_seconds_total: float = 0.0
@@ -88,6 +124,7 @@ class EngineMetrics:
     batch_size_counts: Dict[int, int] = field(default_factory=dict)
 
     def summary(self) -> Dict[str, object]:
+        """Engine totals plus derived rates, for stats() and telemetry absorption."""
         finished = self.completed + self.failed
         elapsed = (
             (self.last_finish_at - self.first_submit_at)
@@ -101,6 +138,9 @@ class EngineMetrics:
             "rejected": self.rejected,
             "throttled": self.throttled,
             "cancelled": self.cancelled,
+            "deadline_rejected": self.deadline_rejected,
+            "slo_attained": self.slo_attained,
+            "slo_missed": self.slo_missed,
             "batches": self.batches,
             "largest_batch": self.largest_batch,
             "mean_batch_size": round(finished / self.batches, 3) if self.batches else 0.0,
@@ -162,6 +202,13 @@ class JobEngine:
         self._vtime: Dict[str, float] = {}
         self._clock = 0.0
         self._queued = 0
+        self._worker_count = int(workers)
+        #: Recent per-job queue waits (segmented by SLO class — a relaxed
+        #: job's wait includes deliberate linger a tight job never pays) and
+        #: per-batch execute times, feeding the deadline-admission model
+        #: (mutated under ``self._cond``).
+        self._wait_recent: Dict[str, "deque[float]"] = {}
+        self._execute_recent: "deque[float]" = deque(maxlen=_RECENT_SAMPLES)
         self._cond = threading.Condition()
         self._closed = False
         self._ids = itertools.count()
@@ -177,6 +224,42 @@ class JobEngine:
             return 1.0
         return self.fairness.weight_of(client)
 
+    # -- deadline admission model ------------------------------------------------
+    def wait_estimate(
+        self, slo_class: str = "standard", client: str = "default"
+    ) -> float:
+        """Modeled queue wait of one request submitted right now (seconds).
+
+        The larger of two signals, both shaped by *who* is asking:
+
+        * the observed recent queue-wait p95 **of the same SLO class** — a
+          relaxed job's wait includes the linger it deliberately paid to fill
+          lanes, so class-blind percentiles would reject tight traffic on a
+          server that serves its tight requests promptly;
+        * a backlog estimate reflecting the weighted-fair dequeue: the
+          client's *own* queued jobs (plus the request itself) each wait one
+          round of service across the currently active clients, spread over
+          the workers.  Global queue depth is deliberately not the unit — a
+          deep queue from one flooding client does not delay a new client
+          under fair queueing.
+        """
+        with self._cond:
+            client_queued = len(self._queues.get(client, ()))
+            active = max(len(self._queues), 1)
+            waits = list(self._wait_recent.get(slo_class, ()))
+            execs = list(self._execute_recent)
+        observed = _percentile(waits, 0.95)
+        mean_execute = sum(execs) / len(execs) if execs else 0.0
+        rounds = client_queued + 1
+        backlog = rounds * active * mean_execute / max(self._worker_count, 1)
+        return max(observed, backlog)
+
+    def execute_estimate(self) -> float:
+        """Observed solo-execution estimate: recent batch-execute p95."""
+        with self._cond:
+            execs = list(self._execute_recent)
+        return _percentile(execs, 0.95)
+
     # -- submission --------------------------------------------------------------
     def submit(
         self,
@@ -186,6 +269,9 @@ class JobEngine:
         client: str = "default",
         trace_id: Optional[str] = None,
         program: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
+        slo_class: Optional[str] = None,
+        execute_estimate: Optional[float] = None,
     ) -> "Future[Any]":
         """Enqueue a job for ``client`` and return its future.
 
@@ -197,11 +283,54 @@ class JobEngine:
         up in time (the back-pressure signal a front-end turns into "try
         later").
 
+        ``deadline_ms`` and ``slo_class`` attach SLO semantics: unset values
+        fall back to the fairness policy's per-client class and per-class
+        deadline defaults.  A request whose modeled queue wait plus solo
+        execution (``execute_estimate``, falling back to the engine's
+        observed history) already exceeds its deadline is rejected with
+        :class:`~repro.errors.DeadlineInfeasibleError` carrying a
+        ``retry_after`` hint.  The linger a batch may add is deliberately
+        *not* part of the admission model: a request whose slack only covers
+        execution goes solo, it is not rejected.
+
         ``trace_id`` labels every span the engine records for this job;
         ``program`` labels its metric series.
         """
         client = str(client)
         telemetry = self.telemetry
+        if self.fairness is not None:
+            slo = self.fairness.slo_class_of(client, slo_class)
+            if deadline_ms is None:
+                deadline_ms = self.fairness.deadline_ms_of(slo)
+        else:
+            slo = slo_class if slo_class is not None else "standard"
+            if slo not in SLO_CLASSES:
+                raise ValueError(
+                    f"unknown SLO class {slo!r}; expected one of {SLO_CLASSES}"
+                )
+        estimate = float(execute_estimate) if execute_estimate else 0.0
+        if deadline_ms is not None:
+            deadline_s = float(deadline_ms) / 1000.0
+            if deadline_s <= 0:
+                raise ValueError("deadline_ms must be positive")
+            if estimate <= 0.0:
+                estimate = self.execute_estimate()
+            wait = self.wait_estimate(slo, client)
+            if wait + estimate > deadline_s:
+                with self._cond:
+                    self.metrics.deadline_rejected += 1
+                if telemetry is not None:
+                    telemetry.inc(
+                        "serving.slo.rejected", slo_class=slo, client=client
+                    )
+                raise DeadlineInfeasibleError(
+                    f"deadline of {deadline_ms:g}ms is infeasible: modeled "
+                    f"queue wait {wait * 1000:.1f}ms + execution "
+                    f"{estimate * 1000:.1f}ms already exceeds it",
+                    retry_after=max(wait, 0.05),
+                )
+        else:
+            deadline_s = None
         admit_started = time.perf_counter()
         try:
             self.ledger.admit(client)
@@ -250,6 +379,9 @@ class JobEngine:
                     client=client,
                     trace_id=trace_id,
                     program=program,
+                    slo_class=slo,
+                    deadline_at=None if deadline_s is None else now + deadline_s,
+                    execute_estimate=estimate,
                 )
                 queue = self._queues.get(client)
                 if queue is None:
@@ -305,12 +437,19 @@ class JobEngine:
             self._queued -= 1
             batch = [first]
             self._drain_group(batch, queue)
-            deadline = time.monotonic() + self.batch_window
-            while (
-                len(batch) < self.max_batch
-                and self.batch_window > 0
-                and not self._closed
-            ):
+            # Batch-vs-solo is decided per request against its SLO: a tight
+            # first job gets a zero linger budget (already-queued same-group
+            # jobs above still ride along), a relaxed one the full window,
+            # a standard one its deadline slack.
+            now = time.monotonic()
+            window = linger_budget(
+                first.slo_class,
+                self.batch_window,
+                None if first.deadline_at is None else first.deadline_at - now,
+                first.execute_estimate,
+            )
+            deadline = now + window
+            while len(batch) < self.max_batch and window > 0 and not self._closed:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     break
@@ -396,9 +535,18 @@ class JobEngine:
                 size_counts[len(batch)] = size_counts.get(len(batch), 0) + 1
                 self.metrics.execute_seconds_total += execute_seconds
                 self.metrics.last_finish_at = finished
+                self._execute_recent.append(execute_seconds)
                 for job in batch:
                     job.finished_at = finished
                     self.metrics.queue_seconds_total += job.queue_seconds
+                    self._wait_recent.setdefault(
+                        job.slo_class, deque(maxlen=_RECENT_SAMPLES)
+                    ).append(job.queue_seconds)
+                    if job.deadline_at is not None:
+                        if finished <= job.deadline_at:
+                            self.metrics.slo_attained += 1
+                        else:
+                            self.metrics.slo_missed += 1
             if self.telemetry is not None:
                 # This is the single per-job accounting site: solo batches
                 # (len == 1, including degraded-to-solo fallbacks inside the
@@ -432,6 +580,15 @@ class JobEngine:
                         job.trace_id, "execute", job_execute,
                         batch_size=len(batch), program=job.program,
                     )
+                    if job.deadline_at is not None:
+                        outcome = (
+                            "attained" if finished <= job.deadline_at else "missed"
+                        )
+                        self.telemetry.inc(
+                            f"serving.slo.{outcome}",
+                            slo_class=job.slo_class,
+                            program=job.program,
+                        )
             for job, result in zip(batch, results):
                 try:
                     if isinstance(result, BaseException):
@@ -469,7 +626,11 @@ class JobEngine:
         yet).  Every stats/exposition path goes through here instead.
         """
         with self._cond:
-            return self.metrics.summary()
+            summary = self.metrics.summary()
+            # Current queue depth rides along: the cluster autoscaler reads
+            # it per shard to compare against its watermarks.
+            summary["queued"] = self._queued
+            return summary
 
     # -- lifecycle ---------------------------------------------------------------
     def _drain_all(self) -> List[Job]:

@@ -49,6 +49,7 @@ import numpy as np
 from ..core.serialization import messages
 from ..core.serialization.packing import raw_blobs
 from ..errors import (
+    DeadlineInfeasibleError,
     EvaError,
     QuotaExceededError,
     SerializationError,
@@ -119,6 +120,7 @@ class _ConnectionState:
         self.uploads = UploadState()
 
     def info(self) -> Dict[str, Any]:
+        """Wire-friendly connection descriptor for ``cluster stats``."""
         return {
             "peer": self.peer,
             "protocol": self.protocol,
@@ -184,16 +186,19 @@ class _WireHandler(socketserver.StreamRequestHandler):
         raise NotImplementedError
 
     def setup(self) -> None:
+        """Register the connection and its negotiation state with the server."""
         super().setup()
         host, port = self.client_address[:2]
         self.conn = _ConnectionState(f"{host}:{port}")
         self._conn_key = self.server._register_connection(self.conn)
 
     def finish(self) -> None:
+        """Unregister the connection on teardown."""
         self.server._unregister_connection(self._conn_key)
         super().finish()
 
     def handle(self) -> None:
+        """Serve one connection: sniff JSON vs binary per message, reply in kind."""
         while True:
             first = self.rfile.read(1)
             if not first:
@@ -376,7 +381,7 @@ class _RequestHandler(_WireHandler):
                     ]
                 }
             )
-        if op in ("route", "drain", "rejoin"):
+        if op in ("route", "drain", "rejoin", "join"):
             raise ServingError(
                 f"{op} is a cluster operation; this is a single-process server"
             )
@@ -402,7 +407,9 @@ class _RequestHandler(_WireHandler):
         if "bundle" in request:
             name = request["program"]
             response = eva.request_encrypted(
-                name, request["bundle"], client_id=client_id, trace_id=trace_id
+                name, request["bundle"], client_id=client_id, trace_id=trace_id,
+                deadline_ms=request.get("deadline_ms"),
+                slo_class=request.get("slo_class"),
             )
             # Encode the ciphertext reply with the session context the worker
             # evaluated under (carried on the response, so an eviction between
@@ -427,6 +434,8 @@ class _RequestHandler(_WireHandler):
             client_id=client_id,
             output_size=request.get("output_size"),
             trace_id=trace_id,
+            deadline_ms=request.get("deadline_ms"),
+            slo_class=request.get("slo_class"),
         )
         encode_started = time.perf_counter()
         reply = messages.build_response(
@@ -489,6 +498,7 @@ class EvaTcpServer(_WireListenerMixin, socketserver.ThreadingTCPServer):
 
     @property
     def address(self) -> Tuple[str, int]:
+        """The bound (host, port) — useful after binding port 0."""
         return self.server_address[0], self.server_address[1]
 
     def start_background(self) -> threading.Thread:
@@ -679,6 +689,14 @@ class _RouterHandler(_WireHandler):
             return messages.build_response(
                 payload={"rejoin": cluster.rejoin_shard(shard)}
             )
+        if op == "join":
+            return messages.build_response(
+                payload={
+                    "join": cluster.attach_shard(
+                        str(request["host"]), int(request["port"])
+                    )
+                }
+            )
         if op == "list":
             return messages.build_response(payload={"programs": cluster.programs()})
         if op == "stats":
@@ -690,6 +708,7 @@ class _RouterHandler(_WireHandler):
             # router's own, aggregated (per-shard labeled series + summed
             # totals with percentiles recomputed from merged buckets).
             snapshots = cluster.shard_metrics()
+            snapshots["cluster"] = cluster.telemetry.registry.snapshot()
             snapshots["router"] = telemetry.registry.snapshot()
             snapshot = aggregate_snapshots(snapshots)
             payload: Dict[str, Any] = {"metrics": snapshot}
@@ -874,6 +893,7 @@ class ClusterTcpServer(_WireListenerMixin, socketserver.ThreadingTCPServer):
 
     @property
     def address(self) -> Tuple[str, int]:
+        """The bound (host, port) — useful after binding port 0."""
         return self.server_address[0], self.server_address[1]
 
     def start_background(self) -> threading.Thread:
@@ -1069,6 +1089,16 @@ class ServingClient:
                 )
                 error.trace_id = response.get("trace_id")
                 raise error
+            if kind == "DeadlineInfeasibleError":
+                # The SLO-admission rejection: typed like the quota 429, with
+                # the server's retry-after hint, so a deadline-carrying client
+                # can re-plan instead of treating it as a generic failure.
+                error = DeadlineInfeasibleError(
+                    str(response.get("error")),
+                    retry_after=float(response.get("retry_after", 0.0) or 0.0),
+                )
+                error.trace_id = response.get("trace_id")
+                raise error
             raise ServingError(f"{kind}: {response.get('error')}")
         return response
 
@@ -1081,6 +1111,8 @@ class ServingClient:
         output_size: Optional[int] = None,
         trace: bool = False,
         trace_id: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
+        slo_class: Optional[str] = None,
     ) -> Dict[str, np.ndarray]:
         """Execute ``program`` on the server; returns decrypted outputs.
 
@@ -1089,6 +1121,11 @@ class ServingClient:
         server records a span per stage, and the reply echoes them —
         available afterwards as ``self.last_trace`` (``submit --trace``
         prints this breakdown).
+
+        ``deadline_ms``/``slo_class`` attach SLO semantics; an infeasible
+        deadline is rejected with a typed
+        :class:`~repro.errors.DeadlineInfeasibleError` carrying
+        ``retry_after``.
         """
         if trace and trace_id is None:
             trace_id = new_trace_id()
@@ -1100,6 +1137,8 @@ class ServingClient:
             output_size=output_size,
             trace_id=trace_id,
             trace=trace,
+            deadline_ms=deadline_ms,
+            slo_class=slo_class,
         )
         self.last_stats: Dict[str, Any] = response.get("stats", {})
         self.last_trace: Optional[Dict[str, Any]] = response.get("trace")
@@ -1130,6 +1169,8 @@ class ServingClient:
         client_id: str = "default",
         trace: bool = False,
         trace_id: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
+        slo_class: Optional[str] = None,
     ) -> Dict[str, Any]:
         """Submit a wire-encoded cipher bundle; returns wire-encoded ciphertext outputs."""
         if trace and trace_id is None:
@@ -1141,6 +1182,8 @@ class ServingClient:
             client_id=client_id,
             trace_id=trace_id,
             trace=trace,
+            deadline_ms=deadline_ms,
+            slo_class=slo_class,
         )
         self.last_stats = response.get("stats", {})
         self.last_trace = response.get("trace")
@@ -1153,6 +1196,8 @@ class ServingClient:
         inputs: Dict[str, Any],
         client_id: Optional[str] = None,
         trace: bool = False,
+        deadline_ms: Optional[float] = None,
+        slo_class: Optional[str] = None,
     ) -> Dict[str, np.ndarray]:
         """End-to-end encrypted request: encrypt, submit, decrypt — keys stay local.
 
@@ -1161,6 +1206,9 @@ class ServingClient:
         ciphertext reply is decrypted here with the kit's secret key.
         ``client_id`` must match the one the session was created under
         (defaults to the kit's own id, as :meth:`create_session` does).
+        ``deadline_ms``/``slo_class`` ride the envelope exactly as on
+        :meth:`submit` — SLO admission sees encrypted and plaintext requests
+        identically.
         """
         bundle = client_kit.encrypt_inputs(inputs)
         with self._blob_context():
@@ -1170,10 +1218,13 @@ class ServingClient:
             bundle_wire,
             client_id=client_id or getattr(client_kit, "client_id", "default"),
             trace=trace,
+            deadline_ms=deadline_ms,
+            slo_class=slo_class,
         )
         return client_kit.decrypt_outputs(client_kit.outputs_from_wire(reply))
 
     def programs(self) -> list:
+        """Registered program names on the server."""
         return self._roundtrip_op("list").get("programs", [])
 
     def route(self, client_id: str = "default") -> Dict[str, Any]:
@@ -1192,7 +1243,12 @@ class ServingClient:
         """Return ``shard`` to the ring, respawning it if dead (cluster only)."""
         return self._roundtrip_op("rejoin", shard=shard).get("rejoin", {})
 
+    def join(self, host: str, port: int) -> Dict[str, Any]:
+        """Attach a running remote shard at ``host:port`` to the ring (cluster only)."""
+        return self._roundtrip_op("join", host=host, port=port).get("join", {})
+
     def stats(self) -> Dict[str, Any]:
+        """The server's stats() snapshot."""
         return self._roundtrip_op("stats").get("stats", {})
 
     def metrics(self, prometheus: bool = False) -> Dict[str, Any]:
@@ -1218,9 +1274,11 @@ class ServingClient:
         return self._roundtrip_op("slow", limit=limit).get("slow", [])
 
     def ping(self) -> bool:
+        """Liveness probe; True when the server answers."""
         return bool(self._roundtrip_op("ping").get("pong"))
 
     def close(self) -> None:
+        """Close the connection (idempotent)."""
         try:
             self._file.close()
         finally:

@@ -30,6 +30,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from ..core.serialization.messages import SLO_CLASSES
 from ..errors import QuotaExceededError
 
 
@@ -81,12 +82,23 @@ class FairnessPolicy:
         (default weight 1.0); a weight of 2 gets twice the service share
         under contention.  Scheduling weights are independent of the quota —
         they shape *order*, quotas shape *admission*.
+    slo_classes:
+        Per-client default SLO class (``tight`` / ``standard`` / ``relaxed``)
+        applied to submits that carry no explicit ``slo_class``.  Clients
+        without an entry default to ``standard``.
+    class_deadlines_ms:
+        Per-class default ``deadline_ms`` applied to submits that carry a
+        class (explicit or per-client default) but no explicit deadline.
+        Classes without an entry carry no deadline — they still shape
+        batch-vs-solo decisions, but never trigger deadline admission.
     """
 
     quota_rps: Optional[float] = None
     burst: Optional[float] = None
     max_inflight: Optional[int] = None
     weights: Dict[str, float] = field(default_factory=dict)
+    slo_classes: Dict[str, str] = field(default_factory=dict)
+    class_deadlines_ms: Dict[str, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.quota_rps is not None and self.quota_rps <= 0:
@@ -98,26 +110,66 @@ class FairnessPolicy:
         for client, weight in self.weights.items():
             if weight <= 0:
                 raise ValueError(f"weight of client {client!r} must be positive")
+        for client, slo_class in self.slo_classes.items():
+            if slo_class not in SLO_CLASSES:
+                raise ValueError(
+                    f"unknown SLO class {slo_class!r} of client {client!r}; "
+                    f"expected one of {SLO_CLASSES}"
+                )
+        for slo_class, deadline_ms in self.class_deadlines_ms.items():
+            if slo_class not in SLO_CLASSES:
+                raise ValueError(
+                    f"unknown SLO class {slo_class!r} in class_deadlines_ms; "
+                    f"expected one of {SLO_CLASSES}"
+                )
+            if deadline_ms <= 0:
+                raise ValueError(
+                    f"class deadline of {slo_class!r} must be positive milliseconds"
+                )
 
     @property
     def limits_rate(self) -> bool:
+        """Whether a sustained requests/second limit is configured."""
         return self.quota_rps is not None
 
     @property
     def limits_inflight(self) -> bool:
+        """Whether an in-flight request cap is configured."""
         return self.max_inflight is not None
 
     @property
     def enabled(self) -> bool:
+        """Whether any quota dimension is active."""
         return self.limits_rate or self.limits_inflight
 
     def bucket_capacity(self) -> float:
+        """Token-bucket capacity: explicit burst, or 2x the sustained rate."""
         if self.burst is not None:
             return float(self.burst)
         return max(2.0 * float(self.quota_rps or 0.0), 1.0)
 
     def weight_of(self, client_id: str) -> float:
+        """A client's fair-queueing weight (default 1.0)."""
         return float(self.weights.get(str(client_id), 1.0))
+
+    def slo_class_of(self, client_id: str, requested: Optional[str] = None) -> str:
+        """The effective SLO class of one request.
+
+        An explicit per-request class wins; otherwise the client's configured
+        default applies; otherwise ``standard``.
+        """
+        if requested is not None:
+            if requested not in SLO_CLASSES:
+                raise ValueError(
+                    f"unknown SLO class {requested!r}; expected one of {SLO_CLASSES}"
+                )
+            return str(requested)
+        return str(self.slo_classes.get(str(client_id), "standard"))
+
+    def deadline_ms_of(self, slo_class: str) -> Optional[float]:
+        """The class's default deadline in milliseconds, or None when unset."""
+        deadline_ms = self.class_deadlines_ms.get(str(slo_class))
+        return float(deadline_ms) if deadline_ms is not None else None
 
 
 class QuotaLedger:
@@ -150,6 +202,7 @@ class QuotaLedger:
 
     @property
     def enabled(self) -> bool:
+        """Whether this enforcer has an active policy."""
         return self.policy is not None and self.policy.enabled
 
     def admit(self, client_id: str) -> None:
@@ -205,10 +258,12 @@ class QuotaLedger:
                 self._inflight.pop(client_id, None)
 
     def inflight(self, client_id: str) -> int:
+        """A client's current queued+executing request count."""
         with self._lock:
             return self._inflight.get(str(client_id), 0)
 
     def summary(self) -> Dict[str, object]:
+        """Quota totals and per-client in-flight counts, for stats()."""
         policy = self.policy
         with self._lock:
             return {

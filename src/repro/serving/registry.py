@@ -34,13 +34,16 @@ class CacheStats:
 
     @property
     def requests(self) -> int:
+        """Total lookups (hits + misses)."""
         return self.hits + self.misses
 
     @property
     def hit_rate(self) -> float:
+        """Fraction of lookups served from cache."""
         return self.hits / self.requests if self.requests else 0.0
 
     def summary(self) -> Dict[str, float]:
+        """Cache counters as a plain dict."""
         return {
             "hits": self.hits,
             "misses": self.misses,
@@ -217,11 +220,13 @@ class ProgramRegistry:
             return compilation
 
     def clear(self) -> None:
+        """Drop every cached compilation (counters are kept)."""
         with self._lock:
             self._entries.clear()
             self._variants.clear()
 
     def summary(self) -> Dict[str, object]:
+        """Cache contents and counters, for stats() and telemetry absorption."""
         with self._lock:
             summary = {
                 "capacity": self.capacity,

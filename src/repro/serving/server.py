@@ -115,6 +115,7 @@ class EncryptedServeResponse:
     context: Optional[BackendContext] = None
 
     def to_wire(self, context: Optional[BackendContext] = None) -> Dict[str, Any]:
+        """Encode the response for the wire (ciphertext outputs as blobs)."""
         from ..api.bundles import outputs_to_wire
 
         return outputs_to_wire(self.outputs, context or self.context)
@@ -126,6 +127,7 @@ class EncryptedServeResponse:
                 self.context.release(handle)
 
     def stats_dict(self) -> Dict[str, object]:
+        """Wire/stats-friendly response metadata (no payloads)."""
         return {
             "program": self.program,
             "client_id": self.client_id,
@@ -156,6 +158,7 @@ class ServeResponse:
         return self.outputs[name]
 
     def stats_dict(self) -> Dict[str, object]:
+        """Wire/stats-friendly response metadata (no payloads)."""
         return {
             "program": self.program,
             "client_id": self.client_id,
@@ -215,6 +218,10 @@ class EvaServer:
         self._executors: Dict[str, Executor] = {}
         self._engines: Dict[str, EvaluationEngine] = {}
         self._batch_infos: Dict[str, BatchInfo] = {}
+        #: Per-signature modeled solo-execution seconds (cost model over the
+        #: compiled graph), populated on the worker side and fed to the
+        #: engine's deadline admission as the cold-start execute estimate.
+        self._cost_estimates: Dict[str, float] = {}
         #: (base signature, lane width) pairs whose variant compilation
         #: failed; remembered so a failing width is not recompiled per batch.
         self._lane_failures: Set[Tuple[str, int]] = set()
@@ -280,6 +287,7 @@ class EvaServer:
         return spec
 
     def programs(self) -> List[str]:
+        """Registered program names, sorted."""
         with self._lock:
             return sorted(self._programs)
 
@@ -292,8 +300,17 @@ class EvaServer:
         output_size: Optional[int] = None,
         timeout: Optional[float] = None,
         trace_id: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
+        slo_class: Optional[str] = None,
     ) -> "Future[ServeResponse]":
-        """Queue one request; the future resolves to a :class:`ServeResponse`."""
+        """Queue one request; the future resolves to a :class:`ServeResponse`.
+
+        ``deadline_ms`` and ``slo_class`` (``tight`` / ``standard`` /
+        ``relaxed``) attach SLO semantics: an infeasible deadline is rejected
+        at admission with :class:`~repro.errors.DeadlineInfeasibleError`, and
+        the class shapes the batch-vs-solo decision downstream.  Unset values
+        fall back to the fairness policy's per-client defaults.
+        """
         with self._lock:
             spec = self._programs.get(name)
             if spec is None:
@@ -325,6 +342,9 @@ class EvaServer:
             client=str(client_id),
             trace_id=trace_id,
             program=name,
+            deadline_ms=deadline_ms,
+            slo_class=slo_class,
+            execute_estimate=self._cost_estimates.get(spec.signature),
         )
 
     def request(
@@ -335,6 +355,8 @@ class EvaServer:
         output_size: Optional[int] = None,
         timeout: Optional[float] = None,
         trace_id: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
+        slo_class: Optional[str] = None,
     ) -> ServeResponse:
         """Synchronous convenience wrapper around :meth:`submit`.
 
@@ -345,6 +367,7 @@ class EvaServer:
         return self.submit(
             name, inputs, client_id=client_id, output_size=output_size,
             timeout=timeout, trace_id=trace_id,
+            deadline_ms=deadline_ms, slo_class=slo_class,
         ).result(timeout)
 
     # -- encrypted request path ----------------------------------------------------
@@ -467,6 +490,8 @@ class EvaServer:
         client_id: Optional[str] = None,
         timeout: Optional[float] = None,
         trace_id: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
+        slo_class: Optional[str] = None,
     ) -> "Future[EncryptedServeResponse]":
         """Queue one pre-encrypted bundle; future resolves to ciphertext outputs.
 
@@ -499,6 +524,9 @@ class EvaServer:
             client=str(client_id),
             trace_id=trace_id,
             program=name,
+            deadline_ms=deadline_ms,
+            slo_class=slo_class,
+            execute_estimate=self._cost_estimates.get(spec.signature),
         )
 
     def request_encrypted(
@@ -508,13 +536,16 @@ class EvaServer:
         client_id: Optional[str] = None,
         timeout: Optional[float] = None,
         trace_id: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
+        slo_class: Optional[str] = None,
     ) -> EncryptedServeResponse:
         """Synchronous convenience wrapper around :meth:`submit_encrypted`.
 
         ``timeout`` bounds each stage: queue admission and the result wait.
         """
         return self.submit_encrypted(
-            name, bundle, client_id=client_id, timeout=timeout, trace_id=trace_id
+            name, bundle, client_id=client_id, timeout=timeout, trace_id=trace_id,
+            deadline_ms=deadline_ms, slo_class=slo_class,
         ).result(timeout)
 
     # -- execution (worker side) -------------------------------------------------
@@ -846,6 +877,7 @@ class EvaServer:
         spec, compilation, cached_program = self._resolve_any(
             [job.payload.name for job in jobs], signature
         )
+        self._note_cost_estimate(signature, compilation)
         restored = False
         try:
             session = self.sessions.get_attached(compilation, client_id)
@@ -927,6 +959,24 @@ class EvaServer:
                 response.queue_seconds = job.queue_seconds
         return responses
 
+    def _note_cost_estimate(self, signature: str, compilation: Any) -> None:
+        """Record the modeled solo-execution seconds of one compilation.
+
+        Runs on the worker side (where the compilation is in hand anyway) so
+        deadline admission never forces a compile; until a program's first
+        execution, admission falls back to the engine's observed history.
+        """
+        if signature in self._cost_estimates:
+            return
+        from ..backend.cost_model import DEFAULT_COST_MODEL
+
+        params = compilation.parameters
+        self._cost_estimates[signature] = DEFAULT_COST_MODEL.program_seconds(
+            compilation.program,
+            params.poly_modulus_degree,
+            max(params.modulus_count - 1, 1),
+        )
+
     def _handle_batch(self, jobs: List[Job]) -> List[Any]:
         group = jobs[0].group
         if group[0] == "encrypted":
@@ -937,6 +987,7 @@ class EvaServer:
         spec, compilation, cached_program = self._resolve_any(
             [request.name for request in requests], signature
         )
+        self._note_cost_estimate(signature, compilation)
         executor, batch_info = self._executor_for(spec.signature, compilation)
         resolve_seconds = time.perf_counter() - resolve_started
         for job in jobs:
@@ -1057,6 +1108,7 @@ class EvaServer:
 
     # -- introspection / lifecycle ----------------------------------------------
     def stats(self) -> Dict[str, object]:
+        """One dict of registry/session/engine/quota/batching metrics."""
         with self._lock:
             lane_failures = len(self._lane_failures)
             precompiled = sorted(self._precompiled)
@@ -1107,6 +1159,7 @@ class EvaServer:
         return snapshot
 
     def close(self, wait: bool = True) -> None:
+        """Stop workers and release sessions; with ``wait`` joins them first."""
         with self._precompile_cond:
             self._precompile_closed = True
             if self._precompile_queue is not None:

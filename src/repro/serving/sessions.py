@@ -56,6 +56,7 @@ class Session:
 
     @property
     def client_id(self) -> str:
+        """The owning client's id."""
         return self.key[0]
 
 
@@ -93,6 +94,7 @@ class SessionManager:
     def get_session(
         self, compilation: CompilationResult, client_id: str = "default"
     ) -> Session:
+        """The cached session for (compilation, client), creating it on miss."""
         key = session_key(compilation, client_id)
         with self._lock:
             session = self._sessions.get(key)
@@ -198,11 +200,13 @@ class SessionManager:
         return count
 
     def clear(self) -> None:
+        """Release every cached session."""
         with self._lock:
             self._sessions.clear()
             self._attached.clear()
 
     def summary(self) -> Dict[str, object]:
+        """Session-cache counters, for stats() and telemetry absorption."""
         with self._lock:
             return {
                 "capacity": self.capacity,

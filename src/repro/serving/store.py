@@ -115,6 +115,7 @@ class SessionStore:
 
     # -- paths -------------------------------------------------------------------
     def path_for(self, client_id: str, compilation: CompilationResult) -> Path:
+        """The store file path for a (client, compilation) record."""
         return self.root / f"{session_digest(compilation, client_id)}.json"
 
     # -- write -------------------------------------------------------------------

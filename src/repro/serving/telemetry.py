@@ -1,4 +1,4 @@
-"""Unified telemetry plane: metrics registry, latency histograms, request tracing.
+r"""Unified telemetry plane: metrics registry, latency histograms, request tracing.
 
 Before this module every serving component kept its own ad-hoc totals
 (``EngineMetrics.summary()``, registry/artifact/quota/store ``summary()``,
@@ -8,7 +8,7 @@ router → shard → fair queue → batch → backend.  This module is the
 measurement substrate that unifies them:
 
 * :class:`MetricsRegistry` — thread-safe counters, gauges, and log-bucketed
-  latency :class:`Histogram`\\ s (p50/p95/p99 derived from buckets) under
+  latency :class:`Histogram`\ s (p50/p95/p99 derived from buckets) under
   stable dotted metric names with per-``client`` / per-``program`` labels.
   Snapshots are plain JSON; :func:`render_prometheus` turns one into the
   Prometheus text exposition format, and :func:`aggregate_snapshots` merges
@@ -30,7 +30,8 @@ The registry's hot-path cost is one lock acquisition plus a dict update per
 observation; series cardinality is bounded (``max_series``) so client-chosen
 label values cannot exhaust memory.
 
-Stable metric name catalogue (see README "Observability"):
+Stable metric name catalogue (mirrored in ``docs/metrics.md``; the
+``tools/check_docs.py`` gate keeps the two in sync):
 
 ====================================  =========  =======================
 name                                  kind       labels
@@ -41,6 +42,9 @@ serving.requests.failed               counter    client, program
 serving.requests.throttled            counter    client
 serving.requests.rejected             counter    client
 serving.requests.cancelled            counter    client
+serving.router.forwarded              counter    client, op
+serving.router.throttled              counter    client
+net.bytes_sent / net.bytes_received   counter    protocol
 serving.batches                       counter    program
 serving.batch.size                    histogram  program
 serving.queue.depth                   gauge      —
@@ -54,6 +58,14 @@ serving.galois.keys_bytes             counter    client, program
 serving.galois.key_steps              gauge      program
 serving.lane.width_score              gauge      program, width
 serving.lane.width_chosen             counter    program, width
+serving.slo.attained                  counter    slo_class, program
+serving.slo.missed                    counter    slo_class, program
+serving.slo.rejected                  counter    slo_class, client
+cluster.shards.joined                 counter    —
+cluster.scale.up                      counter    reason
+cluster.scale.down                    counter    reason
+cluster.scale.queue_depth             gauge      —
+cluster.scale.live_shards             gauge      —
 serving.engine.* / serving.quota.*    gauge      (absorbed summaries)
 serving.registry.* / serving.store.*  gauge      (absorbed summaries)
 serving.sessions.* / serving.artifacts.*  gauge  (absorbed summaries)
@@ -119,6 +131,7 @@ class Histogram:
         self.sum = 0.0
 
     def observe(self, value: float) -> None:
+        """Record one sample into its log-spaced bucket."""
         value = float(value)
         self.counts[bisect_left(self.bounds, value)] += 1
         self.count += 1
@@ -137,6 +150,7 @@ class Histogram:
         return percentile_from_buckets(self.bounds, self.counts, self.count, q)
 
     def snapshot(self) -> Dict[str, Any]:
+        """JSON-friendly bucket counts plus derived percentiles."""
         return {
             "count": self.count,
             "sum": round(self.sum, 9),
@@ -216,6 +230,7 @@ class MetricsRegistry:
         )
 
     def inc(self, name: str, value: float = 1.0, **labels: Any) -> None:
+        """Add ``value`` to a labeled counter series."""
         key = (str(name), _label_key(labels))
         with self._lock:
             if key not in self._counters and not self._series_budget_ok():
@@ -224,6 +239,7 @@ class MetricsRegistry:
             self._counters[key] = self._counters.get(key, 0.0) + float(value)
 
     def set_gauge(self, name: str, value: float, **labels: Any) -> None:
+        """Set a labeled gauge series to ``value``."""
         key = (str(name), _label_key(labels))
         with self._lock:
             if key not in self._gauges and not self._series_budget_ok():
@@ -232,6 +248,7 @@ class MetricsRegistry:
             self._gauges[key] = float(value)
 
     def observe(self, name: str, value: float, **labels: Any) -> None:
+        """Record ``value`` into a labeled histogram series."""
         key = (str(name), _label_key(labels))
         with self._lock:
             histogram = self._histograms.get(key)
@@ -243,10 +260,12 @@ class MetricsRegistry:
             histogram.observe(value)
 
     def counter_value(self, name: str, **labels: Any) -> float:
+        """Current value of one counter series (0.0 when absent)."""
         with self._lock:
             return self._counters.get((str(name), _label_key(labels)), 0.0)
 
     def histogram_of(self, name: str, **labels: Any) -> Optional[Histogram]:
+        """The histogram object behind one series, or None."""
         with self._lock:
             return self._histograms.get((str(name), _label_key(labels)))
 
@@ -424,6 +443,7 @@ def render_prometheus(snapshot: Dict[str, Any]) -> str:
     seen_types: set = set()
 
     def typeline(name: str, kind: str) -> None:
+        """Emit the # TYPE header once per metric name."""
         if name not in seen_types:
             seen_types.add(name)
             lines.append(f"# TYPE {name} {kind}")
@@ -490,12 +510,15 @@ class Telemetry:
 
     # -- metrics passthroughs ---------------------------------------------------
     def inc(self, name: str, value: float = 1.0, **labels: Any) -> None:
+        """Registry passthrough: add to a counter series."""
         self.registry.inc(name, value, **labels)
 
     def observe(self, name: str, value: float, **labels: Any) -> None:
+        """Registry passthrough: record a histogram sample."""
         self.registry.observe(name, value, **labels)
 
     def set_gauge(self, name: str, value: float, **labels: Any) -> None:
+        """Registry passthrough: set a gauge."""
         self.registry.set_gauge(name, value, **labels)
 
     # -- tracing ------------------------------------------------------------------
@@ -648,6 +671,7 @@ class _JsonLogFormatter(logging.Formatter):
     _FIELDS = ("trace_id", "client", "program", "op", "total_seconds", "shard")
 
     def format(self, record: logging.LogRecord) -> str:
+        """Render the record as one JSON line with trace/client/op fields."""
         event: Dict[str, Any] = {
             "ts": round(record.created, 6),
             "level": record.levelname,

@@ -897,3 +897,302 @@ class TestClusterTelemetry:
             if router is not None:
                 router.shutdown()
             cluster.close()
+
+
+def start_remote_shard(program=None, name="poly"):
+    """An in-process stand-in for `repro.cli serve` on another host."""
+    from repro.serving import EvaTcpServer
+
+    eva = EvaServer(backend=MockBackend(error_model="none", seed=7), batch_window=0.0)
+    if program is not None:
+        eva.register(name, program)
+    tcp = EvaTcpServer(eva, port=0)
+    tcp.start_background()
+    return eva, tcp
+
+
+class TestRemoteShards:
+    """Remote endpoints on the ring: attach, drain/rejoin, wire join."""
+
+    def _cluster(self, program, **kwargs):
+        cluster = EvaCluster(
+            shards=1, backend=BackendSpec("mock-exact", seed=7), batch_window=0.0, **kwargs
+        )
+        cluster.register("poly", program)
+        cluster.start()
+        return cluster
+
+    def _client_homed_on(self, cluster, shard):
+        for i in range(256):
+            client_id = f"homing-{i}"
+            if cluster.shard_for(client_id) == shard:
+                return client_id
+        raise AssertionError(f"no client routed to shard {shard}")
+
+    def test_attach_serves_drains_and_rejoins_without_respawn(self, tmp_path):
+        """The chaos loop for a shard the router cannot respawn."""
+        program = make_poly_program()
+        expected = execute_reference(program.graph, {"x": [1.0, 2.0]})["y"][:2]
+        eva, tcp = start_remote_shard(program)
+        cluster = self._cluster(program)
+        try:
+            host, port = tcp.address
+            info = cluster.attach_shard(host, port)
+            assert info == {
+                "shard": 1, "status": "joined", "mode": "remote",
+                "host": host, "port": port,
+            }
+            assert cluster.stats()["live"] == [0, 1]
+            statuses = {h["index"]: h for h in cluster.check_health()}
+            assert statuses[1]["status"] == "live"
+            assert statuses[1]["mode"] == "remote" and statuses[1]["pid"] is None
+
+            client_id = self._client_homed_on(cluster, 1)
+            outputs = cluster.request("poly", {"x": [1.0, 2.0]}, client_id=client_id)
+            np.testing.assert_allclose(outputs["y"][:2], expected, atol=1e-6)
+            # The request was actually served by the remote endpoint.
+            assert eva.stats()["engine"]["completed"] >= 1
+
+            # Remote shards have no process to kill; the graceful ops work.
+            with pytest.raises(ServingError, match="remote"):
+                cluster.kill_shard(1)
+            assert cluster.drain_shard(1)["status"] == "drained"
+            assert cluster.shard_for(client_id) == 0
+            cluster.request("poly", {"x": [1.0, 2.0]}, client_id=client_id)
+            info = cluster.rejoin_shard(1)
+            assert not info["respawned"] and info["mode"] == "remote"
+            assert cluster.shard_for(client_id) == 1
+            cluster.request("poly", {"x": [1.0, 2.0]}, client_id=client_id)
+
+            # Re-attaching a known endpoint is the remote rejoin, not a new
+            # shard; a brand-new endpoint gets the next free index.
+            cluster.drain_shard(1)
+            assert cluster.attach_shard(host, port)["shard"] == 1
+            assert cluster.stats()["live"] == [0, 1]
+
+            # When the endpoint goes away the health loop demotes it and its
+            # clients fail over to the surviving local shard.  (A real process
+            # death severs established sockets; the in-process stand-in's
+            # daemon handler threads outlive shutdown(), so drop the cached
+            # probe connection to emulate the broken link.)
+            tcp.shutdown()
+            tcp.server_close()
+            eva.close()
+            cluster._drop_probe_client(1)
+            statuses = {h["index"]: h["status"] for h in cluster.check_health()}
+            assert statuses[1] == "dead"
+            outputs = cluster.request("poly", {"x": [1.0, 2.0]}, client_id=client_id)
+            np.testing.assert_allclose(outputs["y"][:2], expected, atol=1e-6)
+            # ... and rejoin refuses until the endpoint answers again.
+            with pytest.raises(ServingError, match="not responding"):
+                cluster.rejoin_shard(1)
+        finally:
+            cluster.close()
+
+    def test_attach_rejects_mismatched_program_set(self):
+        program = make_poly_program()
+        other = make_poly_program(name="other")
+        eva, tcp = start_remote_shard(other, name="other")
+        cluster = self._cluster(program)
+        try:
+            host, port = tcp.address
+            with pytest.raises(ServingError, match="missing \\['poly'\\]"):
+                cluster.attach_shard(host, port)
+            with pytest.raises(ServingError, match="cannot attach"):
+                cluster.attach_shard("127.0.0.1", 1)  # nothing listens there
+            assert cluster.stats()["live"] == [0]
+        finally:
+            cluster.close()
+            tcp.shutdown()
+            tcp.server_close()
+            eva.close()
+
+    def test_join_over_the_wire_and_config_file(self, tmp_path):
+        """`cluster join` wire op and [[remote]] config attach the same way."""
+        from repro.serving import load_cluster_config
+
+        program = make_poly_program()
+        eva, tcp = start_remote_shard(program)
+        host, port = tcp.address
+        config = tmp_path / "cluster.toml"
+        config.write_text(
+            "[cluster]\nshards = 1\n\n"
+            f'[[remote]]\nhost = "{host}"\nport = {port}\n'
+        )
+        parsed = load_cluster_config(config)
+        assert parsed["cluster"] == {"shards": 1}
+        assert parsed["remote"] == [(host, port)]
+        assert parsed["scale"] is None
+
+        cluster = EvaCluster(
+            backend=BackendSpec("mock-exact", seed=7),
+            batch_window=0.0,
+            **parsed["cluster"],
+            remote_shards=parsed["remote"],
+        )
+        cluster.register("poly", program)
+        cluster.start()
+        router = None
+        try:
+            # The [[remote]] endpoint joined during start().
+            assert cluster.stats()["live"] == [0, 1]
+
+            # A second endpoint joins live through the router wire op.
+            eva2, tcp2 = start_remote_shard(program)
+            try:
+                router = ClusterTcpServer(cluster, port=0)
+                router.start_background()
+                rhost, rport = router.address
+                with ServingClient(rhost, rport) as client:
+                    info = client.join(*tcp2.address)
+                    assert info["shard"] == 2 and info["mode"] == "remote"
+                    assert client.stats()["live"] == [0, 1, 2]
+                    client.submit("poly", {"x": [1.0, 2.0]}, client_id="alice")
+            finally:
+                tcp2.shutdown()
+                tcp2.server_close()
+                eva2.close()
+        finally:
+            if router is not None:
+                router.shutdown()
+            cluster.close()
+            tcp.shutdown()
+            tcp.server_close()
+            eva.close()
+
+    def test_health_probe_reuses_its_connection(self):
+        """Steady-state probing must not open a connection per probe."""
+        program = make_poly_program()
+        eva, tcp = start_remote_shard(program)
+        cluster = self._cluster(program)
+        try:
+            cluster.attach_shard(*tcp.address)
+            cluster.check_health()
+            opened = tcp._conn_seq
+            for _ in range(5):
+                cluster.check_health()
+            # The attach probe and the first health probe may each have
+            # connected once; five more probe rounds add none.
+            assert tcp._conn_seq == opened
+        finally:
+            cluster.close()
+            tcp.shutdown()
+            tcp.server_close()
+            eva.close()
+
+
+class TestAutoscaling:
+    """ScalePolicy hysteresis: watermark streaks, cooldown, no flapping."""
+
+    def _policy(self, **overrides):
+        from repro.serving import ScalePolicy
+
+        fields = dict(
+            high_queue_depth=10.0,
+            low_queue_depth=1.0,
+            min_shards=1,
+            max_shards=3,
+            observations=2,
+            cooldown=3600.0,
+        )
+        fields.update(overrides)
+        return ScalePolicy(**fields)
+
+    def test_scale_up_down_rejoin_with_hysteresis_and_cooldown(self):
+        cluster = EvaCluster(
+            shards=2,
+            backend=BackendSpec("mock-exact", seed=7),
+            batch_window=0.0,
+            scale_policy=self._policy(),
+        )
+        cluster.register("poly", make_poly_program())
+        cluster.start()
+        try:
+            # One high observation is not enough; a mid-band observation
+            # resets the streak (the no-flap property).
+            assert cluster.scale_tick(queue_depth=50) is None
+            assert cluster.scale_tick(queue_depth=5) is None
+            assert cluster.scale_tick(queue_depth=50) is None
+            action = cluster.scale_tick(queue_depth=50)
+            assert action["action"] == "up" and action["reason"] == "spawn"
+            assert action["shard"] == 2 and cluster.stats()["live"] == [0, 1, 2]
+
+            # Cooldown gates the next action even with a sustained breach.
+            assert cluster.scale_tick(queue_depth=50) is None
+            assert cluster.scale_tick(queue_depth=50) is None
+            cluster._last_scale_at = None  # test hook: expire the cooldown
+
+            # Low-watermark streak drains the newest local shard (parked,
+            # not killed)...
+            assert cluster.scale_tick(queue_depth=0) is None
+            action = cluster.scale_tick(queue_depth=0)
+            assert action["action"] == "down" and action["shard"] == 2
+            assert cluster.stats()["drained"] == [2]
+            cluster._last_scale_at = None
+
+            # ... so the next scale-up is a cheap rejoin, not a spawn.
+            assert cluster.scale_tick(queue_depth=50) is None
+            action = cluster.scale_tick(queue_depth=50)
+            assert action["action"] == "up" and action["reason"] == "rejoin"
+            assert cluster.stats()["live"] == [0, 1, 2]
+            cluster._last_scale_at = None
+
+            # max_shards caps growth even under a sustained breach.
+            assert cluster.scale_tick(queue_depth=50) is None
+            assert cluster.scale_tick(queue_depth=50) is None
+            assert len(cluster.stats()["live"]) == 3
+
+            # The decisions landed on the cluster's own telemetry plane.
+            counters = {
+                (c["name"], c["labels"].get("reason")): c["value"]
+                for c in cluster.telemetry.registry.snapshot()["counters"]
+            }
+            assert counters[("cluster.scale.up", "spawn")] == 1
+            assert counters[("cluster.scale.up", "rejoin")] == 1
+            assert counters[("cluster.scale.down", "drain")] == 1
+            snapshot = cluster.metrics_snapshot()
+            assert any(
+                c["name"] == "cluster.scale.up"
+                and c["labels"].get("shard") == "cluster"
+                for c in snapshot["counters"]
+            )
+        finally:
+            cluster.close()
+
+    def test_scale_down_never_drains_remote_or_below_min(self):
+        program = make_poly_program()
+        eva, tcp = start_remote_shard(program)
+        cluster = EvaCluster(
+            shards=1,
+            backend=BackendSpec("mock-exact", seed=7),
+            batch_window=0.0,
+            scale_policy=self._policy(min_shards=1, cooldown=0.0, observations=1),
+        )
+        cluster.register("poly", program)
+        cluster.start()
+        try:
+            cluster.attach_shard(*tcp.address)
+            # Two live shards, but the only local one is the last above
+            # min_shards... the remote endpoint must not be drained in its
+            # place, and the local one is the last ring member candidate.
+            action = cluster.scale_tick(queue_depth=0)
+            assert action is None or action.get("shard") != 1
+            assert 1 in cluster.stats()["live"]
+        finally:
+            cluster.close()
+            tcp.shutdown()
+            tcp.server_close()
+            eva.close()
+
+    def test_observed_queue_depth_sums_engine_backlogs(self):
+        cluster = EvaCluster(
+            shards=1, backend=BackendSpec("mock-exact", seed=7), batch_window=0.0
+        )
+        cluster.register("poly", make_poly_program())
+        cluster.start()
+        try:
+            assert cluster._observed_queue_depth() == 0.0
+            cluster.request("poly", {"x": [1.0]}, client_id="alice")
+            assert cluster._observed_queue_depth() == 0.0
+        finally:
+            cluster.close()

@@ -899,3 +899,149 @@ class TestLaneReviewRegressions:
 
         reloaded = deserialize(serialize(lowered.program))
         assert min_lane_width(reloaded) == 1
+
+
+class TestSloScheduling:
+    """Deadline admission and per-request batch-vs-solo (SLO classes)."""
+
+    def test_linger_budget_per_class(self):
+        from repro.serving import linger_budget
+
+        # tight never lingers; relaxed always takes the full window.
+        assert linger_budget("tight", 0.5, 0.001, 1.0) == 0.0
+        assert linger_budget("relaxed", 0.5, 0.001, 1.0) == 0.5
+        # standard is capped by its deadline slack after execution...
+        assert linger_budget("standard", 0.5, 0.3, 0.1) == pytest.approx(0.2)
+        # ... stays solo (not negative) when slack just covers execution...
+        assert linger_budget("standard", 0.5, 0.1, 0.1) == 0.0
+        assert linger_budget("standard", 0.5, 0.05, 0.1) == 0.0
+        # ... and takes the full window with no deadline at all.
+        assert linger_budget("standard", 0.5, None, 0.0) == 0.5
+
+    def test_infeasible_deadline_rejected_with_retry_after(self):
+        from repro.errors import DeadlineInfeasibleError
+
+        with JobEngine(lambda jobs: [None] * len(jobs), workers=1) as engine:
+            # Modeled solo execution of 500ms cannot meet a 5ms deadline.
+            with pytest.raises(DeadlineInfeasibleError, match="infeasible") as info:
+                engine.submit("g", 0, deadline_ms=5.0, execute_estimate=0.5)
+            assert info.value.retry_after >= 0.05
+            assert engine.metrics.deadline_rejected == 1
+            # Without a deadline the same job is admitted normally.
+            assert engine.submit("g", 1).result(10) is None
+        with pytest.raises(ValueError, match="unknown SLO class"):
+            JobEngine(lambda jobs: jobs, workers=1).submit("g", 0, slo_class="bogus")
+
+    def test_deadline_at_batch_horizon_goes_solo_not_rejected(self):
+        """Slack that covers execution but not the linger window admits solo.
+
+        The admission model deliberately excludes the batch window: with a
+        1s window, an execute estimate of 1ms, and a 300ms deadline, the
+        request must neither be rejected nor held for the full window.
+        (The margins are wide so a loaded CI box cannot turn the attained
+        outcome into a missed one.)
+        """
+        with JobEngine(
+            lambda jobs: [None] * len(jobs), workers=1, batch_window=1.0, max_batch=8
+        ) as engine:
+            started = time.perf_counter()
+            future = engine.submit(
+                "g", 0, deadline_ms=300.0, execute_estimate=0.001
+            )
+            assert future.result(10) is None
+            elapsed = time.perf_counter() - started
+            assert elapsed < 0.3, "standard job was held past its deadline slack"
+            assert engine.metrics.deadline_rejected == 0
+            assert engine.metrics.slo_attained == 1
+
+    def test_tight_skips_linger_while_relaxed_amortizes(self):
+        """Under the same window, tight goes solo now, relaxed fills lanes."""
+        batches = []
+
+        def handler(jobs):
+            batches.append([job.payload for job in jobs])
+            return [None] * len(jobs)
+
+        with JobEngine(handler, workers=1, batch_window=0.4, max_batch=4) as engine:
+            started = time.perf_counter()
+            tight = engine.submit("g", "t0", slo_class="tight", client="a")
+            assert tight.result(10) is None
+            assert time.perf_counter() - started < 0.3, "tight job lingered"
+
+            # A relaxed job holds the window open long enough for a straggler
+            # submitted well after it to share its batch.
+            first = engine.submit("g", "r0", slo_class="relaxed", client="b")
+            time.sleep(0.1)
+            second = engine.submit("g", "r1", slo_class="relaxed", client="b")
+            assert first.result(10) is None and second.result(10) is None
+        assert ["t0"] in batches
+        assert ["r0", "r1"] in batches
+        assert engine.metrics.largest_batch == 2
+
+    def test_wire_carries_deadline_and_typed_rejection(self):
+        """The full loop over TCP: SLO fields on the envelope, typed error back."""
+        from repro.errors import DeadlineInfeasibleError
+
+        program = make_poly_program(vec_size=32)
+        eva = EvaServer(backend=MockBackend(seed=5), workers=1, batch_window=0.0)
+        eva.register("poly", program)
+        tcp = EvaTcpServer(eva, port=0)
+        tcp.start_background()
+        try:
+            host, port = tcp.address
+            with ServingClient(host, port) as client:
+                # A generous deadline is served (and scored as attained);
+                # this also seeds the server's cost estimate and the
+                # engine's observed wait/execute history.
+                outputs = client.submit(
+                    "poly", {"x": [1.0, 2.0]}, deadline_ms=10_000.0,
+                    slo_class="standard",
+                )
+                assert "y" in outputs
+                assert eva.engine.metrics.slo_attained == 1
+                # A 1 microsecond deadline is below any modeled execute time.
+                with pytest.raises(DeadlineInfeasibleError) as info:
+                    client.submit("poly", {"x": [1.0, 2.0]}, deadline_ms=0.001)
+                assert info.value.retry_after > 0
+                assert eva.engine.metrics.deadline_rejected == 1
+                # The connection survives the rejection.
+                assert client.ping()
+            snapshot = eva.metrics_snapshot()
+            names = {c["name"] for c in snapshot["counters"]}
+            assert "serving.slo.attained" in names
+            assert "serving.slo.rejected" in names
+        finally:
+            tcp.shutdown()
+            tcp.server_close()
+            eva.close()
+
+    def test_fairness_policy_assigns_class_and_deadline_defaults(self):
+        from repro.serving import FairnessPolicy
+
+        policy = FairnessPolicy(
+            slo_classes={"trader": "tight"},
+            class_deadlines_ms={"tight": 50.0},
+        )
+        assert policy.slo_class_of("trader", None) == "tight"
+        assert policy.slo_class_of("other", None) == "standard"
+        assert policy.slo_class_of("trader", "relaxed") == "relaxed"
+        assert policy.deadline_ms_of("tight") == 50.0
+        assert policy.deadline_ms_of("standard") is None
+        with pytest.raises(ValueError, match="unknown SLO class"):
+            policy.slo_class_of("trader", "bogus")
+
+        def handler(jobs):
+            time.sleep(0.05)
+            return [None] * len(jobs)
+
+        # The per-client default deadline is enforced without the request
+        # carrying one: prime the engine's observed history past 50ms, then
+        # the trader's next job is rejected while an unclassified client's
+        # identical job is admitted.
+        with JobEngine(handler, workers=1, fairness=policy) as engine:
+            engine.submit("g", 0, client="trader").result(10)
+            from repro.errors import DeadlineInfeasibleError
+
+            with pytest.raises(DeadlineInfeasibleError):
+                engine.submit("g", 1, client="trader")
+            assert engine.submit("g", 2, client="other").result(10) is None

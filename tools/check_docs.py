@@ -1,0 +1,153 @@
+#!/usr/bin/env python
+"""Docs drift gate: fail CI when docs/ stops mentioning a real surface.
+
+Documentation rots by omission: a new CLI flag, metric, or wire op lands
+with tests and telemetry but never reaches the prose.  This script
+re-derives the ground truth from the code and asserts the docs mention
+every piece of it:
+
+* the metric catalogue in ``repro.serving.telemetry``'s module docstring
+  (the table between ``====`` rulers) -> every metric name must appear in
+  ``docs/metrics.md``;
+* the CLI surface from ``repro.cli.build_parser()`` -> every subcommand
+  (as ``repro.cli <name>``) and every long option must appear in
+  ``docs/operations.md``;
+* the wire op set ``repro.core.serialization.messages.REQUEST_OPS`` ->
+  every op must appear backticked in ``docs/wire-protocol.md``.
+
+Exit status 1 lists everything missing.  Run from anywhere::
+
+    python tools/check_docs.py [--docs-dir docs]
+
+The check is deliberately one-directional: docs may explain more than the
+code exposes (deprecated aliases, planned work), but never less.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def catalogue_metrics() -> list:
+    """Metric names from the telemetry module docstring's ruler table."""
+    from repro.serving import telemetry
+
+    doc = telemetry.__doc__ or ""
+    rulers = [
+        index
+        for index, line in enumerate(doc.splitlines())
+        if re.match(r"^=+\s+=+", line.strip())
+    ]
+    if len(rulers) < 3:
+        raise SystemExit(
+            "telemetry docstring: expected a ====-ruled catalogue table "
+            f"(found {len(rulers)} ruler lines)"
+        )
+    lines = doc.splitlines()[rulers[1] + 1 : rulers[2]]
+    names = []
+    for line in lines:
+        first_column = re.split(r"\s{2,}", line.strip())[0]
+        for token in first_column.split(" / "):
+            token = token.strip()
+            if token:
+                names.append(token)
+    if not names:
+        raise SystemExit("telemetry docstring: catalogue table parsed empty")
+    return names
+
+
+def cli_surface() -> list:
+    """(subcommand, [long options]) pairs from the real argument parser."""
+    from repro import cli
+
+    parser = cli.build_parser()
+    surface = []
+    for action in parser._actions:
+        if not isinstance(action, argparse._SubParsersAction):
+            continue
+        for name, sub in action.choices.items():
+            options = sorted(
+                {
+                    option
+                    for sub_action in sub._actions
+                    for option in sub_action.option_strings
+                    if option.startswith("--") and option != "--help"
+                }
+            )
+            surface.append((name, options))
+    if not surface:
+        raise SystemExit("repro.cli.build_parser(): no subcommands found")
+    return surface
+
+
+def wire_ops() -> list:
+    from repro.core.serialization import messages
+
+    return sorted(messages.REQUEST_OPS)
+
+
+def check(docs_dir: Path) -> list:
+    """Returns a list of human-readable drift complaints (empty = clean)."""
+    missing = []
+
+    def read(name: str) -> str:
+        path = docs_dir / name
+        if not path.is_file():
+            missing.append(f"{name}: file missing from {docs_dir}")
+            return ""
+        return path.read_text(encoding="utf-8")
+
+    metrics_doc = read("metrics.md")
+    for metric in catalogue_metrics():
+        if metric not in metrics_doc:
+            missing.append(f"metrics.md: metric {metric!r} undocumented")
+
+    operations_doc = read("operations.md")
+    for subcommand, options in cli_surface():
+        if f"repro.cli {subcommand}" not in operations_doc:
+            missing.append(
+                f"operations.md: subcommand 'repro.cli {subcommand}' undocumented"
+            )
+        for option in options:
+            if option not in operations_doc:
+                missing.append(
+                    f"operations.md: {subcommand} flag {option!r} undocumented"
+                )
+
+    wire_doc = read("wire-protocol.md")
+    for op in wire_ops():
+        if f"`{op}`" not in wire_doc:
+            missing.append(f"wire-protocol.md: request op `{op}` undocumented")
+
+    return missing
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when docs/ stops mentioning a metric, CLI flag, or wire op."
+    )
+    parser.add_argument(
+        "--docs-dir",
+        type=Path,
+        default=REPO_ROOT / "docs",
+        help="documentation tree to check (default: <repo>/docs)",
+    )
+    args = parser.parse_args(argv)
+    missing = check(args.docs_dir)
+    if missing:
+        print(f"DOCS DRIFT: {len(missing)} undocumented item(s):", file=sys.stderr)
+        for item in missing:
+            print(f"  {item}", file=sys.stderr)
+        return 1
+    print(f"docs drift gate ok ({args.docs_dir})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
