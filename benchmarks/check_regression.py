@@ -70,6 +70,22 @@ GATES: Dict[str, List[Tuple]] = {
         # recompiling what a sibling already published.
         ("coldstart.ratio", "higher"),
     ],
+    "ckks_kernels": [
+        # NTT-domain key switching vs the retained coefficient-domain
+        # reference, timed back to back in one process on the real scheme —
+        # ratios, so they transfer between hosts.  The pinned bands keep the
+        # gate floor at or above the 2x acceptance bar instead of 20% under
+        # whatever number was last committed.
+        ("relinearize.speedup", "higher", 0.25),
+        ("rotation_group.speedup", "higher", 0.6),
+    ],
+    "async_frontdoor": [
+        # Idle connections the event loop held open while mixed JSON+binary
+        # traffic flowed, and the fraction of that traffic answered
+        # correctly.  Exact counts — near-zero bands.
+        ("connections.sustained", "higher", 0.001),
+        ("traffic.ok_fraction", "higher", 0.001),
+    ],
     "slo_attainment": [
         # Fraction of tight requests finishing inside their deadline under a
         # relaxed flood.  Baseline 1.0 with a pinned 5% band: the gate is

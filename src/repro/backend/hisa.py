@@ -35,6 +35,15 @@ class BackendContext(abc.ABC):
     def __init__(self, parameters: EncryptionParameters) -> None:
         self.parameters = parameters
 
+    def drain_op_times(self) -> dict:
+        """Return and reset per-op ``{op: (count, seconds)}`` wall-time totals.
+
+        Backends that measure real kernel time (the CKKS backend) override
+        this; the default reports nothing, so the serving layer can harvest
+        unconditionally.
+        """
+        return {}
+
     # -- setup -----------------------------------------------------------------
     @property
     def slot_count(self) -> int:

@@ -16,6 +16,7 @@ scale drift.
 from __future__ import annotations
 
 import math
+import time
 from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
@@ -109,6 +110,8 @@ class CkksBackendContext(BackendContext):
         self.live_ciphertexts = 0
         self.peak_live_ciphertexts = 0
         self.has_secret_key = False
+        self.op_seconds: Dict[str, float] = {}
+        self.op_counts: Dict[str, int] = {}
 
     # -- setup -----------------------------------------------------------------------
     def generate_keys(self) -> None:
@@ -151,6 +154,8 @@ class CkksBackendContext(BackendContext):
         derived.live_ciphertexts = 0
         derived.peak_live_ciphertexts = 0
         derived.has_secret_key = False
+        derived.op_seconds = {}
+        derived.op_counts = {}
         return derived
 
     def export_evaluation_keys(self) -> Dict[str, Any]:
@@ -240,24 +245,53 @@ class CkksBackendContext(BackendContext):
         self.peak_live_ciphertexts = max(self.peak_live_ciphertexts, self.live_ciphertexts)
         return cipher
 
+    def _record_op(self, op: str, started: float) -> None:
+        elapsed = time.perf_counter() - started
+        self.op_seconds[op] = self.op_seconds.get(op, 0.0) + elapsed
+        self.op_counts[op] = self.op_counts.get(op, 0) + 1
+
+    def drain_op_times(self) -> Dict[str, Tuple[int, float]]:
+        """Return and reset accumulated ``{op: (count, seconds)}`` timings.
+
+        The serving layer harvests this after each execution to feed the
+        ``ckks.op.*`` telemetry series; draining keeps the accounting
+        per-request instead of cumulative.
+        """
+        snapshot = {
+            op: (self.op_counts.get(op, 0), seconds)
+            for op, seconds in self.op_seconds.items()
+        }
+        self.op_seconds = {}
+        self.op_counts = {}
+        return snapshot
+
     # -- data movement -----------------------------------------------------------------
     def encode(self, values, scale_bits: float, level: int = 0) -> Plaintext:
         self._require_keys()
+        started = time.perf_counter()
         data = replicate_to_slots(values, self.slot_count)
-        return self.encryptor.encode(data, 2.0 ** float(scale_bits), level=level)
+        result = self.encryptor.encode(data, 2.0 ** float(scale_bits), level=level)
+        self._record_op("encode", started)
+        return result
 
     def encode_at_scale(self, values, scale: float, level: int = 0) -> Plaintext:
         """Encode at an exact (non power-of-two) scale; used for scale matching."""
         self._require_keys()
+        started = time.perf_counter()
         data = replicate_to_slots(values, self.slot_count)
-        return self.encryptor.encode(data, float(scale), level=level)
+        result = self.encryptor.encode(data, float(scale), level=level)
+        self._record_op("encode", started)
+        return result
 
     def encrypt(self, values, scale_bits: float, level: int = 0) -> Ciphertext:
         self._require_keys()
+        started = time.perf_counter()
         data = replicate_to_slots(values, self.slot_count)
-        return self._track(
+        result = self._track(
             self.encryptor.encode_and_encrypt(data, 2.0 ** float(scale_bits), level=level)
         )
+        self._record_op("encrypt", started)
+        return result
 
     def decrypt(self, handle: Ciphertext) -> np.ndarray:
         self._require_keys()
@@ -266,35 +300,65 @@ class CkksBackendContext(BackendContext):
                 "this context holds no secret key: decryption is a client-side "
                 "operation (use the ClientKit that generated the keys)"
             )
-        return self.decryptor.decrypt(handle)
+        started = time.perf_counter()
+        result = self.decryptor.decrypt(handle)
+        self._record_op("decrypt", started)
+        return result
 
     # -- evaluation ----------------------------------------------------------------------
     def negate(self, a: Ciphertext) -> Ciphertext:
-        return self._track(self.evaluator.negate(a))
+        started = time.perf_counter()
+        result = self._track(self.evaluator.negate(a))
+        self._record_op("negate", started)
+        return result
 
     def add(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
-        return self._track(self.evaluator.add(a, b))
+        started = time.perf_counter()
+        result = self._track(self.evaluator.add(a, b))
+        self._record_op("add", started)
+        return result
 
     def add_plain(self, a: Ciphertext, b: Plaintext) -> Ciphertext:
-        return self._track(self.evaluator.add_plain(a, b))
+        started = time.perf_counter()
+        result = self._track(self.evaluator.add_plain(a, b))
+        self._record_op("add_plain", started)
+        return result
 
     def sub(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
-        return self._track(self.evaluator.sub(a, b))
+        started = time.perf_counter()
+        result = self._track(self.evaluator.sub(a, b))
+        self._record_op("sub", started)
+        return result
 
     def sub_plain(self, a: Ciphertext, b: Plaintext, reverse: bool = False) -> Ciphertext:
-        return self._track(self.evaluator.sub_plain(a, b, reverse=reverse))
+        started = time.perf_counter()
+        result = self._track(self.evaluator.sub_plain(a, b, reverse=reverse))
+        self._record_op("sub_plain", started)
+        return result
 
     def multiply(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
-        return self._track(self.evaluator.multiply(a, b))
+        started = time.perf_counter()
+        result = self._track(self.evaluator.multiply(a, b))
+        self._record_op("multiply", started)
+        return result
 
     def multiply_plain(self, a: Ciphertext, b: Plaintext) -> Ciphertext:
-        return self._track(self.evaluator.multiply_plain(a, b))
+        started = time.perf_counter()
+        result = self._track(self.evaluator.multiply_plain(a, b))
+        self._record_op("multiply_plain", started)
+        return result
 
     def rotate(self, a: Ciphertext, steps: int) -> Ciphertext:
-        return self._track(self.evaluator.rotate(a, steps))
+        started = time.perf_counter()
+        result = self._track(self.evaluator.rotate(a, steps))
+        self._record_op("rotate", started)
+        return result
 
     def relinearize(self, a: Ciphertext) -> Ciphertext:
-        return self._track(self.evaluator.relinearize(a))
+        started = time.perf_counter()
+        result = self._track(self.evaluator.relinearize(a))
+        self._record_op("relinearize", started)
+        return result
 
     def rescale(self, a: Ciphertext, bits: float) -> Ciphertext:
         expected = self.context.prime_at_level(a.level)
@@ -303,16 +367,22 @@ class CkksBackendContext(BackendContext):
                 f"rescale by 2^{bits:g} requested but the next prime has "
                 f"{math.log2(expected):.2f} bits"
             )
+        started = time.perf_counter()
         result = self.evaluator.rescale_to_next(a)
         # Follow the paper's executor (footnote 1): book-keep the scale as if
         # the division had been by the power of two.  The chosen primes are as
         # close as possible to 2^bits, so the induced relative error per
         # rescale is on the order of 2N / 2^bits.
         result.scale = a.scale / (2.0 ** float(bits))
-        return self._track(result)
+        result = self._track(result)
+        self._record_op("rescale", started)
+        return result
 
     def mod_switch(self, a: Ciphertext) -> Ciphertext:
-        return self._track(self.evaluator.mod_switch_to_next(a))
+        started = time.perf_counter()
+        result = self._track(self.evaluator.mod_switch_to_next(a))
+        self._record_op("mod_switch", started)
+        return result
 
     # -- introspection ------------------------------------------------------------------
     def scale_bits(self, handle: Ciphertext) -> float:

@@ -19,6 +19,8 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Sequence
 
+import numpy as np
+
 from ..core.analysis.parameters import SECURITY_MAX_COEFF_MODULUS_BITS, EncryptionParameters
 from ..errors import ParameterError, SecurityError
 from .encoder import CkksEncoder, get_encoder
@@ -133,8 +135,6 @@ class CkksContext:
             rows = [poly.residues[index_of[prime]] for prime in basis.primes]
         except KeyError as exc:
             raise ParameterError("target basis is not contained in the source basis") from exc
-        import numpy as np
-
         return RnsPolynomial(basis, np.stack(rows))
 
     # -- rotations -----------------------------------------------------------------------

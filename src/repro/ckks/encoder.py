@@ -68,8 +68,11 @@ class CkksEncoder:
             )
         if array.size < self.slots:
             array = np.tile(array, self.slots // array.size)
+        # Re(U^H a) == Re(conj(a) @ U): conjugating the length-N/2 vector
+        # avoids materializing conj(U).T — a fresh O(N^2) complex matrix per
+        # encode that profiling showed dominating lane-batched programs.
         coeffs = (2.0 / self.poly_modulus_degree) * np.real(
-            self.embedding.conj().T @ array
+            np.conj(array) @ self.embedding
         )
         scaled = coeffs * float(scale)
         max_coeff = float(np.max(np.abs(scaled))) if scaled.size else 0.0

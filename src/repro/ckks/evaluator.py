@@ -11,7 +11,10 @@ guarantees can never occur in a validated program.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+import numpy as np
 
 from ..errors import (
     LevelMismatchError,
@@ -23,24 +26,44 @@ from ..errors import (
 from .ciphertext import Ciphertext, Plaintext
 from .context import CkksContext
 from .keys import GaloisKeys, KeySwitchingKey, RelinearizationKey
-from .rns import RnsPolynomial
+from .ntt import galois_ntt_permutation
+from .rns import RnsBasis, RnsPolynomial
 
 #: Relative tolerance when comparing scales of additive operands.
 _SCALE_RTOL = 1e-6
 
+#: How many digit decompositions the hoisting cache retains (keyed by the
+#: identity of the decomposed polynomial; entries hold a strong reference so
+#: ``id()`` cannot be recycled while cached).
+_HOIST_CACHE_CAPACITY = 4
+
 
 class Evaluator:
-    """Evaluates homomorphic operations on CKKS ciphertexts."""
+    """Evaluates homomorphic operations on CKKS ciphertexts.
+
+    Key switching runs in the NTT (evaluation) domain by default: switching
+    keys are transformed once per (key, basis) and cached, each decomposition
+    digit is transformed once and multiply-accumulated pointwise, and Galois
+    automorphisms become index permutations of the cached digit transforms —
+    so a group of rotations of the same ciphertext shares one decomposition
+    (SEAL-style hoisting).  Pass ``fast_keyswitch=False`` to run the original
+    coefficient-domain path, which is kept as the property-test oracle.
+    """
 
     def __init__(
         self,
         context: CkksContext,
         relin_key: Optional[RelinearizationKey] = None,
         galois_keys: Optional[GaloisKeys] = None,
+        fast_keyswitch: bool = True,
     ) -> None:
         self.context = context
         self.relin_key = relin_key
         self.galois_keys = galois_keys
+        self.fast_keyswitch = bool(fast_keyswitch)
+        self._hoist_cache: "OrderedDict[int, Tuple[RnsPolynomial, int, np.ndarray]]" = (
+            OrderedDict()
+        )
 
     # -- checks ---------------------------------------------------------------------
     @staticmethod
@@ -130,6 +153,15 @@ class Evaluator:
         Returns the pair to be added to ``(c0, c1)``, already scaled down by
         the special prime and expressed in the data basis of ``level``.
         """
+        if not self.fast_keyswitch:
+            return self._key_switch_reference(poly, switching_key, level)
+        digit_ntts = self._digit_ntts(poly, level, cache=False)
+        return self._key_switch_decomposed(digit_ntts, switching_key, level)
+
+    def _key_switch_reference(
+        self, poly: RnsPolynomial, switching_key: KeySwitchingKey, level: int
+    ) -> Tuple[RnsPolynomial, RnsPolynomial]:
+        """Coefficient-domain key switch (property-test oracle for the fast path)."""
         context = self.context
         data_basis = poly.basis
         key_basis = context.key_basis(level)
@@ -145,6 +177,103 @@ class Evaluator:
             acc0 = acc0.add(digit.multiply(b_j))
             acc1 = acc1.add(digit.multiply(a_j))
         return acc0.divide_and_round_last(), acc1.divide_and_round_last()
+
+    def _digit_ntts(self, poly: RnsPolynomial, level: int, cache: bool) -> np.ndarray:
+        """Forward NTT of every decomposition digit of ``poly`` over the key basis.
+
+        Returns an ``(L, K, N)`` array: row ``j`` holds the NTT (one row per
+        key-basis prime) of ``poly``'s ``j``-th data residue lifted to the key
+        basis.  With ``cache=True`` the result is memoized by the identity of
+        ``poly`` so a group of rotations of one ciphertext decomposes once.
+        """
+        if cache:
+            entry = self._hoist_cache.get(id(poly))
+            if entry is not None and entry[0] is poly and entry[1] == level:
+                self._hoist_cache.move_to_end(id(poly))
+                return entry[2]
+        key_basis = self.context.key_basis(level)
+        n = key_basis.poly_modulus_degree
+        rows = len(poly.basis)
+        digit_ntts = np.empty((rows, len(key_basis), n), dtype=np.int64)
+        primes = key_basis.primes_column
+        for j in range(rows):
+            digits = poly.residues[j][np.newaxis, :] % primes
+            for k, ntt in enumerate(key_basis.ntt):
+                digit_ntts[j, k] = ntt.forward(digits[k])
+        if cache:
+            self._hoist_cache[id(poly)] = (poly, level, digit_ntts)
+            while len(self._hoist_cache) > _HOIST_CACHE_CAPACITY:
+                self._hoist_cache.popitem(last=False)
+        return digit_ntts
+
+    def _key_evaluation_form(
+        self, switching_key: KeySwitchingKey, key_basis: RnsBasis, data_primes: Tuple[int, ...]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """NTT forms of the switching-key pairs, cached on the key object.
+
+        Returns ``(B, A)`` with shape ``(L, K, N)``: ``B[j, k]`` is the forward
+        NTT modulo key prime ``k`` of ``b_j`` (and likewise ``A`` for ``a_j``)
+        for data prime ``q_j``.  Keys are static per session, so this is
+        computed once per (key, basis) instead of twice per key switch.
+        """
+        forms: Dict[Tuple[int, ...], Tuple[np.ndarray, np.ndarray]]
+        forms = getattr(switching_key, "_evaluation_forms", None)
+        if forms is None:
+            forms = {}
+            switching_key._evaluation_forms = forms
+        cache_key = tuple(key_basis.primes)
+        cached = forms.get(cache_key)
+        if cached is not None:
+            return cached
+        n = key_basis.poly_modulus_degree
+        b_ntt = np.empty((len(data_primes), len(key_basis), n), dtype=np.int64)
+        a_ntt = np.empty_like(b_ntt)
+        for j, q_j in enumerate(data_primes):
+            pair = switching_key.pairs.get(q_j)
+            if pair is None:
+                raise ParameterError(f"switching key is missing the digit for prime {q_j}")
+            b_j = self.context.restrict(pair[0], key_basis)
+            a_j = self.context.restrict(pair[1], key_basis)
+            for k, ntt in enumerate(key_basis.ntt):
+                b_ntt[j, k] = ntt.forward(b_j.residues[k])
+                a_ntt[j, k] = ntt.forward(a_j.residues[k])
+        forms[cache_key] = (b_ntt, a_ntt)
+        return b_ntt, a_ntt
+
+    def _key_switch_decomposed(
+        self,
+        digit_ntts: np.ndarray,
+        switching_key: KeySwitchingKey,
+        level: int,
+        permutation: Optional[np.ndarray] = None,
+    ) -> Tuple[RnsPolynomial, RnsPolynomial]:
+        """Key switch from pre-transformed digits, entirely in the NTT domain.
+
+        ``permutation`` (a Galois NTT permutation) is applied to the digits on
+        the fly, which is how hoisted rotations reuse one decomposition.
+        """
+        context = self.context
+        key_basis = context.key_basis(level)
+        data_primes = tuple(context.data_basis(level).primes)
+        b_ntt, a_ntt = self._key_evaluation_form(switching_key, key_basis, data_primes)
+        primes = key_basis.primes_column
+        shape = (len(key_basis), key_basis.poly_modulus_degree)
+        acc0 = np.zeros(shape, dtype=np.int64)
+        acc1 = np.zeros(shape, dtype=np.int64)
+        for j in range(digit_ntts.shape[0]):
+            digit = digit_ntts[j] if permutation is None else digit_ntts[j][:, permutation]
+            acc0 += digit * b_ntt[j] % primes
+            np.subtract(acc0, primes, out=acc0, where=acc0 >= primes)
+            acc1 += digit * a_ntt[j] % primes
+            np.subtract(acc1, primes, out=acc1, where=acc1 >= primes)
+        res0 = np.empty(shape, dtype=np.int64)
+        res1 = np.empty(shape, dtype=np.int64)
+        for k, ntt in enumerate(key_basis.ntt):
+            res0[k] = ntt.inverse(acc0[k])
+            res1[k] = ntt.inverse(acc1[k])
+        poly0 = RnsPolynomial(key_basis, res0)
+        poly1 = RnsPolynomial(key_basis, res1)
+        return poly0.divide_and_round_last(), poly1.divide_and_round_last()
 
     def relinearize(self, a: Ciphertext) -> Ciphertext:
         """Reduce a three-polynomial ciphertext back to two polynomials."""
@@ -162,7 +291,14 @@ class Evaluator:
         )
 
     def rotate(self, a: Ciphertext, steps: int) -> Ciphertext:
-        """Rotate the slots left by ``steps`` (negative values rotate right)."""
+        """Rotate the slots left by ``steps`` (negative values rotate right).
+
+        On the fast path the decomposition of ``c1`` is hoisted: it is
+        transformed once (and cached by ciphertext identity), and each rotation
+        applies its Galois element as an index permutation of the cached digit
+        NTTs — rotating the same ciphertext by k different steps costs one
+        decomposition instead of k.
+        """
         if self.galois_keys is None:
             raise ParameterError("no Galois keys available")
         steps = int(steps) % self.context.slots
@@ -172,9 +308,23 @@ class Evaluator:
             raise PolynomialCountError("rotation requires a relinearized ciphertext")
         element = self.context.galois_element_for_step(steps)
         switching_key = self.galois_keys.key_for(element)
+        if not self.fast_keyswitch:
+            return self._rotate_reference(a, element, switching_key)
+        c0 = a.polys[0].automorphism(element)
+        digit_ntts = self._digit_ntts(a.polys[1], a.level, cache=True)
+        permutation = galois_ntt_permutation(self.context.poly_modulus_degree, element)
+        ks0, ks1 = self._key_switch_decomposed(
+            digit_ntts, switching_key, a.level, permutation=permutation
+        )
+        return Ciphertext([c0.add(ks0), ks1], a.scale, a.level)
+
+    def _rotate_reference(
+        self, a: Ciphertext, element: int, switching_key: KeySwitchingKey
+    ) -> Ciphertext:
+        """Rotate via coefficient-domain automorphism + reference key switch."""
         c0 = a.polys[0].automorphism(element)
         c1 = a.polys[1].automorphism(element)
-        ks0, ks1 = self._key_switch(c1, switching_key, a.level)
+        ks0, ks1 = self._key_switch_reference(c1, switching_key, a.level)
         return Ciphertext([c0.add(ks0), ks1], a.scale, a.level)
 
     # -- modulus chain -----------------------------------------------------------------------

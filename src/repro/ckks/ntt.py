@@ -70,6 +70,31 @@ class NttContext:
             blocks = data.reshape(-1, length)
             low = blocks[:, :half].copy()
             high = (blocks[:, half:] * twiddles[np.newaxis, :]) % q
+            # Inputs are reduced, so the butterfly outputs live in (-q, 2q):
+            # a single conditional subtract/add replaces the int64 division
+            # that `% q` would cost per element.
+            total = low + high
+            np.subtract(total, q, out=total, where=total >= q)
+            diff = low - high
+            np.add(diff, q, out=diff, where=diff < 0)
+            blocks[:, :half] = total
+            blocks[:, half:] = diff
+            data = blocks.reshape(-1)
+            length *= 2
+        return data
+
+    def _transform_reference(self, values: np.ndarray, stages: Dict[int, np.ndarray]) -> np.ndarray:
+        """Original butterfly loop with full `%` reductions (property-test oracle)."""
+        q = self.prime
+        data = values.astype(np.int64) % q
+        data = data[_bit_reverse_indices(self.n)]
+        length = 2
+        while length <= self.n:
+            half = length // 2
+            twiddles = stages[length]
+            blocks = data.reshape(-1, length)
+            low = blocks[:, :half].copy()
+            high = (blocks[:, half:] * twiddles[np.newaxis, :]) % q
             blocks[:, :half] = (low + high) % q
             blocks[:, half:] = (low - high) % q
             data = blocks.reshape(-1)
@@ -93,6 +118,17 @@ class NttContext:
         fb = self.forward(b)
         return self.inverse(fa * fb % self.prime)
 
+    def forward_reference(self, coeffs: np.ndarray) -> np.ndarray:
+        """Forward NTT through the reference butterfly path (property-test oracle)."""
+        twisted = (coeffs.astype(np.int64) % self.prime) * self.psi_powers % self.prime
+        return self._transform_reference(twisted, self._forward_stages)
+
+    def inverse_reference(self, values: np.ndarray) -> np.ndarray:
+        """Inverse NTT through the reference butterfly path (property-test oracle)."""
+        data = self._transform_reference(values, self._inverse_stages)
+        data = data * self.n_inv % self.prime
+        return data * self.psi_inv_powers % self.prime
+
 
 _BIT_REVERSE_CACHE: Dict[int, np.ndarray] = {}
 
@@ -108,6 +144,29 @@ def _bit_reverse_indices(n: int) -> np.ndarray:
         reversed_indices |= ((indices >> bit) & 1) << (bits - 1 - bit)
     _BIT_REVERSE_CACHE[n] = reversed_indices
     return reversed_indices
+
+
+_GALOIS_NTT_PERM_CACHE: Dict[Tuple[int, int], np.ndarray] = {}
+
+
+def galois_ntt_permutation(n: int, galois_element: int) -> np.ndarray:
+    """Index permutation realizing ``X -> X^g`` on forward-NTT values.
+
+    Slot ``k`` of the forward negacyclic NTT holds the evaluation at
+    ``psi^(2k+1)``, so the automorphism maps slot ``k`` to the slot holding
+    ``psi^((2k+1)g mod 2n)``; the exponent stays odd because ``g`` is odd, and
+    ``perm[k] = ((2k+1)g mod 2n - 1) / 2``.  Applying ``values[perm]`` to
+    NTT-domain data is therefore bit-exact with transforming the
+    coefficient-domain automorphism — no sign flips, no extra transforms.
+    """
+    g = int(galois_element) % (2 * n)
+    key = (int(n), g)
+    cached = _GALOIS_NTT_PERM_CACHE.get(key)
+    if cached is None:
+        odd = (2 * np.arange(n, dtype=np.int64) + 1) * g % (2 * n)
+        cached = (odd - 1) // 2
+        _GALOIS_NTT_PERM_CACHE[key] = cached
+    return cached
 
 
 _NTT_CACHE: Dict[Tuple[int, int], NttContext] = {}

@@ -224,7 +224,13 @@ def _serve_single(args, options, programs) -> int:
     )
     for name, program in programs.items():
         server.register(name, program, options=options)
-    tcp = EvaTcpServer(server, host=args.host, port=args.port, wire_policy=args.wire)
+    tcp = EvaTcpServer(
+        server,
+        host=args.host,
+        port=args.port,
+        wire_policy=args.wire,
+        frontdoor=args.frontdoor,
+    )
     host, port = tcp.address
     print(
         json.dumps(
@@ -292,6 +298,7 @@ def _serve_cluster(args, options, programs, config=None) -> int:
         port=args.port,
         slow_threshold=args.slow_threshold,
         wire_policy=args.wire,
+        frontdoor=args.frontdoor,
     )
     host, port = tcp.address
     print(
@@ -382,6 +389,25 @@ def cmd_submit(args: argparse.Namespace) -> int:
                     )
                 payload["trace_breakdown"] = breakdown
     print(json.dumps(payload, indent=2))
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Profile the real CKKS backend on representative programs."""
+    from .profiling import run_profile
+
+    report = run_profile(
+        args.programs,
+        repeats=args.repeats,
+        top=args.top,
+        log=lambda line: print(line, file=sys.stderr),
+    )
+    text = json.dumps(report, indent=2)
+    if args.out:
+        Path(args.out).write_text(text + "\n", encoding="utf-8")
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        print(text)
     return 0
 
 
@@ -568,6 +594,15 @@ def build_parser() -> argparse.ArgumentParser:
         "(legacy clients work unchanged under every policy)",
     )
     serve.add_argument(
+        "--frontdoor",
+        choices=["async", "threaded"],
+        default=None,
+        help="listener transport: async (default) multiplexes every "
+        "connection on one event loop and scales to thousands of idle "
+        "sessions; threaded dedicates an OS thread per connection (the "
+        "legacy fallback); REPRO_FRONTDOOR sets the default",
+    )
+    serve.add_argument(
         "--cluster-config",
         type=Path,
         default=None,
@@ -642,6 +677,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_compile_options(submit)
     submit.set_defaults(func=cmd_submit)
+
+    profile = sub.add_parser(
+        "profile",
+        help="profile the real CKKS backend's hot paths (cProfile + "
+        "tracemalloc) on representative programs and print a per-op cost "
+        "breakdown as JSON",
+    )
+    profile.add_argument(
+        "--programs",
+        nargs="+",
+        default=None,
+        help="subset of the profile suite (sobel_lanes, harris_lanes, sum, "
+        "poly_relin); default runs all",
+    )
+    profile.add_argument(
+        "--repeats", type=int, default=3, help="evaluations per program"
+    )
+    profile.add_argument(
+        "--top", type=int, default=15, help="top functions to report"
+    )
+    profile.add_argument(
+        "--out", type=Path, default=None, help="write the JSON report here instead of stdout"
+    )
+    profile.set_defaults(func=cmd_profile)
 
     cluster = sub.add_parser(
         "cluster",

@@ -37,6 +37,7 @@ Two servers share the wire formats:
 from __future__ import annotations
 
 import json
+import os
 import socket
 import socketserver
 import threading
@@ -473,8 +474,12 @@ class _RequestHandler(_WireHandler):
         return reply
 
 
-class EvaTcpServer(_WireListenerMixin, socketserver.ThreadingTCPServer):
+class ThreadedEvaTcpServer(_WireListenerMixin, socketserver.ThreadingTCPServer):
     """Threaded TCP server wrapping an :class:`EvaServer`.
+
+    One OS thread per connection — the original front door, kept as the
+    fallback behind the :func:`EvaTcpServer` factory (the asyncio listener in
+    :mod:`.aionet` is the default).
 
     ``wire_policy`` governs hello negotiation: ``auto``/``binary`` grant
     binary framing to clients that ask for it, ``json`` pins the listener to
@@ -850,8 +855,8 @@ class _RouterHandler(_WireHandler):
         return replace_envelope(reply_payload, envelope)
 
 
-class ClusterTcpServer(_WireListenerMixin, socketserver.ThreadingTCPServer):
-    """Router front door of an :class:`~repro.serving.cluster.EvaCluster`.
+class ThreadedClusterTcpServer(_WireListenerMixin, socketserver.ThreadingTCPServer):
+    """Threaded router front door of an :class:`~repro.serving.cluster.EvaCluster`.
 
     Owns the public listener; every request is forwarded to the shard its
     client consistent-hashes to.  The wire protocols are identical to
@@ -903,6 +908,85 @@ class ClusterTcpServer(_WireListenerMixin, socketserver.ThreadingTCPServer):
         )
         thread.start()
         return thread
+
+
+#: Listener transport used when neither the ``frontdoor`` argument nor the
+#: ``REPRO_FRONTDOOR`` environment variable says otherwise.  The asyncio
+#: front door holds thousands of idle connections on one event loop; the
+#: threaded transport (one OS thread per connection) remains as a fallback.
+DEFAULT_FRONTDOOR = "async"
+
+FRONTDOOR_MODES = ("async", "threaded")
+
+
+def _frontdoor_mode(frontdoor: Optional[str]) -> str:
+    mode = frontdoor or os.environ.get("REPRO_FRONTDOOR") or DEFAULT_FRONTDOOR
+    if mode not in FRONTDOOR_MODES:
+        raise ServingError(
+            f"unknown front door {mode!r}; expected one of {FRONTDOOR_MODES}"
+        )
+    return mode
+
+
+def EvaTcpServer(
+    eva_server: EvaServer,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    wire_policy: str = "auto",
+    frontdoor: Optional[str] = None,
+):
+    """Build the TCP front door for one :class:`EvaServer`.
+
+    Returns the asyncio listener by default, or the threaded one when
+    ``frontdoor="threaded"`` (or ``REPRO_FRONTDOOR=threaded``).  Both speak
+    identical wire protocols and expose the same surface (``address``,
+    ``start_background``, ``serve_forever``, ``shutdown``, ``server_close``,
+    ``connection_infos``), so callers never need to know which transport
+    they got.
+    """
+    if _frontdoor_mode(frontdoor) == "threaded":
+        return ThreadedEvaTcpServer(
+            eva_server, host=host, port=port, wire_policy=wire_policy
+        )
+    from .aionet import AsyncEvaTcpServer
+
+    return AsyncEvaTcpServer(eva_server, host=host, port=port, wire_policy=wire_policy)
+
+
+def ClusterTcpServer(
+    cluster: Any,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    fairness: Optional[FairnessPolicy] = None,
+    slow_threshold: float = 1.0,
+    wire_policy: str = "auto",
+    frontdoor: Optional[str] = None,
+):
+    """Build the router front door of an :class:`~repro.serving.cluster.EvaCluster`.
+
+    Same transport selection as :func:`EvaTcpServer`: asyncio by default,
+    ``frontdoor="threaded"`` (or ``REPRO_FRONTDOOR=threaded``) for the
+    thread-per-connection fallback.
+    """
+    if _frontdoor_mode(frontdoor) == "threaded":
+        return ThreadedClusterTcpServer(
+            cluster,
+            host=host,
+            port=port,
+            fairness=fairness,
+            slow_threshold=slow_threshold,
+            wire_policy=wire_policy,
+        )
+    from .aionet import AsyncClusterTcpServer
+
+    return AsyncClusterTcpServer(
+        cluster,
+        host=host,
+        port=port,
+        fairness=fairness,
+        slow_threshold=slow_threshold,
+        wire_policy=wire_policy,
+    )
 
 
 class ServingClient:

@@ -818,6 +818,16 @@ class EvaServer:
                 client=client_id,
             )
 
+    def _harvest_op_times(self, context: Any, program: str) -> None:
+        """Fold the backend's per-op kernel timings into ``ckks.op.*``.
+
+        Real-backend contexts accumulate wall time per homomorphic op; the
+        mock backend reports nothing, so this is free on the simulated path.
+        """
+        for op, (count, seconds) in context.drain_op_times().items():
+            self.telemetry.inc("ckks.op.count", count, op=op, program=program)
+            self.telemetry.inc("ckks.op.seconds", seconds, op=op, program=program)
+
     def _count_session_keys(
         self, compilation: CompilationResult, program: str, client_id: str
     ) -> None:
@@ -929,6 +939,7 @@ class EvaServer:
                     )
                     elapsed = time.perf_counter() - start
                     self._count_rotation_tax(info, spec.name, client_id)
+                    self._harvest_op_times(session.context, spec.name)
                     if request.wire:
                         # Wire-decoded input handles are server-owned copies;
                         # release them so the context's live-ciphertext
@@ -1038,6 +1049,7 @@ class EvaServer:
                 # rotation tax is paid once, not per request — exactly the
                 # amortization the counters exist to make visible.
                 self._count_rotation_tax(batch_info, spec.name, client_id)
+                self._harvest_op_times(session.context, spec.name)
                 per_request = self.batcher.unpack(plan, result.outputs)
                 for request, outputs in zip(requests, per_request):
                     responses.append(
@@ -1080,6 +1092,7 @@ class EvaServer:
                         self._count_rotation_tax(
                             batch_info, spec.name, client_id
                         )
+                        self._harvest_op_times(session.context, spec.name)
                         width = request.output_size or min(
                             compilation.program.vec_size,
                             max(request_width(request.inputs), batch_info.min_lane),

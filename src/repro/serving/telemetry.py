@@ -61,6 +61,8 @@ serving.lane.width_chosen             counter    program, width
 serving.slo.attained                  counter    slo_class, program
 serving.slo.missed                    counter    slo_class, program
 serving.slo.rejected                  counter    slo_class, client
+ckks.op.count                         counter    op, program
+ckks.op.seconds                       counter    op, program
 cluster.shards.joined                 counter    —
 cluster.scale.up                      counter    reason
 cluster.scale.down                    counter    reason

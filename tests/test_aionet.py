@@ -1,0 +1,272 @@
+"""Tests for the asyncio front door (:mod:`repro.serving.aionet`).
+
+The protocol matrix (negotiation, chunked uploads, mixed JSON+binary
+clients) already runs against the async listener because it is the default
+behind the ``EvaTcpServer`` / ``ClusterTcpServer`` factories — see
+``test_wire.py``.  This file covers what is *specific* to the async
+transport: front-door selection (flag, env var, validation), the async
+frame reader's failure modes, the reply buffer's copy-on-write contract,
+connection->worker affinity in the dispatch pool, abrupt disconnects
+mid-frame and mid-line, and an idle crowd served alongside live traffic.
+"""
+
+import asyncio
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro import wire
+from repro.backend import MockBackend
+from repro.errors import ServingError, TransportError
+from repro.frontend import EvaProgram, input_encrypted, output
+from repro.serving import EvaServer, EvaTcpServer, ServingClient
+from repro.serving import aionet, netserver
+from repro.wire.frames import encode_varint
+
+
+def make_poly_program(name="poly", vec_size=32):
+    program = EvaProgram(name, vec_size=vec_size, default_scale=25)
+    with program:
+        x = input_encrypted("x", 25)
+        output("y", x * x + x + 1.0, 25)
+    return program
+
+
+def make_server():
+    server = EvaServer(backend=MockBackend(error_model="none"), workers=2)
+    server.register("poly", make_poly_program())
+    return server
+
+
+@pytest.fixture
+def async_server():
+    server = make_server()
+    tcp = EvaTcpServer(server, port=0)
+    tcp.start_background()
+    try:
+        yield tcp
+    finally:
+        tcp.shutdown()
+        server.close()
+
+
+# -- front-door selection ------------------------------------------------------
+
+
+class TestFrontdoorSelection:
+    def test_async_is_the_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FRONTDOOR", raising=False)
+        server = make_server()
+        tcp = EvaTcpServer(server, port=0)
+        try:
+            assert isinstance(tcp, aionet.AsyncEvaTcpServer)
+        finally:
+            tcp.server_close()
+            server.close()
+
+    def test_threaded_fallback_via_flag(self):
+        server = make_server()
+        tcp = EvaTcpServer(server, port=0, frontdoor="threaded")
+        try:
+            assert isinstance(tcp, netserver.ThreadedEvaTcpServer)
+        finally:
+            tcp.server_close()
+            server.close()
+
+    def test_env_var_selects_threaded(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FRONTDOOR", "threaded")
+        server = make_server()
+        tcp = EvaTcpServer(server, port=0)
+        try:
+            assert isinstance(tcp, netserver.ThreadedEvaTcpServer)
+        finally:
+            tcp.server_close()
+            server.close()
+
+    def test_explicit_flag_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FRONTDOOR", "threaded")
+        server = make_server()
+        tcp = EvaTcpServer(server, port=0, frontdoor="async")
+        try:
+            assert isinstance(tcp, aionet.AsyncEvaTcpServer)
+        finally:
+            tcp.server_close()
+            server.close()
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ServingError, match="unknown front door"):
+            netserver._frontdoor_mode("carrier-pigeon")
+
+    def test_threaded_fallback_serves_traffic(self):
+        server = make_server()
+        tcp = EvaTcpServer(server, port=0, frontdoor="threaded")
+        tcp.start_background()
+        try:
+            host, port = tcp.address
+            with ServingClient(host, port, wire="binary") as client:
+                outputs = client.submit("poly", {"x": [1.0, 2.0]})
+            np.testing.assert_allclose(outputs["y"][:2], [3.0, 7.0], atol=1e-6)
+        finally:
+            tcp.shutdown()
+            server.close()
+
+
+# -- async frame reader --------------------------------------------------------
+
+
+def read_async_frame(data: bytes):
+    """Feed one frame, minus the MAGIC byte the connection loop sniffs."""
+
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await aionet.read_frame_async(reader)
+
+    return asyncio.run(go())
+
+
+class TestReadFrameAsync:
+    def test_roundtrip(self):
+        payload = b"x" * 300
+        encoded = wire.encode_frame(wire.FRAME_REQUEST, payload)
+        frame_type, got, nbytes = read_async_frame(encoded[1:])
+        assert frame_type == wire.FRAME_REQUEST
+        assert bytes(got) == payload
+        assert nbytes == len(encoded)  # wire size includes the sniffed magic
+
+    def test_unknown_frame_type_rejected(self):
+        with pytest.raises(TransportError, match="frame type"):
+            read_async_frame(bytes([0x7F]) + encode_varint(0))
+
+    def test_overlong_varint_rejected(self):
+        data = bytes([wire.FRAME_REQUEST]) + b"\x80" * 10 + b"\x01"
+        with pytest.raises(TransportError, match="varint"):
+            read_async_frame(data)
+
+    def test_oversized_length_rejected_before_alloc(self):
+        data = bytes([wire.FRAME_REQUEST]) + encode_varint(wire.MAX_FRAME_BYTES + 1)
+        with pytest.raises(TransportError, match="limit"):
+            read_async_frame(data)
+
+    def test_truncated_frame_raises_incomplete(self):
+        encoded = wire.encode_frame(wire.FRAME_REQUEST, b"abcdef")
+        with pytest.raises(asyncio.IncompleteReadError):
+            read_async_frame(encoded[1:-2])
+
+
+# -- reply buffer and dispatch pool --------------------------------------------
+
+
+class TestReplyBuffer:
+    def test_memoryviews_are_copied_at_write_time(self):
+        # The handler writes zero-copy views whose backing store is released
+        # before the event loop flushes — the buffer must copy eagerly.
+        buffer = aionet._ReplyBuffer()
+        backing = bytearray(b"abcdef")
+        buffer.write(memoryview(backing))
+        backing[:] = b"XXXXXX"
+        buffer.flush()  # no-op, must not raise
+        assert buffer.drain() == [b"abcdef"]
+        assert buffer.drain() == []
+
+
+class TestDispatchPoolAffinity:
+    def test_same_affinity_runs_on_one_thread_in_order(self):
+        pool = aionet._DaemonDispatchPool(4, name="test-pool")
+        seen, order = [], []
+
+        def record(value):
+            seen.append(threading.get_ident())
+            order.append(value)
+            return value
+
+        futures = [pool.submit(7, record, i) for i in range(32)]
+        assert [f.result(timeout=10) for f in futures] == list(range(32))
+        assert len(set(seen)) == 1, "one connection must stay on one thread"
+        assert order == list(range(32)), "per-connection order must hold"
+
+    def test_distinct_affinities_spread_over_threads(self):
+        pool = aionet._DaemonDispatchPool(4, name="test-pool")
+        barrier = threading.Barrier(4, timeout=10)
+
+        def rendezvous():
+            barrier.wait()
+            return threading.get_ident()
+
+        futures = [pool.submit(a, rendezvous) for a in range(4)]
+        idents = {f.result(timeout=10) for f in futures}
+        assert len(idents) == 4
+
+    def test_exceptions_propagate_through_futures(self):
+        pool = aionet._DaemonDispatchPool(2, name="test-pool")
+
+        def boom():
+            raise ValueError("kaput")
+
+        with pytest.raises(ValueError, match="kaput"):
+            pool.submit(0, boom).result(timeout=10)
+        # The worker survives its task's exception.
+        assert pool.submit(0, lambda: 42).result(timeout=10) == 42
+
+
+# -- abrupt disconnects and idle crowds ----------------------------------------
+
+
+class TestAsyncServerRobustness:
+    def test_disconnect_mid_binary_frame(self, async_server):
+        host, port = async_server.address
+        sock = socket.create_connection((host, port), timeout=5)
+        # Declare a 1000-byte frame, send 10 bytes, vanish.
+        sock.sendall(
+            bytes([wire.MAGIC, wire.FRAME_REQUEST]) + encode_varint(1000) + b"x" * 10
+        )
+        sock.close()
+        self._assert_still_serving(async_server)
+
+    def test_disconnect_mid_json_line(self, async_server):
+        host, port = async_server.address
+        sock = socket.create_connection((host, port), timeout=5)
+        sock.sendall(b'{"op": "ping"')  # no newline, never will be
+        sock.close()
+        self._assert_still_serving(async_server)
+
+    def test_garbage_first_byte_drops_the_connection_only(self, async_server):
+        host, port = async_server.address
+        sock = socket.create_connection((host, port), timeout=5)
+        sock.sendall(b"\xff\xfe\xfd not a protocol\n")
+        # The server must close this connection rather than hang on it.
+        sock.settimeout(5)
+        assert sock.recv(1) == b""
+        sock.close()
+        self._assert_still_serving(async_server)
+
+    def test_idle_crowd_plus_mixed_traffic(self, async_server):
+        host, port = async_server.address
+        idle = [socket.create_connection((host, port), timeout=5) for _ in range(50)]
+        try:
+            deadline = 50
+            for _ in range(deadline):
+                if len(async_server.connection_infos()) >= 50:
+                    break
+                threading.Event().wait(0.05)
+            assert len(async_server.connection_infos()) >= 50
+            for mode in ("json", "binary"):
+                with ServingClient(host, port, wire=mode) as client:
+                    outputs = client.submit("poly", {"x": [2.0]})
+                np.testing.assert_allclose(outputs["y"][:1], [7.0], atol=1e-6)
+            still_idle = sum(
+                1 for info in async_server.connection_infos() if info["requests"] == 0
+            )
+            assert still_idle >= 50
+        finally:
+            for sock in idle:
+                sock.close()
+
+    def _assert_still_serving(self, tcp):
+        host, port = tcp.address
+        with ServingClient(host, port, wire="binary") as client:
+            outputs = client.submit("poly", {"x": [1.0]})
+        np.testing.assert_allclose(outputs["y"][:1], [3.0], atol=1e-6)

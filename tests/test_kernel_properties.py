@@ -1,0 +1,215 @@
+"""Property tests pinning every optimized CKKS kernel to its retained oracle.
+
+The profiling work (``repro.cli profile``) replaced the hot paths of the
+scheme — the NTT butterfly loops, the rescale and CRT-composition kernels,
+and the whole key-switching pipeline — with fused/NTT-domain variants.  The
+original implementations were kept as reference oracles precisely so the
+optimized paths can be pinned against them over randomized inputs:
+
+* ``NttContext._transform`` vs ``_transform_reference`` (fused reductions);
+* ``RnsPolynomial.divide_and_round_last`` / ``to_int_coefficients`` vs
+  their ``*_reference`` row-at-a-time versions;
+* ``galois_ntt_permutation`` vs the coefficient-domain automorphism;
+* ``Evaluator(fast_keyswitch=True)`` vs the coefficient-domain reference —
+  **bit-exact** for relinearization, **noise-level** for hoisted rotations
+  (digit lifting does not commute with the automorphism's sign flips, so
+  the two valid decompositions differ only under the noise floor).
+"""
+
+import numpy as np
+import pytest
+
+from repro.ckks import (
+    CkksContext,
+    Decryptor,
+    Encryptor,
+    Evaluator,
+    KeyGenerator,
+)
+from repro.ckks.ntt import galois_ntt_permutation, get_ntt_context
+from repro.ckks.numth import generate_ntt_primes
+from repro.ckks.rns import RnsBasis, RnsPolynomial
+
+DRAWS = 5
+
+
+def random_residues(rng, basis):
+    return RnsPolynomial(
+        basis,
+        rng.integers(
+            0,
+            np.array(basis.primes).reshape(-1, 1),
+            size=(len(basis), basis.poly_modulus_degree),
+            dtype=np.int64,
+        ),
+    )
+
+
+class TestNttAgainstReference:
+    @pytest.mark.parametrize("n", [64, 256, 1024])
+    @pytest.mark.parametrize("bits", [20, 28])
+    def test_forward_and_inverse_match_reference(self, n, bits):
+        prime = generate_ntt_primes([bits], n)[0]
+        ntt = get_ntt_context(prime, n)
+        rng = np.random.default_rng(n * bits)
+        for draw in range(DRAWS):
+            coeffs = rng.integers(0, prime, size=n, dtype=np.int64)
+            forward = ntt.forward(coeffs)
+            assert np.array_equal(forward, ntt.forward_reference(coeffs))
+            assert np.array_equal(ntt.inverse(forward), ntt.inverse_reference(forward))
+            assert np.array_equal(ntt.inverse(forward), coeffs % prime)
+
+    def test_edge_vectors(self):
+        n = 128
+        prime = generate_ntt_primes([25], n)[0]
+        ntt = get_ntt_context(prime, n)
+        for coeffs in (
+            np.zeros(n, dtype=np.int64),
+            np.full(n, prime - 1, dtype=np.int64),
+            np.eye(1, n, 0, dtype=np.int64)[0],  # X^0
+            np.eye(1, n, n - 1, dtype=np.int64)[0],  # X^(N-1)
+        ):
+            assert np.array_equal(ntt.forward(coeffs), ntt.forward_reference(coeffs))
+            assert np.array_equal(ntt.inverse(ntt.forward(coeffs)), coeffs % prime)
+
+    def test_negacyclic_multiply_matches_schoolbook(self):
+        n = 64
+        prime = generate_ntt_primes([25], n)[0]
+        ntt = get_ntt_context(prime, n)
+        rng = np.random.default_rng(7)
+        a = rng.integers(0, prime, size=n, dtype=np.int64)
+        b = rng.integers(0, prime, size=n, dtype=np.int64)
+        want = np.zeros(n, dtype=np.int64)
+        for i in range(n):
+            for j in range(n):
+                index = (i + j) % n
+                sign = -1 if i + j >= n else 1
+                want[index] = (want[index] + sign * int(a[i]) * int(b[j])) % prime
+        assert np.array_equal(ntt.multiply(a, b), want % prime)
+
+
+class TestGaloisPermutation:
+    @pytest.mark.parametrize("n", [64, 256])
+    def test_permutation_matches_coefficient_automorphism(self, n):
+        prime = generate_ntt_primes([25], n)[0]
+        basis = RnsBasis([prime], n)
+        ntt = basis.ntt[0]
+        rng = np.random.default_rng(n)
+        elements = [pow(5, k, 2 * n) for k in (1, 2, 3, n // 4)] + [2 * n - 1]
+        for element in elements:
+            perm = galois_ntt_permutation(n, element)
+            assert sorted(perm.tolist()) == list(range(n)), "not a permutation"
+            for draw in range(DRAWS):
+                poly = random_residues(rng, basis)
+                via_coeffs = ntt.forward(poly.automorphism(element).residues[0])
+                via_perm = ntt.forward(poly.residues[0])[perm]
+                assert np.array_equal(via_coeffs, via_perm)
+
+
+class TestRnsKernelsAgainstReference:
+    @pytest.mark.parametrize("level_primes", [2, 3, 5])
+    def test_divide_and_round_last(self, level_primes):
+        n = 128
+        primes = generate_ntt_primes([24] * level_primes + [28], n)
+        basis = RnsBasis(primes, n)
+        rng = np.random.default_rng(level_primes)
+        for draw in range(DRAWS):
+            poly = random_residues(rng, basis)
+            fast = poly.divide_and_round_last()
+            slow = poly.divide_and_round_last_reference()
+            assert fast.basis == slow.basis
+            assert np.array_equal(fast.residues, slow.residues)
+
+    def test_to_int_coefficients(self):
+        n = 64
+        basis = RnsBasis(generate_ntt_primes([22, 24, 26], n), n)
+        rng = np.random.default_rng(11)
+        for draw in range(DRAWS):
+            poly = random_residues(rng, basis)
+            assert poly.to_int_coefficients() == poly.to_int_coefficients_reference()
+
+    def test_roundtrip_through_int_coefficients(self):
+        n = 64
+        basis = RnsBasis(generate_ntt_primes([22, 24], n), n)
+        rng = np.random.default_rng(13)
+        poly = random_residues(rng, basis)
+        back = RnsPolynomial.from_int_coefficients(basis, poly.to_int_coefficients())
+        assert np.array_equal(back.residues, poly.residues)
+
+
+class TestKeySwitchAgainstReference:
+    N = 1024
+    SCALE = 2.0**24
+    STEPS = (1, 2, 5, 7)
+
+    @pytest.fixture(scope="class", params=[1, 2])
+    def scheme(self, request):
+        seed = request.param
+        context = CkksContext(self.N, [26, 26, 26, 30], enforce_security=False)
+        keygen = KeyGenerator(context, seed=seed)
+        relin_key = keygen.create_relin_key()
+        # STEPS plus the wrapped form of -1 (rotation steps are reduced
+        # modulo the slot count before key lookup).
+        galois_keys = keygen.create_galois_keys(self.STEPS + (self.N // 2 - 1,))
+        return {
+            "context": context,
+            "encryptor": Encryptor(context, keygen.create_public_key(), seed=seed + 100),
+            "decryptor": Decryptor(context, keygen.secret_key),
+            "fast": Evaluator(context, relin_key, galois_keys, fast_keyswitch=True),
+            "reference": Evaluator(context, relin_key, galois_keys, fast_keyswitch=False),
+        }
+
+    def _fresh_cipher(self, scheme, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.uniform(-1.0, 1.0, scheme["context"].slots)
+        return values, scheme["encryptor"].encode_and_encrypt(values, self.SCALE)
+
+    def test_relinearize_is_bit_exact(self, scheme):
+        for draw in range(DRAWS):
+            _, cipher = self._fresh_cipher(scheme, draw)
+            squared = scheme["fast"].multiply(cipher, cipher)
+            fast = scheme["fast"].relinearize(squared)
+            reference = scheme["reference"].relinearize(squared)
+            assert fast.scale == reference.scale and fast.level == reference.level
+            for a, b in zip(fast.polys, reference.polys):
+                assert np.array_equal(a.residues, b.residues)
+
+    def test_relinearize_bit_exact_at_lower_level(self, scheme):
+        _, cipher = self._fresh_cipher(scheme, 99)
+        dropped = scheme["fast"].mod_switch_to_next(cipher)
+        squared = scheme["fast"].multiply(dropped, dropped)
+        fast = scheme["fast"].relinearize(squared)
+        reference = scheme["reference"].relinearize(squared)
+        for a, b in zip(fast.polys, reference.polys):
+            assert np.array_equal(a.residues, b.residues)
+
+    def test_hoisted_rotation_matches_reference_at_noise_level(self, scheme):
+        values, cipher = self._fresh_cipher(scheme, 17)
+        for step in self.STEPS:
+            fast = scheme["fast"].rotate(cipher, step)
+            reference = scheme["reference"].rotate(cipher, step)
+            expected = np.roll(values, -step)
+            got_fast = np.real(scheme["decryptor"].decrypt(fast))
+            got_reference = np.real(scheme["decryptor"].decrypt(reference))
+            # Both decompositions must decrypt to the rotation; they differ
+            # from each other only under the noise floor.
+            assert np.max(np.abs(got_fast - expected)) < 1e-2
+            assert np.max(np.abs(got_reference - expected)) < 1e-2
+            assert np.max(np.abs(got_fast - got_reference)) < 1e-2
+
+    def test_hoisted_rotations_share_one_decomposition(self, scheme):
+        """Rotating the same ciphertext twice must reuse the cached digit
+        NTTs and stay deterministic (same residues both times)."""
+        _, cipher = self._fresh_cipher(scheme, 23)
+        first = scheme["fast"].rotate(cipher, 2)
+        again = scheme["fast"].rotate(cipher, 2)
+        for a, b in zip(first.polys, again.polys):
+            assert np.array_equal(a.residues, b.residues)
+
+    def test_negative_and_wrapping_steps(self, scheme):
+        values, cipher = self._fresh_cipher(scheme, 31)
+        slots = scheme["context"].slots
+        for step in (-1, slots + 2):
+            fast = scheme["fast"].rotate(cipher, step)
+            got = np.real(scheme["decryptor"].decrypt(fast))
+            assert np.max(np.abs(got - np.roll(values, -step))) < 1e-2

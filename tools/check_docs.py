@@ -13,7 +13,11 @@ every piece of it:
   (as ``repro.cli <name>``) and every long option must appear in
   ``docs/operations.md``;
 * the wire op set ``repro.core.serialization.messages.REQUEST_OPS`` ->
-  every op must appear backticked in ``docs/wire-protocol.md``.
+  every op must appear backticked in ``docs/wire-protocol.md``;
+* the committed benchmark baselines (``BENCH_*.json`` at the repo root) ->
+  every one must be listed (and gated) by ``benchmarks/gates.toml``, every
+  manifest entry must point at files that exist, and every baseline's
+  benchmark name must have gates in ``benchmarks/check_regression.py``.
 
 Exit status 1 lists everything missing.  Run from anywhere::
 
@@ -92,6 +96,55 @@ def wire_ops() -> list:
     return sorted(messages.REQUEST_OPS)
 
 
+def _load_benchmarks_module(name: str):
+    """Import a module from benchmarks/ (a script directory, not a package)."""
+    import importlib.util
+
+    path = REPO_ROOT / "benchmarks" / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def check_gates_manifest() -> list:
+    """Cross-check committed BENCH_*.json baselines against gates.toml."""
+    import json
+
+    complaints = []
+    run_gates = _load_benchmarks_module("run_gates")
+    check_regression = _load_benchmarks_module("check_regression")
+    try:
+        gates = run_gates.load_manifest()
+    except Exception as exc:  # malformed manifest is itself drift
+        return [f"gates.toml: {exc}"]
+
+    baselines = {entry["baseline"]: name for name, entry in gates.items()}
+    for path in sorted(REPO_ROOT.glob("BENCH_*.json")):
+        if path.name not in baselines:
+            complaints.append(
+                f"gates.toml: committed baseline {path.name} has no gate entry"
+            )
+    for name, entry in gates.items():
+        for field in ("script", "baseline"):
+            if not (REPO_ROOT / entry[field]).is_file():
+                complaints.append(
+                    f"gates.toml: gate {name!r} {field} {entry[field]!r} "
+                    "does not exist"
+                )
+        baseline_path = REPO_ROOT / entry["baseline"]
+        if baseline_path.is_file():
+            payload = json.loads(baseline_path.read_text(encoding="utf-8"))
+            bench_name = payload.get("benchmark")
+            if bench_name not in check_regression.GATES:
+                complaints.append(
+                    f"gates.toml: gate {name!r} baseline declares benchmark "
+                    f"{bench_name!r}, which has no GATES entry in "
+                    "check_regression.py"
+                )
+    return complaints
+
+
 def check(docs_dir: Path) -> list:
     """Returns a list of human-readable drift complaints (empty = clean)."""
     missing = []
@@ -124,6 +177,8 @@ def check(docs_dir: Path) -> list:
     for op in wire_ops():
         if f"`{op}`" not in wire_doc:
             missing.append(f"wire-protocol.md: request op `{op}` undocumented")
+
+    missing.extend(check_gates_manifest())
 
     return missing
 

@@ -1,0 +1,17 @@
+#!/usr/bin/env python
+"""Profile the real CKKS backend and emit a per-op cost breakdown as JSON.
+
+Thin wrapper over :mod:`repro.profiling` so the harness can run standalone
+(``python tools/profile_ckks.py --out profile.json``) as well as through
+``repro.cli profile``.  See ``docs/performance.md`` for the workflow.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.profiling import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())
